@@ -1,0 +1,54 @@
+"""Ablation — single compromise grid vs per-slot tuned grids (Figure 18 follow-up).
+
+The paper tunes one grid size for the whole day even though the per-slot optima
+differ (Figure 18).  This ablation quantifies what the compromise costs: the
+summed upper bound across the case-study slots for (a) the per-slot optimal
+grids and (b) the best single compromise grid.  The per-slot grids are never
+worse by construction; the printed gap shows how much head-room the paper's
+single-grid deployment leaves on the synthetic cities.
+"""
+
+from conftest import run_once
+
+from repro.core.slotwise import SlotwiseGridTuner
+from repro.experiments.reporting import format_table
+
+
+def test_ablation_slotwise_vs_single_grid(benchmark, context):
+    dataset = context.dataset("nyc_like")
+    tuner = SlotwiseGridTuner(
+        dataset,
+        context.factory("deepst", surrogate=True),
+        hgrid_budget=context.config.hgrid_budget,
+        algorithm="brute_force",
+    )
+    slots = context.config.case_study_slots
+
+    report = run_once(benchmark, tuner.tune, slots)
+
+    per_slot_total = sum(result.best_value for result in report.results)
+    rows = [
+        [result.slot, f"{result.best_side}x{result.best_side}", round(result.best_value, 2)]
+        for result in report.results
+    ]
+    rows.append(
+        [
+            "compromise",
+            f"{report.compromise_side}x{report.compromise_side}",
+            round(report.compromise_value, 2),
+        ]
+    )
+    print()
+    print(
+        format_table(
+            ["slot", "selected n", "upper bound"],
+            rows,
+            title="Ablation: per-slot tuning vs a single compromise grid",
+        )
+    )
+    print(
+        f"per-slot total bound = {per_slot_total:.2f}, "
+        f"compromise total bound = {report.compromise_value:.2f}"
+    )
+    assert per_slot_total <= report.compromise_value + 1e-9
+    assert report.compromise_side in {result.best_side for result in report.results}

@@ -1,0 +1,47 @@
+"""Figure 10 — spatial distribution of test-day orders in the three cities.
+
+Paper content: per-city heat maps of order pick-ups (NYC concentrated in a
+Manhattan-like strip, Chengdu ring-shaped, Xi'an small and nearly uniform).
+The benchmark prints per-city concentration statistics that summarise the same
+information and asserts the intended ordering.
+"""
+
+from conftest import run_once
+
+from repro.analysis.distributions import spatial_concentration_summary
+from repro.experiments.context import CITIES
+from repro.experiments.reporting import format_table
+
+
+def test_fig10_order_distributions(benchmark, context):
+    summaries = run_once(
+        benchmark,
+        lambda: {
+            city: spatial_concentration_summary(context.dataset(city), resolution=16)
+            for city in CITIES
+        },
+    )
+    rows = [
+        [
+            summary.city,
+            summary.total_test_orders,
+            round(summary.gini, 3),
+            f"{100 * summary.top_decile_share:.1f}%",
+        ]
+        for summary in summaries.values()
+    ]
+    print()
+    print(
+        format_table(
+            ["city", "test-day orders", "gini", "top-decile share"],
+            rows,
+            title="Figure 10: spatial concentration of test-day orders",
+        )
+    )
+    assert summaries["nyc_like"].gini > summaries["chengdu_like"].gini
+    assert summaries["chengdu_like"].gini > summaries["xian_like"].gini
+    assert (
+        summaries["nyc_like"].total_test_orders
+        > summaries["chengdu_like"].total_test_orders
+        > summaries["xian_like"].total_test_orders
+    )

@@ -1,0 +1,51 @@
+"""Figure 11 — distribution of trip lengths in the three cities.
+
+Paper content: Chengdu has a broad trip-length distribution with a non-trivial
+share of long trips; NYC trips are mostly under 15 km (Manhattan-centred);
+Xi'an trips are mostly under 10 km because the study area is small.
+"""
+
+from conftest import run_once
+
+from repro.analysis.distributions import trip_length_histogram
+from repro.experiments.context import CITIES
+from repro.experiments.reporting import format_table
+
+BINS = (0, 2, 5, 10, 15, 25, 45, 1000)
+
+
+def test_fig11_trip_length_distributions(benchmark, context):
+    histograms = run_once(
+        benchmark,
+        lambda: {
+            city: trip_length_histogram(context.dataset(city), bin_edges_km=BINS)
+            for city in CITIES
+        },
+    )
+    rows = []
+    for city, histogram in histograms.items():
+        total = sum(histogram.values())
+        for label, count in histogram.items():
+            rows.append([city, label, count, f"{100 * count / max(total, 1):.1f}%"])
+    print()
+    print(
+        format_table(
+            ["city", "trip length", "trips", "share"],
+            rows,
+            title="Figure 11: trip-length distributions",
+        )
+    )
+
+    def share_above(city, km):
+        histogram = histograms[city]
+        total = sum(histogram.values())
+        above = sum(
+            count for label, count in histogram.items()
+            if label.startswith(">") or float(label.split("-")[0]) >= km
+        )
+        return above / max(total, 1)
+
+    # NYC trips are mostly short; Chengdu has the heaviest long-trip tail.
+    assert share_above("nyc_like", 15) < 0.2
+    assert share_above("chengdu_like", 15) > share_above("xian_like", 15)
+    assert share_above("xian_like", 10) < 0.1

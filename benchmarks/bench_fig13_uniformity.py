@@ -1,0 +1,42 @@
+"""Figures 12/13 — intra-MGrid unevenness vs expression error.
+
+Paper shape: the expression error of an MGrid grows with the unevenness
+``D_alpha`` of the demand inside it; a near-uniform MGrid has a small
+expression error even when it is busy.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.uniformity import correlation
+from repro.experiments.homogeneity_exp import figure13_uniformity_scatter
+from repro.experiments.reporting import format_table
+
+
+def test_fig13_uniformity_vs_expression_error(benchmark, context):
+    points = run_once(
+        benchmark,
+        figure13_uniformity_scatter,
+        context,
+        "nyc_like",
+        4,
+        4,
+    )
+    busy = [p for p in points if p.total_alpha > 0.5]
+    busy.sort(key=lambda p: p.d_alpha)
+    rows = [
+        [p.mgrid_index, round(p.total_alpha, 2), round(p.d_alpha, 3), round(p.expression_error, 3)]
+        for p in busy
+    ]
+    print()
+    print(
+        format_table(
+            ["mgrid", "total alpha", "D_alpha", "expression error"],
+            rows,
+            title="Figure 13: per-MGrid unevenness vs expression error (NYC-like)",
+        )
+    )
+    assert len(busy) >= 3
+    assert correlation(busy) > 0.0
+    # The most uneven busy MGrid has a larger error than the most uniform one.
+    assert busy[-1].expression_error >= busy[0].expression_error

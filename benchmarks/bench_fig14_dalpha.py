@@ -1,0 +1,47 @@
+"""Figure 14 — D_alpha(N) against the HGrid resolution.
+
+Paper shape: D_alpha grows quickly with N and then flattens once the HGrids are
+small enough to be internally uniform; the flattening point is where the paper
+fixes N.  With a shorter alpha-estimation window the curve keeps creeping up
+because the estimates themselves get noisy.
+"""
+
+from conftest import run_once
+
+from repro.experiments.homogeneity_exp import figure14_dalpha_curve
+from repro.experiments.reporting import format_table
+
+RESOLUTIONS = (2, 4, 8, 16, 32)
+
+
+def test_fig14_dalpha_curve(benchmark, context):
+    full, short = run_once(
+        benchmark,
+        lambda: (
+            figure14_dalpha_curve(context, "nyc_like", resolutions=RESOLUTIONS),
+            figure14_dalpha_curve(
+                context, "nyc_like", resolutions=RESOLUTIONS, training_weeks=1
+            ),
+        ),
+    )
+    rows = [
+        [resolution, resolution * resolution, round(full_value, 2), round(short_value, 2)]
+        for resolution, full_value, short_value in zip(
+            RESOLUTIONS, full.values, short.values
+        )
+    ]
+    print()
+    print(
+        format_table(
+            ["sqrt(N)", "N", "D_alpha (full window)", "D_alpha (1 week)"],
+            rows,
+            title="Figure 14: D_alpha(N) vs N (NYC-like)",
+        )
+    )
+    # Monotone growth with N.
+    assert list(full.values) == sorted(full.values)
+    # Relative growth slows at the fine end (the flattening of Figure 14).
+    early_growth = (full.values[1] - full.values[0]) / max(full.values[0], 1e-9)
+    late_growth = (full.values[-1] - full.values[-2]) / max(full.values[-2], 1e-9)
+    assert late_growth < early_growth
+    print(f"selected N (turning point): {full.turning_point()}^2")

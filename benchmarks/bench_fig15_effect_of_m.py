@@ -1,0 +1,51 @@
+"""Figure 15 — effect of m (HGrids per MGrid) with n fixed.
+
+Paper shape: as m grows (finer HGrids) the expression error and the real error
+increase while the model error stays flat, because the model error lives at
+MGrid level; past the homogeneity point the increase mostly reflects noisy
+alpha estimates.
+"""
+
+from conftest import run_once
+
+from repro.experiments.homogeneity_exp import figure15_effect_of_m
+from repro.experiments.reporting import format_table
+
+HGRID_SIDES = (1, 2, 4, 8)
+
+
+def test_fig15_effect_of_m(benchmark, context):
+    points = run_once(
+        benchmark,
+        figure15_effect_of_m,
+        context,
+        "nyc_like",
+        4,
+        HGRID_SIDES,
+        "deepst",
+        True,
+    )
+    rows = [
+        [
+            p.hgrid_side,
+            p.hgrids_per_mgrid,
+            round(p.expression_error, 2),
+            round(p.model_error, 2),
+            round(p.real_error, 2),
+        ]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["sqrt(m)", "m", "expression error", "model error", "real error"],
+            rows,
+            title="Figure 15: effect of m at fixed n = 4x4 (NYC-like)",
+        )
+    )
+    expression = [p.expression_error for p in points]
+    real = [p.real_error for p in points]
+    model = [p.model_error for p in points]
+    assert expression == sorted(expression)
+    assert real == sorted(real)
+    assert abs(model[0] - model[-1]) / max(model[0], 1e-9) < 1e-6

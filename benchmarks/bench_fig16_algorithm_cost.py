@@ -1,0 +1,52 @@
+"""Figure 16 — cost and accuracy of the expression-error calculators vs K.
+
+Paper shape: the straightforward evaluation and Algorithm 1 get expensive as K
+grows while Algorithm 2's cost stays low; accuracy saturates well before the
+paper's default K = 250.
+"""
+
+from conftest import run_once
+
+from repro.experiments.algorithm_cost import algorithm_cost_sweep
+from repro.experiments.reporting import format_table
+
+K_VALUES = (10, 20, 40, 80)
+
+
+def test_fig16_algorithm_cost(benchmark):
+    points = run_once(
+        benchmark,
+        algorithm_cost_sweep,
+        3.0,
+        45.0,
+        16,
+        K_VALUES,
+        True,
+    )
+    rows = [
+        [
+            p.k,
+            round(p.reference_seconds * 1e3, 3),
+            round(p.algorithm1_seconds * 1e3, 3),
+            round(p.algorithm2_seconds * 1e3, 3),
+            f"{p.algorithm2_speedup:.1f}x",
+            f"{p.algorithm2_absolute_error:.2e}",
+        ]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["K", "reference (ms)", "algorithm 1 (ms)", "algorithm 2 (ms)", "alg2 speedup", "alg2 |error|"],
+            rows,
+            title="Figure 16: expression-error calculator cost vs K",
+        )
+    )
+    largest = points[-1]
+    # Algorithm 2 is the cheapest at the largest K and agrees with the reference.
+    assert largest.algorithm2_seconds <= largest.algorithm1_seconds
+    assert largest.algorithm2_absolute_error < 1e-6
+    # Algorithm 1's cost grows faster than Algorithm 2's as K increases.
+    growth_alg1 = points[-1].algorithm1_seconds / max(points[0].algorithm1_seconds, 1e-9)
+    growth_alg2 = points[-1].algorithm2_seconds / max(points[0].algorithm2_seconds, 1e-9)
+    assert growth_alg1 > growth_alg2

@@ -1,0 +1,46 @@
+"""Figure 17 — effect of the Iterative Method's search bound b.
+
+Paper shape: a larger bound raises the probability of finding the global
+optimum but costs more objective evaluations.
+"""
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.search_eval import iterative_bound_sweep
+
+BOUNDS = (1, 2, 3, 4)
+
+
+def test_fig17_iterative_bound(benchmark, context):
+    points = run_once(
+        benchmark,
+        iterative_bound_sweep,
+        context,
+        "nyc_like",
+        "deepst",
+        BOUNDS,
+        context.config.case_study_slots,
+        True,
+    )
+    rows = [
+        [
+            p.bound,
+            f"{100 * p.probability_optimal:.1f}%",
+            round(p.mean_evaluations, 1),
+            round(p.cost_seconds, 3),
+        ]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["bound b", "probability optimal", "mean evaluations", "cost (s)"],
+            rows,
+            title="Figure 17: effect of the Iterative Method's bound",
+        )
+    )
+    # More exploration with a larger bound...
+    assert points[-1].mean_evaluations >= points[0].mean_evaluations
+    # ...and at least as high a chance of hitting the global optimum.
+    assert points[-1].probability_optimal >= points[0].probability_optimal - 1e-9

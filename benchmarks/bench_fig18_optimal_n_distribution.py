@@ -1,0 +1,39 @@
+"""Figure 18 — distribution of the optimal n across the time slots of a day.
+
+Paper shape: the optimal sqrt(n) concentrates around a modal value (17 in the
+paper's NYC setting) with moderate spread across the day, because the demand
+pattern — and therefore the expression error — changes from slot to slot.
+"""
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.search_eval import optimal_n_distribution
+
+
+def test_fig18_optimal_n_distribution(benchmark, context):
+    distribution = run_once(
+        benchmark,
+        optimal_n_distribution,
+        context,
+        "nyc_like",
+        "deepst",
+        context.config.case_study_slots,
+        True,
+    )
+    total_slots = sum(distribution.values())
+    rows = [
+        [side, side * side, count, f"{100 * count / total_slots:.0f}%"]
+        for side, count in distribution.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["sqrt(n)", "n", "slots", "share"],
+            rows,
+            title="Figure 18: distribution of the optimal n across time slots",
+        )
+    )
+    assert total_slots == len(context.config.case_study_slots)
+    budget_side = int(round(context.config.hgrid_budget**0.5))
+    assert all(2 <= side <= budget_side for side in distribution)

@@ -1,0 +1,49 @@
+"""Figure 19 — effect of the training-set size on the tuned real error.
+
+Paper shape: both too little and too much training data hurt; about four weeks
+is the sweet spot.  At benchmark scale the generated history is shorter, so the
+benchmark sweeps the available window and reports the tuned real error per
+training length.
+"""
+
+from conftest import run_once
+
+from repro.experiments.dataset_size import dataset_size_sweep
+from repro.experiments.reporting import format_table
+
+
+def test_fig19_dataset_size(benchmark, context):
+    max_weeks = max(1, len(context.dataset("nyc_like").split.train_days) // 7)
+    weeks = tuple(range(1, max_weeks + 1))
+    points = run_once(
+        benchmark,
+        dataset_size_sweep,
+        context,
+        "nyc_like",
+        "deepst",
+        weeks,
+        True,
+        False,
+    )
+    rows = [
+        [
+            p.weeks,
+            p.training_days,
+            p.optimal_side,
+            round(p.real_error, 2),
+            round(p.upper_bound, 2),
+        ]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["weeks", "training days", "optimal sqrt(n)", "real error", "upper bound"],
+            rows,
+            title="Figure 19: effect of the training-set size (NYC-like)",
+        )
+    )
+    assert all(p.real_error >= 0 for p in points)
+    assert all(p.real_error <= p.upper_bound + 1e-9 for p in points)
+    # More data never leaves the tuner with less history than a shorter window.
+    assert points[-1].training_days >= points[0].training_days

@@ -1,0 +1,32 @@
+"""Figure 3 — total expression error vs the number of MGrids, per city.
+
+Paper shape: the expression error decreases as ``n`` grows in every city, and
+NYC > Chengdu > Xi'an at the same ``n``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.context import CITIES
+from repro.experiments.error_curves import expression_error_curve
+from repro.experiments.reporting import format_table
+
+
+def test_fig3_expression_error_curves(benchmark, context, bench_sides):
+    curves = run_once(
+        benchmark, expression_error_curve, context, CITIES, bench_sides
+    )
+    rows = []
+    for city, points in curves.items():
+        for point in points:
+            rows.append([city, point.mgrid_side, point.num_mgrids, point.value])
+    print()
+    print(
+        format_table(
+            ["city", "sqrt(n)", "n", "expression error"],
+            rows,
+            title="Figure 3: expression error vs n",
+        )
+    )
+    for city, points in curves.items():
+        values = [point.value for point in points]
+        assert values == sorted(values, reverse=True), city

@@ -1,0 +1,59 @@
+"""Figure 5 — real error and its upper bound vs n, per city and model.
+
+Paper shape: both the real error and its upper bound first fall then rise as
+``n`` grows; the upper bound always dominates the real error; a more accurate
+model reaches a smaller real error and a larger optimal ``n``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.error_curves import optimal_side_from_curve, real_error_curve
+from repro.experiments.reporting import format_table
+
+
+def _curve(context, city, model, sides):
+    return real_error_curve(context, city, model, sides=sides, surrogate=True)
+
+
+def test_fig5_real_error_and_upper_bound(benchmark, context, bench_sides):
+    results = run_once(
+        benchmark,
+        lambda: {
+            (city, model): _curve(context, city, model, bench_sides)
+            for city in ("nyc_like", "chengdu_like", "xian_like")
+            for model in ("mlp", "dmvst_net")
+        },
+    )
+    rows = []
+    for (city, model), points in results.items():
+        for point in points:
+            rows.append(
+                [
+                    city,
+                    model,
+                    point.num_mgrids,
+                    point.real_error,
+                    point.empirical_upper_bound,
+                    point.analytic_upper_bound,
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["city", "model", "n", "real error", "empirical bound", "analytic bound"],
+            rows,
+            title="Figure 5: real error vs n",
+        )
+    )
+    for (city, model), points in results.items():
+        for point in points:
+            assert point.real_error <= point.empirical_upper_bound + 1e-9
+    # Better model => smaller real error at the shared optimal region.
+    for city in ("nyc_like", "chengdu_like", "xian_like"):
+        weak = min(p.real_error for p in results[(city, "mlp")])
+        strong = min(p.real_error for p in results[(city, "dmvst_net")])
+        assert strong <= weak
+    # Better model => optimal n at least as large (paper Section V-C).
+    weak_side = optimal_side_from_curve(results[("nyc_like", "mlp")])
+    strong_side = optimal_side_from_curve(results[("nyc_like", "dmvst_net")])
+    assert strong_side >= weak_side

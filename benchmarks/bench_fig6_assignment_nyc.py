@@ -1,0 +1,50 @@
+"""Figure 6 — task assignment on the NYC-like city: served orders and revenue vs n.
+
+Paper shape: with predicted demand, POLAR's served orders and LS's revenue rise
+then fall as ``n`` grows (tracking the real error); with the real order data
+the performance does not degrade at large ``n``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.case_study import run_task_assignment
+from repro.experiments.reporting import format_table
+
+CITY = "nyc_like"
+
+
+def test_fig6_task_assignment_nyc(benchmark, context, bench_sides):
+    def run_all():
+        results = {}
+        for dispatcher in ("polar", "ls"):
+            for model in ("deepst", "dmvst_net", "real_data"):
+                results[(dispatcher, model)] = run_task_assignment(
+                    context, CITY, dispatcher, model, sides=bench_sides, surrogate=True
+                )
+        return results
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for (dispatcher, model), points in results.items():
+        for point in points:
+            rows.append(
+                [
+                    dispatcher,
+                    model,
+                    point.num_mgrids,
+                    point.metrics.served_orders,
+                    round(point.metrics.total_revenue, 1),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["dispatcher", "prediction", "n", "served orders", "total revenue"],
+            rows,
+            title=f"Figure 6: task assignment vs n ({CITY})",
+        )
+    )
+    for (dispatcher, model), points in results.items():
+        served = [p.metrics.served_orders for p in points]
+        assert all(s >= 0 for s in served)
+        assert points[0].metrics.total_orders == points[-1].metrics.total_orders

@@ -1,0 +1,47 @@
+"""Figure 8 — task assignment on the Xi'an-like city: served orders and revenue vs n.
+
+Paper note: Xi'an's demand is more evenly distributed and its area smaller, so
+the optimal n is smaller than in the other two cities.
+"""
+
+from conftest import run_once
+
+from repro.experiments.case_study import run_task_assignment
+from repro.experiments.reporting import format_table
+
+CITY = "xian_like"
+
+
+def test_fig8_task_assignment_xian(benchmark, context, bench_sides):
+    def run_all():
+        results = {}
+        for dispatcher in ("polar", "ls"):
+            for model in ("deepst", "real_data"):
+                results[(dispatcher, model)] = run_task_assignment(
+                    context, CITY, dispatcher, model, sides=bench_sides, surrogate=True
+                )
+        return results
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for (dispatcher, model), points in results.items():
+        for point in points:
+            rows.append(
+                [
+                    dispatcher,
+                    model,
+                    point.num_mgrids,
+                    point.metrics.served_orders,
+                    round(point.metrics.total_revenue, 1),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["dispatcher", "prediction", "n", "served orders", "total revenue"],
+            rows,
+            title=f"Figure 8: task assignment vs n ({CITY})",
+        )
+    )
+    for points in results.values():
+        assert all(p.metrics.served_orders <= p.metrics.total_orders for p in points)

@@ -1,0 +1,47 @@
+"""Figure 9 — route planning (DAIF) on the NYC-like city vs n.
+
+Paper shape: served requests first increase then decrease with ``n``; the
+unified cost is minimised at a moderate ``n``; with real order data a larger
+``n`` keeps helping.
+"""
+
+from conftest import run_once
+
+from repro.experiments.case_study import run_route_planning
+from repro.experiments.reporting import format_table
+
+CITY = "nyc_like"
+
+
+def test_fig9_route_planning(benchmark, context, bench_sides):
+    def run_all():
+        return {
+            model: run_route_planning(
+                context, CITY, model, sides=bench_sides, surrogate=True
+            )
+            for model in ("deepst", "real_data")
+        }
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for model, points in results.items():
+        for point in points:
+            rows.append(
+                [
+                    model,
+                    point.num_mgrids,
+                    point.metrics.served_orders,
+                    round(point.metrics.unified_cost, 1),
+                    round(point.metrics.total_travel_km, 1),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["prediction", "n", "served requests", "unified cost", "travel km"],
+            rows,
+            title=f"Figure 9: DAIF route planning vs n ({CITY})",
+        )
+    )
+    for model, points in results.items():
+        assert all(p.metrics.unified_cost >= 0 for p in points), model

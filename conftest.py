@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Ensures the library is importable directly from the source tree, so the test
+and benchmark suites work both after ``pip install -e .`` and in offline
+environments where an editable install is not possible.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

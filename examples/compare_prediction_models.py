@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare prediction models and their interaction with the grid size.
+
+The paper's Figure 4/5 story: a more accurate prediction model has a smaller
+model error, which shifts the optimal grid size towards finer grids (larger
+``n``) because the expression error then dominates earlier.  This example
+
+1. trains the three NumPy prediction models (MLP, DeepST, DMVST-Net) on a small
+   synthetic city at one grid size and reports their mean absolute error, and
+2. uses the calibrated surrogates to sweep the grid size and show how the
+   optimal ``n`` depends on model accuracy.
+
+Run with:
+
+    python examples/compare_prediction_models.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import GridTuner
+from repro.core.interfaces import actual_counts_for_targets, evaluation_targets
+from repro.core.model_error import mean_absolute_error
+from repro.data import EventDataset, xian_like
+from repro.experiments.reporting import format_table
+from repro.prediction import (
+    DeepSTPredictor,
+    DMVSTNetPredictor,
+    HistoricalAveragePredictor,
+    MLPPredictor,
+    surrogate_factory,
+)
+
+GRID_SIDE = 8
+
+
+def train_and_score(dataset: EventDataset) -> None:
+    """Train each NumPy model at one resolution and report its MAE."""
+    models = {
+        "historical_average": HistoricalAveragePredictor(),
+        "mlp": MLPPredictor(hidden_sizes=(64, 64), epochs=8, seed=1),
+        "deepst": DeepSTPredictor(filters=8, period=1, epochs=8, seed=1),
+        "dmvst_net": DMVSTNetPredictor(filters=8, period=1, epochs=8, seed=1),
+    }
+    targets = evaluation_targets(dataset, dataset.split.test_days)
+    actual = actual_counts_for_targets(dataset, GRID_SIDE, targets)
+    rows = []
+    for name, model in models.items():
+        start = time.perf_counter()
+        model.fit(dataset, GRID_SIDE)
+        predictions = model.predict(dataset, GRID_SIDE, targets)
+        rows.append(
+            [
+                name,
+                round(mean_absolute_error(predictions, actual), 3),
+                f"{time.perf_counter() - start:.1f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["model", f"MAE at {GRID_SIDE}x{GRID_SIDE}", "train+predict time"],
+            rows,
+            title="NumPy prediction models on the Xi'an-like city",
+        )
+    )
+
+
+def optimal_n_by_accuracy(dataset: EventDataset) -> None:
+    """Sweep the grid size with surrogates of increasing accuracy."""
+    rows = []
+    for name in ("mlp", "deepst", "dmvst_net"):
+        tuner = GridTuner(dataset, surrogate_factory(name, seed=3), hgrid_budget=16 * 16)
+        result = tuner.select("brute_force", min_side=2)
+        rows.append(
+            [
+                name,
+                f"{result.optimal_side}x{result.optimal_side}",
+                round(result.upper_bound.model_error, 1),
+                round(result.upper_bound.expression_error, 1),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["accuracy profile", "optimal n", "model error", "expression error"],
+            rows,
+            title="Optimal grid size vs model accuracy (surrogate sweep)",
+        )
+    )
+    print(
+        "\nA more accurate model tolerates a finer grid: its optimal n is at "
+        "least as large as that of a weaker model (paper Section V-C)."
+    )
+
+
+def main() -> None:
+    print("Generating a synthetic Xi'an-like dataset...")
+    dataset = EventDataset.from_city(xian_like(scale=0.01), num_days=21, seed=5)
+    print(f"  {len(dataset.events):,} orders over {dataset.num_days} days\n")
+    train_and_score(dataset)
+    optimal_n_by_accuracy(dataset)
+
+
+if __name__ == "__main__":
+    main()

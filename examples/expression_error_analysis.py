@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Expression-error analysis: homogeneity, algorithms and city comparison.
+
+Walks through the paper's Section III machinery on synthetic cities:
+
+1. pick the HGrid budget N from the turning point of the D_alpha(N) curve
+   (Figure 14);
+2. compare the expression-error calculators (naive / Algorithm 1 / Algorithm 2
+   / Gaussian approximation) in cost and accuracy (Figure 16);
+3. show how the total expression error falls with the number of MGrids for the
+   three cities (Figure 3) and how it relates to intra-grid unevenness
+   (Figure 13).
+
+Run with:
+
+    python examples/expression_error_analysis.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.uniformity import correlation, uniformity_vs_expression_error
+from repro.core import (
+    GridLayout,
+    d_alpha_curve,
+    expression_error_algorithm1,
+    expression_error_algorithm2,
+    expression_error_gaussian,
+    expression_error_reference,
+    total_expression_error,
+)
+from repro.data import EventDataset, chengdu_like, nyc_like, xian_like
+from repro.experiments.reporting import format_table
+
+
+def select_hgrid_budget(dataset: EventDataset) -> int:
+    print(f"--- {dataset.name}: selecting N from the D_alpha curve ---")
+    curve = d_alpha_curve(lambda g: dataset.alpha(g, slot=16), [2, 4, 8, 16, 32])
+    rows = [
+        [f"{resolution}x{resolution}", round(value, 1)]
+        for resolution, value in zip(curve.resolutions, curve.values)
+    ]
+    print(format_table(["HGrid lattice", "D_alpha"], rows))
+    side = curve.turning_point()
+    print(f"turning point -> N = {side}x{side}\n")
+    return side * side
+
+
+def compare_calculators() -> None:
+    print("--- expression-error calculators (alpha_ij=3, rest=45, m=16) ---")
+    rows = []
+    for name, function in (
+        ("reference (dense sum)", expression_error_reference),
+        ("algorithm 1 (O(mK^2))", expression_error_algorithm1),
+        ("algorithm 2 (O(mK))", expression_error_algorithm2),
+    ):
+        start = time.perf_counter()
+        value = function(3.0, 45.0, 16, 80)
+        rows.append([name, round(value, 6), f"{1e3 * (time.perf_counter() - start):.2f} ms"])
+    start = time.perf_counter()
+    gaussian = expression_error_gaussian(3.0, 45.0, 16)
+    rows.append(
+        ["gaussian approximation", round(gaussian, 6), f"{1e3 * (time.perf_counter() - start):.2f} ms"]
+    )
+    print(format_table(["calculator", "E_e(i,j)", "time"], rows))
+    print()
+
+
+def city_expression_errors() -> None:
+    print("--- total expression error vs n per city (Figure 3) ---")
+    cities = {
+        "nyc_like": nyc_like(scale=0.01),
+        "chengdu_like": chengdu_like(scale=0.01),
+        "xian_like": xian_like(scale=0.01),
+    }
+    rows = []
+    datasets = {}
+    for name, config in cities.items():
+        datasets[name] = EventDataset.from_city(config, num_days=14, seed=9)
+        for side in (2, 4, 8, 16):
+            layout = GridLayout.for_ogss(side * side, 16 * 16)
+            alpha = datasets[name].alpha(layout.fine_resolution, slot=16)
+            rows.append([name, f"{side}x{side}", round(total_expression_error(alpha, layout), 1)])
+    print(format_table(["city", "n", "total expression error"], rows))
+    print()
+
+    print("--- intra-MGrid unevenness vs expression error (Figure 13) ---")
+    layout = GridLayout(num_mgrids=16, hgrids_per_mgrid=16)
+    points = uniformity_vs_expression_error(datasets["nyc_like"], layout, slot=16)
+    busy = [p for p in points if p.total_alpha > 0.5]
+    print(
+        f"busy MGrids: {len(busy)}, correlation(D_alpha, expression error) = "
+        f"{correlation(busy):.2f}"
+    )
+
+
+def main() -> None:
+    dataset = EventDataset.from_city(nyc_like(scale=0.01), num_days=14, seed=9)
+    select_hgrid_budget(dataset)
+    compare_calculators()
+    city_expression_errors()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""GridTuner reproduction: optimal grid size selection for spatiotemporal prediction.
+
+Reproduction of *"GridTuner: Reinvestigate Grid Size Selection for
+Spatiotemporal Prediction Models"* (ICDE 2022).  The package is organised as:
+
+* :mod:`repro.core` -- the paper's contribution: error decomposition, expression
+  error calculators, the real-error upper bound and the OGSS search algorithms.
+* :mod:`repro.data` -- synthetic spatiotemporal event substrate standing in for
+  the NYC / Chengdu / Xi'an taxi datasets.
+* :mod:`repro.prediction` -- NumPy reimplementations of the MLP / DeepST /
+  DMVST-Net demand models plus baselines and surrogates.
+* :mod:`repro.dispatch` -- POLAR / LS / DAIF dispatch simulators for the case
+  study.
+* :mod:`repro.experiments` -- the harness reproducing every figure and table.
+
+Quickstart::
+
+    from repro.data import EventDataset, nyc_like
+    from repro.core import GridTuner
+    from repro.prediction import model_factory
+
+    dataset = EventDataset.from_city(nyc_like(scale=0.01), num_days=21, seed=7)
+    tuner = GridTuner(dataset, model_factory("deepst"), hgrid_budget=32 * 32)
+    result = tuner.select("iterative")
+    print("optimal number of model grids:", result.optimal_n)
+"""
+
+from repro.core import (
+    GridTuner,
+    TuningResult,
+    GridLayout,
+    ErrorReport,
+    UpperBoundEvaluator,
+    UpperBoundResult,
+    SearchResult,
+)
+from repro.data import EventDataset, CityModel, CityConfig
+from repro.prediction import (
+    MLPPredictor,
+    DeepSTPredictor,
+    DMVSTNetPredictor,
+    HistoricalAveragePredictor,
+    model_factory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GridTuner",
+    "TuningResult",
+    "GridLayout",
+    "ErrorReport",
+    "UpperBoundEvaluator",
+    "UpperBoundResult",
+    "SearchResult",
+    "EventDataset",
+    "CityModel",
+    "CityConfig",
+    "MLPPredictor",
+    "DeepSTPredictor",
+    "DMVSTNetPredictor",
+    "HistoricalAveragePredictor",
+    "model_factory",
+    "__version__",
+]

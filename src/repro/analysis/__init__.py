@@ -1,0 +1,19 @@
+"""Analysis helpers: uniformity studies and dataset distribution summaries."""
+
+from repro.analysis.uniformity import (
+    UniformityPoint,
+    uniformity_vs_expression_error,
+)
+from repro.analysis.distributions import (
+    order_distribution_grid,
+    trip_length_histogram,
+    spatial_concentration_summary,
+)
+
+__all__ = [
+    "UniformityPoint",
+    "uniformity_vs_expression_error",
+    "order_distribution_grid",
+    "trip_length_histogram",
+    "spatial_concentration_summary",
+]

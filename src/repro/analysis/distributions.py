@@ -1,0 +1,89 @@
+"""Dataset distribution summaries (Figures 10 and 11 of the paper).
+
+The paper's appendix shows, for each city, the spatial distribution of the
+test-day orders and the histogram of trip lengths.  These helpers compute the
+equivalent summaries from an :class:`~repro.data.dataset.EventDataset` so the
+benchmarks can print the same information for the synthetic cities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import EventDataset
+from repro.data.trips import trip_lengths_km
+
+
+def order_distribution_grid(
+    dataset: EventDataset, resolution: int = 32, slot: Optional[int] = None
+) -> np.ndarray:
+    """Test-day order counts per grid cell (optionally restricted to one slot)."""
+    counts = dataset.test_counts(resolution)
+    if slot is not None:
+        counts = counts[:, slot : slot + 1]
+    return counts.sum(axis=(0, 1))
+
+
+def trip_length_histogram(
+    dataset: EventDataset, bin_edges_km: Sequence[float] = (0, 2, 5, 10, 15, 25, 45, 1000)
+) -> Dict[str, int]:
+    """Histogram of test-day trip lengths, labelled by kilometre range."""
+    if dataset.city is None:
+        raise ValueError("trip lengths require a dataset with an attached city config")
+    events = dataset.test_events()
+    lengths = trip_lengths_km(
+        events.x,
+        events.y,
+        events.dropoff_x,
+        events.dropoff_y,
+        dataset.city.width_km,
+        dataset.city.height_km,
+    )
+    edges = np.asarray(list(bin_edges_km), dtype=float)
+    if edges.ndim != 1 or len(edges) < 2 or np.any(np.diff(edges) <= 0):
+        raise ValueError("bin_edges_km must be strictly increasing with >= 2 entries")
+    histogram, _ = np.histogram(lengths, bins=edges)
+    labels = [
+        f"{edges[i]:g}-{edges[i + 1]:g} km" if np.isfinite(edges[i + 1]) and edges[i + 1] < 999 else f">{edges[i]:g} km"
+        for i in range(len(edges) - 1)
+    ]
+    return {label: int(count) for label, count in zip(labels, histogram)}
+
+
+@dataclass(frozen=True)
+class ConcentrationSummary:
+    """Simple spatial-concentration statistics of a dataset's demand."""
+
+    city: str
+    total_test_orders: int
+    gini: float
+    top_decile_share: float
+
+
+def spatial_concentration_summary(
+    dataset: EventDataset, resolution: int = 32
+) -> ConcentrationSummary:
+    """Gini coefficient and top-decile share of the test-day spatial distribution.
+
+    Used to verify (and report) the intended city ordering: the NYC-like city
+    is the most concentrated, the Xi'an-like city the most uniform.
+    """
+    grid = order_distribution_grid(dataset, resolution=resolution).ravel()
+    total = grid.sum()
+    if total <= 0:
+        return ConcentrationSummary(dataset.name, 0, 0.0, 0.0)
+    sorted_counts = np.sort(grid)
+    cumulative = np.cumsum(sorted_counts) / total
+    lorenz = np.concatenate([[0.0], cumulative])
+    gini = float(1.0 - 2.0 * np.trapezoid(lorenz, dx=1.0 / grid.size))
+    decile = max(1, grid.size // 10)
+    top_share = float(np.sort(grid)[-decile:].sum() / total)
+    return ConcentrationSummary(
+        city=dataset.name,
+        total_test_orders=int(total),
+        gini=gini,
+        top_decile_share=top_share,
+    )

@@ -1,0 +1,228 @@
+"""Command-line interface for the GridTuner reproduction.
+
+Three subcommands cover the common workflows:
+
+``tune``
+    Generate (or reuse) a synthetic city, tune the grid size for a prediction
+    model and print the selected ``n`` plus the error decomposition.
+
+``curve``
+    Print the upper-bound curve (model error, expression error, total) over a
+    range of candidate grid sizes.
+
+``experiment``
+    Run one of the named paper experiments (``fig3``, ``fig4`` ... ``table4``)
+    at a chosen profile and print the reproduced series.
+
+Examples
+--------
+::
+
+    python -m repro tune --city nyc_like --model deepst --budget 256 --algorithm iterative
+    python -m repro curve --city xian_like --model historical_average --sides 2 4 8 16
+    python -m repro experiment fig3 --profile tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.tuner import GridTuner
+from repro.data.dataset import EventDataset
+from repro.data.presets import CITY_PRESETS, city_preset
+from repro.experiments.case_study import run_task_assignment, table3_promotion
+from repro.experiments.context import CITIES, MODELS, ExperimentContext
+from repro.experiments.error_curves import (
+    expression_error_curve,
+    model_error_curve,
+    real_error_curve,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.search_eval import evaluate_search_algorithms
+from repro.prediction.registry import available_models, model_factory
+
+#: Experiments runnable through ``python -m repro experiment <name>``.
+EXPERIMENT_NAMES = ("fig3", "fig4", "fig5", "fig6", "table3", "table4")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GridTuner: optimal grid size selection for spatiotemporal prediction models",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tune = subparsers.add_parser("tune", help="tune the grid size for one city/model")
+    _add_dataset_arguments(tune)
+    tune.add_argument(
+        "--algorithm",
+        choices=("brute_force", "ternary", "iterative"),
+        default="iterative",
+        help="OGSS search algorithm (default: iterative)",
+    )
+
+    curve = subparsers.add_parser("curve", help="print the upper-bound error curve")
+    _add_dataset_arguments(curve)
+    curve.add_argument(
+        "--sides",
+        type=int,
+        nargs="+",
+        default=None,
+        help="candidate sqrt(n) values (default: divisors of sqrt(budget))",
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a named paper experiment"
+    )
+    experiment.add_argument("name", choices=EXPERIMENT_NAMES)
+    experiment.add_argument(
+        "--profile",
+        choices=("tiny", "small", "paper"),
+        default="tiny",
+        help="experiment scale profile (default: tiny)",
+    )
+    experiment.add_argument(
+        "--city", choices=CITIES, default="nyc_like", help="city for per-city experiments"
+    )
+    return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--city", choices=sorted(CITY_PRESETS), default="nyc_like")
+    parser.add_argument(
+        "--model",
+        choices=available_models(),
+        default="historical_average",
+        help="prediction model (default: historical_average)",
+    )
+    parser.add_argument("--scale", type=float, default=0.01, help="city volume scale")
+    parser.add_argument("--days", type=int, default=21, help="days of history to generate")
+    parser.add_argument("--budget", type=int, default=256, help="HGrid budget N (perfect square)")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+
+
+def _build_tuner(args: argparse.Namespace) -> GridTuner:
+    dataset = EventDataset.from_city(
+        city_preset(args.city, scale=args.scale), num_days=args.days, seed=args.seed
+    )
+    return GridTuner(dataset, model_factory(args.model), hgrid_budget=args.budget)
+
+
+def _command_tune(args: argparse.Namespace) -> int:
+    tuner = _build_tuner(args)
+    result = tuner.select(args.algorithm, min_side=2)
+    report = tuner.evaluate_real_error(result.optimal_side)
+    print(f"city: {args.city}   model: {args.model}   N = {args.budget}")
+    print(
+        f"selected n = {result.optimal_side}x{result.optimal_side} "
+        f"({result.optimal_n} MGrids) via {args.algorithm} "
+        f"after {result.search.evaluations} evaluations"
+    )
+    rows = [
+        ["model error", round(report.model_error, 2)],
+        ["expression error", round(report.expression_error, 2)],
+        ["upper bound", round(report.upper_bound, 2)],
+        ["real error", round(report.real_error, 2)],
+        ["Theorem II.1 holds", report.satisfies_upper_bound()],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _command_curve(args: argparse.Namespace) -> int:
+    tuner = _build_tuner(args)
+    curve = tuner.error_curve(args.sides)
+    rows = [
+        [
+            f"{side}x{side}",
+            round(result.model_error, 2),
+            round(result.expression_error, 2),
+            round(result.total, 2),
+        ]
+        for side, result in curve.items()
+    ]
+    print(
+        format_table(
+            ["grid", "model error", "expression error", "upper bound"],
+            rows,
+            title=f"Upper-bound curve ({args.city}, {args.model}, N={args.budget})",
+        )
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    context = ExperimentContext.from_profile(args.profile)
+    sides = list(context.config.mgrid_sides)
+    if args.name == "fig3":
+        curves = expression_error_curve(context, CITIES, sides)
+        rows = [
+            [city, point.num_mgrids, round(point.value, 2)]
+            for city, points in curves.items()
+            for point in points
+        ]
+        print(format_table(["city", "n", "expression error"], rows, title="Figure 3"))
+    elif args.name == "fig4":
+        curves = model_error_curve(context, args.city, MODELS, sides, surrogate=True)
+        rows = [
+            [model, point.num_mgrids, round(point.value, 2)]
+            for model, points in curves.items()
+            for point in points
+        ]
+        print(format_table(["model", "n", "model error"], rows, title="Figure 4"))
+    elif args.name == "fig5":
+        points = real_error_curve(context, args.city, "deepst", sides, surrogate=True)
+        rows = [
+            [point.num_mgrids, round(point.real_error, 2), round(point.empirical_upper_bound, 2)]
+            for point in points
+        ]
+        print(format_table(["n", "real error", "upper bound"], rows, title="Figure 5"))
+    elif args.name == "fig6":
+        points = run_task_assignment(
+            context, args.city, "polar", "deepst", sides=sides, surrogate=True
+        )
+        rows = [
+            [point.num_mgrids, point.metrics.served_orders, round(point.metrics.total_revenue, 1)]
+            for point in points
+        ]
+        print(format_table(["n", "served orders", "revenue"], rows, title="Figure 6"))
+    elif args.name == "table3":
+        rows_data = table3_promotion(context, city=args.city, sides=sides)
+        rows = [
+            [row.algorithm, row.metric, f"{100 * row.improvement_ratio:.2f}%"]
+            for row in rows_data
+        ]
+        print(format_table(["algorithm", "metric", "improvement"], rows, title="Table III"))
+    elif args.name == "table4":
+        _, summaries = evaluate_search_algorithms(
+            context, args.city, slots=context.config.case_study_slots, surrogate=True
+        )
+        rows = [
+            [s.algorithm, round(s.cost_seconds, 3), f"{100 * s.probability_optimal:.1f}%"]
+            for s in summaries
+        ]
+        print(format_table(["algorithm", "cost (s)", "probability"], rows, title="Table IV"))
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(f"unknown experiment {args.name!r}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "tune":
+        return _command_tune(args)
+    if args.command == "curve":
+        return _command_curve(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

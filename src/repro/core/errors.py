@@ -1,0 +1,165 @@
+"""Empirical error decomposition: real, model and expression error (Defs. 3-5).
+
+Given a prediction model's MGrid-level forecasts and the actual fine-grained
+(HGrid-level) counts over a set of evaluation samples, this module computes the
+three error totals the paper studies:
+
+* **real error**    ``E | lambda_hat_ij - lambda_ij |`` — HGrid-level forecast error,
+* **model error**   ``E | lambda_hat_ij - lambda_bar_ij |`` — the model's own error,
+* **expression error** ``E | lambda_bar_ij - lambda_ij |`` — the cost of spreading an
+  MGrid total uniformly over its HGrids,
+
+where ``lambda_bar_ij = lambda_i / m`` and ``lambda_hat_ij = lambda_hat_i / m``
+(maximum-entropy uniform spreading).  Theorem II.1 states
+``real <= model + expression``; :class:`ErrorReport` carries all three so the
+inequality can be checked empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import GridLayout
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Summed-over-all-HGrids errors for one evaluation.
+
+    Attributes
+    ----------
+    real_error:
+        Total real error (Definition 3), summed over HGrids.
+    model_error:
+        Total model error (Definition 4), summed over HGrids.
+    expression_error:
+        Total (empirical) expression error (Definition 5), summed over HGrids.
+    num_mgrids, hgrids_per_mgrid:
+        The layout the errors were computed under.
+    num_samples:
+        Number of evaluation samples (time slots) averaged over.
+    """
+
+    real_error: float
+    model_error: float
+    expression_error: float
+    num_mgrids: int
+    hgrids_per_mgrid: int
+    num_samples: int
+
+    @property
+    def upper_bound(self) -> float:
+        """Theorem II.1 upper bound: model error + expression error."""
+        return self.model_error + self.expression_error
+
+    @property
+    def bound_gap(self) -> float:
+        """Slack of the upper bound (always >= 0 up to floating-point error)."""
+        return self.upper_bound - self.real_error
+
+    def satisfies_upper_bound(self, tolerance: float = 1e-9) -> bool:
+        """True if ``real_error <= model_error + expression_error`` (within tolerance)."""
+        return self.real_error <= self.upper_bound + tolerance
+
+
+def _validate_shapes(
+    predictions: np.ndarray, actual_fine: np.ndarray, layout: GridLayout
+) -> tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=float)
+    actual_fine = np.asarray(actual_fine, dtype=float)
+    if predictions.ndim == 2:
+        predictions = predictions[None, ...]
+    if actual_fine.ndim == 2:
+        actual_fine = actual_fine[None, ...]
+    side = layout.mgrid_side
+    fine = layout.fine_resolution
+    if predictions.shape[1:] != (side, side):
+        raise ValueError(
+            f"predictions must have shape (samples, {side}, {side}), "
+            f"got {predictions.shape}"
+        )
+    if actual_fine.shape[1:] != (fine, fine):
+        raise ValueError(
+            f"actual_fine must have shape (samples, {fine}, {fine}), "
+            f"got {actual_fine.shape}"
+        )
+    if predictions.shape[0] != actual_fine.shape[0]:
+        raise ValueError(
+            "predictions and actual_fine must have the same number of samples"
+        )
+    if predictions.shape[0] == 0:
+        raise ValueError("at least one evaluation sample is required")
+    return predictions, actual_fine
+
+
+def real_error_total(
+    predictions: np.ndarray, actual_fine: np.ndarray, layout: GridLayout
+) -> float:
+    """Total real error: HGrid-level |prediction - actual| summed over HGrids."""
+    predictions, actual_fine = _validate_shapes(predictions, actual_fine, layout)
+    predicted_fine = layout.spread_to_hgrids(predictions)
+    per_cell = np.abs(predicted_fine - actual_fine).mean(axis=0)
+    return float(per_cell.sum())
+
+
+def model_error_total(
+    predictions: np.ndarray, actual_fine: np.ndarray, layout: GridLayout
+) -> float:
+    """Total model error: |prediction - actual| at MGrid level (Definition 4).
+
+    Because both the prediction and the estimate spread an MGrid total evenly
+    over its ``m`` HGrids, the summed HGrid-level model error equals the summed
+    MGrid-level absolute error.
+    """
+    predictions, actual_fine = _validate_shapes(predictions, actual_fine, layout)
+    actual_coarse = layout.aggregate_to_mgrids(actual_fine)
+    per_cell = np.abs(predictions - actual_coarse).mean(axis=0)
+    return float(per_cell.sum())
+
+
+def expression_error_total_empirical(
+    actual_fine: np.ndarray, layout: GridLayout
+) -> float:
+    """Total empirical expression error: |uniform spread of actual - actual|."""
+    actual_fine = np.asarray(actual_fine, dtype=float)
+    if actual_fine.ndim == 2:
+        actual_fine = actual_fine[None, ...]
+    fine = layout.fine_resolution
+    if actual_fine.shape[1:] != (fine, fine):
+        raise ValueError(
+            f"actual_fine must have shape (samples, {fine}, {fine}), "
+            f"got {actual_fine.shape}"
+        )
+    actual_coarse = layout.aggregate_to_mgrids(actual_fine)
+    estimated_fine = layout.spread_to_hgrids(actual_coarse)
+    per_cell = np.abs(estimated_fine - actual_fine).mean(axis=0)
+    return float(per_cell.sum())
+
+
+def decompose_errors(
+    predictions: np.ndarray, actual_fine: np.ndarray, layout: GridLayout
+) -> ErrorReport:
+    """Full error decomposition for one set of predictions.
+
+    Parameters
+    ----------
+    predictions:
+        MGrid-level forecasts, shape ``(samples, sqrt(n), sqrt(n))`` (a single
+        2-D grid is also accepted).
+    actual_fine:
+        Actual HGrid-level counts, shape ``(samples, F, F)`` where ``F`` is the
+        layout's fine resolution.
+    layout:
+        MGrid/HGrid layout tying the two resolutions together.
+    """
+    predictions, actual_fine = _validate_shapes(predictions, actual_fine, layout)
+    return ErrorReport(
+        real_error=real_error_total(predictions, actual_fine, layout),
+        model_error=model_error_total(predictions, actual_fine, layout),
+        expression_error=expression_error_total_empirical(actual_fine, layout),
+        num_mgrids=layout.num_mgrids,
+        hgrids_per_mgrid=layout.hgrids_per_mgrid,
+        num_samples=predictions.shape[0],
+    )

@@ -1,0 +1,227 @@
+"""Grid geometry: model grids (MGrids), homogeneous grids (HGrids) and layouts.
+
+The paper divides the study area into ``n`` same-sized MGrids (``n`` a perfect
+square so the partition is ``sqrt(n) x sqrt(n)``), and further divides each
+MGrid into ``m`` HGrids such that ``n * m > N`` for a chosen total HGrid budget
+``N``.  :class:`GridLayout` captures that arithmetic; :class:`GridSpec` handles
+mapping between continuous coordinates, cell indices and tensors at a given
+resolution, and aggregating fine-resolution count tensors to coarse ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_perfect_square, ensure_positive
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Physical extent of the study area in kilometres."""
+
+    width_km: float
+    height_km: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.width_km, "width_km")
+        ensure_positive(self.height_km, "height_km")
+
+    @property
+    def area_km2(self) -> float:
+        """Total study area in square kilometres."""
+        return self.width_km * self.height_km
+
+    def cell_size_km(self, resolution: int) -> Tuple[float, float]:
+        """(width, height) of one cell at ``resolution`` cells per side."""
+        ensure_positive(resolution, "resolution")
+        return self.width_km / resolution, self.height_km / resolution
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A square grid of ``resolution x resolution`` cells over the unit square."""
+
+    resolution: int
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {self.resolution}")
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells."""
+        return self.resolution * self.resolution
+
+    def cell_of(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map normalised coordinates to (row, col) cell indices."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if np.any((x < 0) | (x >= 1) | (y < 0) | (y >= 1)):
+            raise ValueError("coordinates must lie in [0, 1)")
+        col = np.minimum((x * self.resolution).astype(int), self.resolution - 1)
+        row = np.minimum((y * self.resolution).astype(int), self.resolution - 1)
+        return row, col
+
+    def flat_index(self, row: np.ndarray, col: np.ndarray) -> np.ndarray:
+        """Row-major flat index of (row, col) cells."""
+        row = np.asarray(row, dtype=int)
+        col = np.asarray(col, dtype=int)
+        if np.any((row < 0) | (row >= self.resolution) | (col < 0) | (col >= self.resolution)):
+            raise ValueError("cell indices out of range")
+        return row * self.resolution + col
+
+    def cell_center(self, row: int, col: int) -> Tuple[float, float]:
+        """Normalised (x, y) centre of cell (row, col)."""
+        if not (0 <= row < self.resolution and 0 <= col < self.resolution):
+            raise ValueError("cell indices out of range")
+        return (col + 0.5) / self.resolution, (row + 0.5) / self.resolution
+
+    def histogram(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Count points per cell; returns a ``(resolution, resolution)`` array."""
+        if len(np.asarray(x)) == 0:
+            return np.zeros((self.resolution, self.resolution))
+        row, col = self.cell_of(x, y)
+        flat = np.bincount(self.flat_index(row, col), minlength=self.num_cells)
+        return flat.reshape(self.resolution, self.resolution).astype(float)
+
+
+def aggregate_counts(fine: np.ndarray, factor: int) -> np.ndarray:
+    """Sum-pool the trailing two axes of ``fine`` by ``factor``.
+
+    ``fine`` may have any number of leading axes (days, slots, ...); the last
+    two axes must be divisible by ``factor``.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    fine = np.asarray(fine, dtype=float)
+    rows, cols = fine.shape[-2], fine.shape[-1]
+    if rows % factor != 0 or cols % factor != 0:
+        raise ValueError(
+            f"grid of shape {rows}x{cols} cannot be aggregated by factor {factor}"
+        )
+    new_shape = fine.shape[:-2] + (rows // factor, factor, cols // factor, factor)
+    return fine.reshape(new_shape).sum(axis=(-3, -1))
+
+
+def disaggregate_uniform(coarse: np.ndarray, factor: int) -> np.ndarray:
+    """Spread each coarse cell's value uniformly over a ``factor x factor`` block.
+
+    This realises the paper's maximum-entropy assumption: the predicted count
+    of an MGrid is divided equally among its HGrids.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    coarse = np.asarray(coarse, dtype=float)
+    expanded = np.repeat(np.repeat(coarse, factor, axis=-2), factor, axis=-1)
+    return expanded / float(factor * factor)
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """Joint MGrid/HGrid layout for one candidate ``n`` under a total budget ``N``.
+
+    Attributes
+    ----------
+    num_mgrids:
+        ``n`` — number of MGrids (perfect square).
+    hgrids_per_mgrid:
+        ``m`` — HGrids per MGrid (perfect square), the minimum satisfying
+        ``n * m >= N``.
+    mgrid_side:
+        ``sqrt(n)``.
+    hgrid_side:
+        ``sqrt(m)`` — HGrid subdivisions per MGrid side.
+    fine_resolution:
+        ``sqrt(n) * sqrt(m)`` — the per-side resolution of the HGrid lattice
+        induced by this layout (>= ``sqrt(N)``).
+    """
+
+    num_mgrids: int
+    hgrids_per_mgrid: int
+
+    def __post_init__(self) -> None:
+        ensure_perfect_square(self.num_mgrids, "num_mgrids")
+        ensure_perfect_square(self.hgrids_per_mgrid, "hgrids_per_mgrid")
+
+    @property
+    def mgrid_side(self) -> int:
+        """Number of MGrids per side."""
+        return math.isqrt(self.num_mgrids)
+
+    @property
+    def hgrid_side(self) -> int:
+        """Number of HGrids per MGrid side."""
+        return math.isqrt(self.hgrids_per_mgrid)
+
+    @property
+    def fine_resolution(self) -> int:
+        """HGrid lattice resolution per side."""
+        return self.mgrid_side * self.hgrid_side
+
+    @property
+    def total_hgrids(self) -> int:
+        """Total number of HGrids (``n * m``)."""
+        return self.num_mgrids * self.hgrids_per_mgrid
+
+    @staticmethod
+    def for_ogss(num_mgrids: int, total_hgrid_budget: int) -> "GridLayout":
+        """Layout for candidate ``n`` under HGrid budget ``N`` (Algorithm 3, line 1).
+
+        ``m`` is ``ceil(sqrt(N / n))^2``: the smallest perfect square such that
+        every MGrid is subdivided finely enough for ``n * m >= N``.
+        """
+        n = ensure_perfect_square(num_mgrids, "num_mgrids")
+        big_n = ensure_perfect_square(total_hgrid_budget, "total_hgrid_budget")
+        side_n = math.isqrt(n)
+        side_big = math.isqrt(big_n)
+        hgrid_side = max(1, math.ceil(side_big / side_n))
+        return GridLayout(num_mgrids=n, hgrids_per_mgrid=hgrid_side * hgrid_side)
+
+    def mgrid_alpha_blocks(self, alpha_fine: np.ndarray) -> np.ndarray:
+        """Group a fine-resolution alpha grid into per-MGrid blocks.
+
+        Parameters
+        ----------
+        alpha_fine:
+            Array of shape ``(fine_resolution, fine_resolution)``.
+
+        Returns
+        -------
+        Array of shape ``(num_mgrids, hgrids_per_mgrid)`` where row ``i`` holds
+        the alphas of all HGrids inside MGrid ``i`` (row-major MGrid order).
+        """
+        alpha_fine = np.asarray(alpha_fine, dtype=float)
+        expected = (self.fine_resolution, self.fine_resolution)
+        if alpha_fine.shape != expected:
+            raise ValueError(
+                f"alpha grid must have shape {expected}, got {alpha_fine.shape}"
+            )
+        side, sub = self.mgrid_side, self.hgrid_side
+        blocks = alpha_fine.reshape(side, sub, side, sub)
+        blocks = blocks.transpose(0, 2, 1, 3).reshape(self.num_mgrids, self.hgrids_per_mgrid)
+        return blocks
+
+    def aggregate_to_mgrids(self, fine: np.ndarray) -> np.ndarray:
+        """Sum a fine-resolution tensor down to MGrid resolution."""
+        return aggregate_counts(fine, self.hgrid_side)
+
+    def spread_to_hgrids(self, coarse: np.ndarray) -> np.ndarray:
+        """Spread an MGrid-resolution tensor uniformly down to HGrid resolution."""
+        return disaggregate_uniform(coarse, self.hgrid_side)
+
+
+def candidate_mgrid_sides(total_hgrid_budget: int, min_side: int = 1) -> list[int]:
+    """All candidate ``sqrt(n)`` values for a budget ``N``: ``min_side .. sqrt(N)``."""
+    big_n = ensure_perfect_square(total_hgrid_budget, "total_hgrid_budget")
+    max_side = math.isqrt(big_n)
+    if min_side < 1:
+        raise ValueError("min_side must be >= 1")
+    if min_side > max_side:
+        raise ValueError(
+            f"min_side {min_side} exceeds the maximum side {max_side} allowed by N"
+        )
+    return list(range(min_side, max_side + 1))

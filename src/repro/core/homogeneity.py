@@ -1,0 +1,108 @@
+"""Homogeneity analysis: the D_alpha(N) metric and the selection of N.
+
+``D_alpha(N) = sum_ij | alpha_ij - mean(alpha) |`` (Equation 2) measures how
+unevenly demand is distributed over ``N`` HGrids.  Theorem III.1 shows that
+once the HGrids are small enough to be internally uniform, refining further
+does not increase ``D_alpha``; the paper therefore picks ``N`` at the turning
+point where the curve flattens (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def d_alpha(alpha: np.ndarray) -> float:
+    """Unevenness metric ``sum_ij |alpha_ij - mean(alpha)|`` (Equation 2)."""
+    alpha = np.asarray(alpha, dtype=float)
+    if alpha.size == 0:
+        raise ValueError("alpha must contain at least one cell")
+    if np.any(alpha < 0):
+        raise ValueError("alpha values must be non-negative")
+    return float(np.abs(alpha - alpha.mean()).sum())
+
+
+def d_alpha_per_mgrid(alpha_blocks: np.ndarray) -> np.ndarray:
+    """D_alpha computed independently inside each MGrid.
+
+    ``alpha_blocks`` has shape ``(num_mgrids, m)`` (see
+    :meth:`repro.core.grid.GridLayout.mgrid_alpha_blocks`).  Used for the
+    Figure 13 scatter of per-MGrid unevenness against expression error.
+    """
+    alpha_blocks = np.asarray(alpha_blocks, dtype=float)
+    if alpha_blocks.ndim != 2:
+        raise ValueError("alpha_blocks must be 2-D (num_mgrids, m)")
+    means = alpha_blocks.mean(axis=1, keepdims=True)
+    return np.abs(alpha_blocks - means).sum(axis=1)
+
+
+@dataclass(frozen=True)
+class DAlphaCurve:
+    """D_alpha evaluated over a sweep of HGrid resolutions."""
+
+    resolutions: tuple[int, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.resolutions) != len(self.values):
+            raise ValueError("resolutions and values must have the same length")
+        if len(self.resolutions) < 2:
+            raise ValueError("a D_alpha curve needs at least two points")
+
+    def turning_point(self, flatness: float = 0.05) -> int:
+        """Resolution after which D_alpha stops growing appreciably.
+
+        Returns the smallest resolution whose relative increase to the next
+        sampled resolution is below ``flatness``; falls back to the largest
+        resolution if the curve never flattens.
+        """
+        if not 0 < flatness < 1:
+            raise ValueError("flatness must be in (0, 1)")
+        values = np.asarray(self.values, dtype=float)
+        for index in range(len(values) - 1):
+            current = values[index]
+            nxt = values[index + 1]
+            if current <= 0:
+                continue
+            if (nxt - current) / current < flatness:
+                return self.resolutions[index]
+        return self.resolutions[-1]
+
+
+def d_alpha_curve(
+    alpha_for_resolution, resolutions: Sequence[int]
+) -> DAlphaCurve:
+    """Evaluate D_alpha over a resolution sweep.
+
+    Parameters
+    ----------
+    alpha_for_resolution:
+        Callable mapping a per-side resolution to the alpha grid at that
+        resolution (typically ``lambda g: dataset.alpha(g, slot)``).
+    resolutions:
+        Per-side HGrid resolutions to sweep (e.g. ``[8, 16, 32, 64, 128]``).
+    """
+    resolutions = [int(r) for r in resolutions]
+    if any(r <= 0 for r in resolutions):
+        raise ValueError("resolutions must be positive")
+    values = [d_alpha(alpha_for_resolution(resolution)) for resolution in resolutions]
+    return DAlphaCurve(resolutions=tuple(resolutions), values=tuple(values))
+
+
+def select_hgrid_budget(
+    alpha_for_resolution,
+    resolutions: Sequence[int],
+    flatness: float = 0.05,
+) -> int:
+    """Select N (total HGrid budget) at the turning point of the D_alpha curve.
+
+    Returns ``turning_resolution ** 2``, i.e. the number of HGrids, matching
+    the paper's recommendation to pick the smallest N at which the events in
+    each HGrid can be considered uniformly distributed.
+    """
+    curve = d_alpha_curve(alpha_for_resolution, resolutions)
+    side = curve.turning_point(flatness=flatness)
+    return side * side

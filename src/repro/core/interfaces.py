@@ -1,0 +1,75 @@
+"""Protocols connecting the core tuner to the prediction substrate.
+
+The core package never imports concrete models; anything satisfying
+:class:`DemandPredictor` (fit on a dataset at an MGrid resolution, predict the
+demand grid for given (day, slot) pairs) can be tuned.  The concrete NumPy
+models live in :mod:`repro.prediction`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.data.dataset import EventDataset
+
+#: A (day index, slot index) pair identifying one prediction target.
+DaySlot = Tuple[int, int]
+
+
+@runtime_checkable
+class DemandPredictor(Protocol):
+    """Minimal interface a prediction model must implement to be tunable."""
+
+    #: Human-readable model name (used in reports and experiment tables).
+    name: str
+
+    def fit(self, dataset: EventDataset, resolution: int) -> None:
+        """Train the model to predict ``resolution x resolution`` MGrid counts."""
+        ...
+
+    def predict(
+        self, dataset: EventDataset, resolution: int, targets: Sequence[DaySlot]
+    ) -> np.ndarray:
+        """Predict the demand grid for each (day, slot) target.
+
+        Returns an array of shape ``(len(targets), resolution, resolution)``.
+        """
+        ...
+
+
+def evaluation_targets(
+    dataset: EventDataset,
+    days: Sequence[int],
+    min_history_slots: int = 8,
+) -> list[DaySlot]:
+    """(day, slot) pairs usable as evaluation targets.
+
+    Slots whose history window would reach before the start of the log are
+    excluded so every model can build its input features.
+    """
+    slots = dataset.slots_per_day
+    pairs: list[DaySlot] = []
+    for day in days:
+        day = int(day)
+        if day < 0 or day >= dataset.num_days:
+            raise ValueError(f"day {day} outside the dataset range")
+        for slot in range(slots):
+            global_slot = day * slots + slot
+            if global_slot < min_history_slots:
+                continue
+            pairs.append((day, slot))
+    if not pairs:
+        raise ValueError("no evaluation targets: the requested days have no usable slots")
+    return pairs
+
+
+def actual_counts_for_targets(
+    dataset: EventDataset, resolution: int, targets: Sequence[DaySlot]
+) -> np.ndarray:
+    """Actual counts at ``resolution`` for each (day, slot) target."""
+    counts = dataset.counts(resolution)
+    days = np.asarray([t[0] for t in targets], dtype=int)
+    slots = np.asarray([t[1] for t in targets], dtype=int)
+    return counts[days, slots]

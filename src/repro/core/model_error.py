@@ -1,0 +1,69 @@
+"""Model-error estimation (Section III-C, Equation 20).
+
+The total model error over all HGrids equals the total MGrid-level expected
+absolute error, which the paper estimates as ``n * MAE(f)`` where ``MAE(f)`` is
+the model's mean absolute error per (sample, MGrid) pair.  This module provides
+both the per-cell empirical computation and the ``n * MAE`` shortcut, which
+agree by construction when the same evaluation samples are used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_absolute_error(predictions: np.ndarray, actual: np.ndarray) -> float:
+    """MAE over all (sample, cell) pairs: ``mean |prediction - actual|``."""
+    predictions = np.asarray(predictions, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predictions.shape != actual.shape:
+        raise ValueError(
+            f"predictions and actual must have the same shape, got "
+            f"{predictions.shape} vs {actual.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute MAE on empty arrays")
+    return float(np.abs(predictions - actual).mean())
+
+
+def total_model_error_from_mae(mae: float, num_mgrids: int) -> float:
+    """Equation 20: total model error ``≈ n * MAE(f)``."""
+    if mae < 0:
+        raise ValueError("MAE must be non-negative")
+    if num_mgrids <= 0:
+        raise ValueError("num_mgrids must be positive")
+    return float(num_mgrids * mae)
+
+
+def total_model_error(predictions: np.ndarray, actual: np.ndarray) -> float:
+    """Total model error from MGrid-level predictions and actuals.
+
+    Both arrays have shape ``(samples, side, side)``; the result is the sum
+    over MGrids of the per-MGrid mean absolute error, identical to
+    ``n * MAE`` computed on the same data.
+    """
+    predictions = np.asarray(predictions, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predictions.ndim == 2:
+        predictions = predictions[None, ...]
+    if actual.ndim == 2:
+        actual = actual[None, ...]
+    if predictions.shape != actual.shape:
+        raise ValueError(
+            f"predictions and actual must have the same shape, got "
+            f"{predictions.shape} vs {actual.shape}"
+        )
+    per_cell = np.abs(predictions - actual).mean(axis=0)
+    return float(per_cell.sum())
+
+
+def relative_error(predictions: np.ndarray, actual: np.ndarray) -> float:
+    """Total absolute error divided by total actual volume (scale-free accuracy)."""
+    predictions = np.asarray(predictions, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predictions.shape != actual.shape:
+        raise ValueError("predictions and actual must have the same shape")
+    total_actual = np.abs(actual).sum()
+    if total_actual == 0:
+        return 0.0
+    return float(np.abs(predictions - actual).sum() / total_actual)

@@ -1,0 +1,94 @@
+"""Time-of-day and day-of-week demand profiles.
+
+The synthetic cities modulate their spatial intensity by a temporal profile so
+that, as in the real datasets, morning/evening peaks exist, weekday and weekend
+volumes differ, and the per-slot mean used for estimating ``alpha_ij`` varies
+across the day (Section V-B of the paper estimates alpha from the 8:00-8:30
+slot of workdays by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.events import TimeSlotConfig
+
+#: Relative demand per hour of day for a typical workday (double-peaked).
+_DEFAULT_WEEKDAY_HOURLY = np.array(
+    [
+        0.35, 0.22, 0.15, 0.12, 0.15, 0.30,  # 00-05
+        0.65, 1.10, 1.45, 1.30, 1.05, 1.00,  # 06-11
+        1.05, 1.00, 0.95, 1.00, 1.10, 1.35,  # 12-17
+        1.55, 1.45, 1.25, 1.05, 0.85, 0.55,  # 18-23
+    ]
+)
+
+#: Relative demand per hour of day for a weekend day (single broad peak, later start).
+_DEFAULT_WEEKEND_HOURLY = np.array(
+    [
+        0.55, 0.45, 0.35, 0.25, 0.20, 0.22,  # 00-05
+        0.30, 0.45, 0.65, 0.85, 1.00, 1.10,  # 06-11
+        1.15, 1.15, 1.10, 1.10, 1.10, 1.15,  # 12-17
+        1.20, 1.25, 1.20, 1.10, 0.95, 0.75,  # 18-23
+    ]
+)
+
+
+@dataclass
+class TemporalProfile:
+    """Multiplicative time-of-day / day-of-week demand profile.
+
+    The profile is normalised so that the *average* weekday multiplier over a
+    day equals 1; daily volumes configured in :class:`~repro.data.city.CityConfig`
+    therefore retain their meaning as mean workday order counts.
+    """
+
+    weekday_hourly: np.ndarray = field(
+        default_factory=lambda: _DEFAULT_WEEKDAY_HOURLY.copy()
+    )
+    weekend_hourly: np.ndarray = field(
+        default_factory=lambda: _DEFAULT_WEEKEND_HOURLY.copy()
+    )
+    weekend_volume_factor: float = 0.8
+    weekend_days: Sequence[int] = (5, 6)
+
+    def __post_init__(self) -> None:
+        self.weekday_hourly = np.asarray(self.weekday_hourly, dtype=float)
+        self.weekend_hourly = np.asarray(self.weekend_hourly, dtype=float)
+        if self.weekday_hourly.shape != (24,) or self.weekend_hourly.shape != (24,):
+            raise ValueError("hourly profiles must have exactly 24 entries")
+        if np.any(self.weekday_hourly < 0) or np.any(self.weekend_hourly < 0):
+            raise ValueError("hourly profiles must be non-negative")
+        if self.weekend_volume_factor <= 0:
+            raise ValueError("weekend_volume_factor must be positive")
+        self.weekday_hourly = self.weekday_hourly / self.weekday_hourly.mean()
+        self.weekend_hourly = self.weekend_hourly / self.weekend_hourly.mean()
+
+    def is_weekend(self, day: int) -> bool:
+        """True if day index ``day`` (day 0 is a Monday) falls on a weekend."""
+        return day % 7 in set(self.weekend_days)
+
+    def slot_weights(self, day: int, slots: TimeSlotConfig) -> np.ndarray:
+        """Relative per-slot demand weights for ``day`` (mean 1 over weekday slots)."""
+        hourly = self.weekend_hourly if self.is_weekend(day) else self.weekday_hourly
+        per_slot_hours = slots.minutes_per_slot / 60.0
+        slot_hours = (np.arange(slots.slots_per_day) * per_slot_hours).astype(int)
+        slot_hours = np.minimum(slot_hours, 23)
+        weights = hourly[slot_hours].astype(float)
+        if self.is_weekend(day):
+            weights = weights * self.weekend_volume_factor
+        return weights
+
+    def expected_slot_volume(
+        self, day: int, slot: int, daily_volume: float, slots: TimeSlotConfig
+    ) -> float:
+        """Expected number of events in (``day``, ``slot``) given a mean daily volume."""
+        weights = self.slot_weights(day, slots)
+        return float(daily_volume * weights[slot] / slots.slots_per_day)
+
+    def workdays(self, num_days: int) -> list[int]:
+        """Indices of workdays among the first ``num_days`` days."""
+        return [d for d in range(num_days) if not self.is_weekend(d)]

@@ -1,0 +1,148 @@
+"""Demand views for the dispatchers: order streams and predicted HGrid demand.
+
+The dispatch algorithms consume two things:
+
+* the realised orders of the test day (built from the event log), and
+* a per-slot *predicted* demand grid at HGrid resolution, obtained by spreading
+  the MGrid-level prediction uniformly (exactly the quantity whose quality the
+  real error measures).
+
+:func:`orders_from_events` and :func:`requests_from_events` convert the test
+split's events into simulation entities; :class:`PredictedDemandProvider`
+serves the spread predictions slot by slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.grid import GridLayout
+from repro.core.interfaces import DaySlot
+from repro.data.events import EventLog
+from repro.dispatch.entities import Order, RideRequest
+from repro.utils.rng import RandomState, default_rng
+
+
+def orders_from_events(
+    events: EventLog,
+    day: int = 0,
+    slots: Optional[Sequence[int]] = None,
+    max_wait_minutes: float = 10.0,
+    seed: RandomState = None,
+) -> List[Order]:
+    """Convert one day of events into :class:`Order` objects sorted by arrival time.
+
+    Arrival minutes are jittered uniformly inside each slot, since the event
+    log only records the slot.
+    """
+    rng = default_rng(seed)
+    mask = events.day == day
+    if slots is not None:
+        mask &= np.isin(events.slot, np.asarray(list(slots), dtype=int))
+    indices = np.nonzero(mask)[0]
+    minutes_per_slot = events.slots.minutes_per_slot
+    orders: List[Order] = []
+    for order_id, index in enumerate(indices):
+        slot = int(events.slot[index])
+        arrival = slot * minutes_per_slot + float(rng.uniform(0.0, minutes_per_slot))
+        orders.append(
+            Order(
+                order_id=order_id,
+                slot=slot,
+                arrival_minute=arrival,
+                x=float(events.x[index]),
+                y=float(events.y[index]),
+                dropoff_x=float(events.dropoff_x[index]),
+                dropoff_y=float(events.dropoff_y[index]),
+                revenue=float(events.revenue[index]),
+                max_wait_minutes=max_wait_minutes,
+            )
+        )
+    orders.sort(key=lambda order: order.arrival_minute)
+    return orders
+
+
+def requests_from_events(
+    events: EventLog,
+    day: int = 0,
+    slots: Optional[Sequence[int]] = None,
+    max_wait_minutes: float = 12.0,
+    max_detour_factor: float = 1.6,
+    seed: RandomState = None,
+) -> List[RideRequest]:
+    """Convert one day of events into shared-mobility :class:`RideRequest` objects."""
+    rng = default_rng(seed)
+    base_orders = orders_from_events(
+        events, day=day, slots=slots, max_wait_minutes=max_wait_minutes, seed=rng
+    )
+    return [
+        RideRequest(
+            request_id=order.order_id,
+            slot=order.slot,
+            arrival_minute=order.arrival_minute,
+            x=order.x,
+            y=order.y,
+            dropoff_x=order.dropoff_x,
+            dropoff_y=order.dropoff_y,
+            revenue=order.revenue,
+            max_wait_minutes=max_wait_minutes,
+            max_detour_factor=max_detour_factor,
+        )
+        for order in base_orders
+    ]
+
+
+@dataclass
+class PredictedDemandProvider:
+    """Serves per-slot predicted demand at HGrid resolution.
+
+    Parameters
+    ----------
+    layout:
+        MGrid/HGrid layout the predictions were made under.
+    predictions:
+        MGrid-level predictions, shape ``(targets, side, side)``.
+    targets:
+        The (day, slot) pair for each prediction row.
+    """
+
+    layout: GridLayout
+    predictions: np.ndarray
+    targets: Sequence[DaySlot]
+
+    def __post_init__(self) -> None:
+        self.predictions = np.asarray(self.predictions, dtype=float)
+        side = self.layout.mgrid_side
+        if self.predictions.ndim != 3 or self.predictions.shape[1:] != (side, side):
+            raise ValueError(
+                f"predictions must have shape (targets, {side}, {side}), "
+                f"got {self.predictions.shape}"
+            )
+        if len(self.targets) != self.predictions.shape[0]:
+            raise ValueError("targets and predictions must have the same length")
+        self._index: Dict[DaySlot, int] = {
+            (int(day), int(slot)): i for i, (day, slot) in enumerate(self.targets)
+        }
+
+    @property
+    def fine_resolution(self) -> int:
+        """HGrid resolution of the spread demand grids."""
+        return self.layout.fine_resolution
+
+    def has_slot(self, day: int, slot: int) -> bool:
+        """True if a prediction exists for (day, slot)."""
+        return (int(day), int(slot)) in self._index
+
+    def mgrid_demand(self, day: int, slot: int) -> np.ndarray:
+        """MGrid-level predicted demand for (day, slot)."""
+        key = (int(day), int(slot))
+        if key not in self._index:
+            raise KeyError(f"no prediction available for day={day}, slot={slot}")
+        return self.predictions[self._index[key]]
+
+    def hgrid_demand(self, day: int, slot: int) -> np.ndarray:
+        """Predicted demand spread uniformly to HGrid resolution for (day, slot)."""
+        return self.layout.spread_to_hgrids(self.mgrid_demand(day, slot))

@@ -1,0 +1,147 @@
+"""Entities of the dispatch case study: orders, drivers and ride requests.
+
+The paper's case study plugs the tuned predictions into two spatial
+crowdsourcing problems — task assignment (POLAR, LS) and route planning
+(DAIF).  These dataclasses are the shared vocabulary of the simulators in this
+package.  Coordinates are normalised to the unit square, consistent with the
+data substrate; travel distances are converted to kilometres via the city
+extent held by :class:`~repro.dispatch.travel.TravelModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Order:
+    """A taxi order (task) to be assigned to a driver.
+
+    Attributes
+    ----------
+    order_id:
+        Unique identifier.
+    slot:
+        Time slot in which the order appears.
+    arrival_minute:
+        Arrival time in minutes from the start of the simulation horizon.
+    x, y:
+        Pick-up location (normalised).
+    dropoff_x, dropoff_y:
+        Drop-off location (normalised).
+    revenue:
+        Fare obtained for serving the order.
+    max_wait_minutes:
+        The order is cancelled if no driver reaches it within this time.
+    """
+
+    order_id: int
+    slot: int
+    arrival_minute: float
+    x: float
+    y: float
+    dropoff_x: float
+    dropoff_y: float
+    revenue: float
+    max_wait_minutes: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.revenue < 0:
+            raise ValueError("order revenue must be non-negative")
+        if self.max_wait_minutes <= 0:
+            raise ValueError("max_wait_minutes must be positive")
+
+
+@dataclass
+class Driver:
+    """A driver (worker) that serves orders.
+
+    ``available_at`` is the minute at which the driver finishes the current
+    trip and becomes idle at ``(x, y)``.
+    """
+
+    driver_id: int
+    x: float
+    y: float
+    available_at: float = 0.0
+    served_orders: int = 0
+    earned_revenue: float = 0.0
+
+    def is_idle(self, minute: float) -> bool:
+        """True if the driver is free at ``minute``."""
+        return self.available_at <= minute
+
+    def assign(self, order: Order, pickup_minutes: float, trip_minutes: float) -> None:
+        """Record serving ``order``: move to the drop-off and accumulate stats."""
+        if pickup_minutes < 0 or trip_minutes < 0:
+            raise ValueError("travel times must be non-negative")
+        start = max(self.available_at, order.arrival_minute)
+        self.available_at = start + pickup_minutes + trip_minutes
+        self.x = order.dropoff_x
+        self.y = order.dropoff_y
+        self.served_orders += 1
+        self.earned_revenue += order.revenue
+
+
+@dataclass
+class RideRequest:
+    """A shared-mobility request for the route-planning case study (DAIF)."""
+
+    request_id: int
+    slot: int
+    arrival_minute: float
+    x: float
+    y: float
+    dropoff_x: float
+    dropoff_y: float
+    revenue: float
+    max_wait_minutes: float = 12.0
+    max_detour_factor: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.max_detour_factor < 1.0:
+            raise ValueError("max_detour_factor must be >= 1")
+        if self.max_wait_minutes <= 0:
+            raise ValueError("max_wait_minutes must be positive")
+
+
+@dataclass
+class Vehicle:
+    """A shared vehicle with a route of pending stops (DAIF)."""
+
+    vehicle_id: int
+    x: float
+    y: float
+    capacity: int = 3
+    onboard: int = 0
+    route: list = field(default_factory=list)
+    available_at: float = 0.0
+    served_requests: int = 0
+    travelled_km: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("vehicle capacity must be positive")
+
+    def has_capacity(self) -> bool:
+        """True if the vehicle can pick up one more rider."""
+        return self.onboard < self.capacity
+
+
+@dataclass(frozen=True)
+class DispatchMetrics:
+    """Aggregate outcome of one dispatch simulation."""
+
+    served_orders: int
+    total_orders: int
+    total_revenue: float
+    total_travel_km: float
+    unified_cost: float
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of orders served."""
+        if self.total_orders == 0:
+            return 0.0
+        return self.served_orders / self.total_orders

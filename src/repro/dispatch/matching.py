@@ -1,0 +1,80 @@
+"""Bipartite matching primitives shared by the dispatchers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+
+def greedy_matching(cost: np.ndarray, max_cost: float = np.inf) -> Dict[int, int]:
+    """Greedy minimum-cost matching of rows (orders) to columns (drivers).
+
+    Pairs are taken in increasing cost order; each row and column is used at
+    most once and pairs with cost above ``max_cost`` are discarded.  O(E log E).
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError("cost must be a 2-D matrix")
+    if cost.size == 0:
+        return {}
+    rows, cols = np.unravel_index(np.argsort(cost, axis=None), cost.shape)
+    matched_rows: set[int] = set()
+    matched_cols: set[int] = set()
+    assignment: Dict[int, int] = {}
+    for row, col in zip(rows, cols):
+        if cost[row, col] > max_cost:
+            break
+        if row in matched_rows or col in matched_cols:
+            continue
+        assignment[int(row)] = int(col)
+        matched_rows.add(int(row))
+        matched_cols.add(int(col))
+    return assignment
+
+
+def optimal_matching(cost: np.ndarray, max_cost: float = np.inf) -> Dict[int, int]:
+    """Hungarian-algorithm matching minimising total cost, filtered by ``max_cost``.
+
+    Infeasible pairs (cost above ``max_cost``) are masked with a large penalty
+    and dropped from the returned assignment.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError("cost must be a 2-D matrix")
+    if cost.size == 0:
+        return {}
+    finite_max = np.nanmax(cost[np.isfinite(cost)]) if np.isfinite(cost).any() else 1.0
+    penalty = max(finite_max, max_cost if np.isfinite(max_cost) else finite_max) * 10 + 1.0
+    padded = np.where(np.isfinite(cost) & (cost <= max_cost), cost, penalty)
+    row_indices, col_indices = linear_sum_assignment(padded)
+    assignment: Dict[int, int] = {}
+    for row, col in zip(row_indices, col_indices):
+        if padded[row, col] < penalty:
+            assignment[int(row)] = int(col)
+    return assignment
+
+
+def maximum_weight_matching(weight: np.ndarray, min_weight: float = 0.0) -> Dict[int, int]:
+    """Maximum-total-weight matching (used by revenue-maximising dispatchers).
+
+    Pairs whose weight is below ``min_weight`` are never matched.
+    """
+    weight = np.asarray(weight, dtype=float)
+    if weight.ndim != 2:
+        raise ValueError("weight must be a 2-D matrix")
+    if weight.size == 0:
+        return {}
+    capped = np.where(weight >= min_weight, weight, -np.inf)
+    finite = capped[np.isfinite(capped)]
+    if finite.size == 0:
+        return {}
+    offset = finite.max() + 1.0
+    cost = np.where(np.isfinite(capped), offset - capped, offset * 10)
+    row_indices, col_indices = linear_sum_assignment(cost)
+    assignment: Dict[int, int] = {}
+    for row, col in zip(row_indices, col_indices):
+        if np.isfinite(capped[row, col]):
+            assignment[int(row)] = int(col)
+    return assignment

@@ -1,0 +1,90 @@
+"""Expression-error algorithm cost/accuracy study (Figure 16).
+
+The paper compares the straightforward O(m^2 K^3) evaluation, Algorithm 1
+(O(m K^2)) and Algorithm 2 (O(m K)) as the truncation parameter ``K`` grows,
+showing that Algorithm 2's cost stays flat while the others blow up, and that
+accuracy saturates well before the default K = 250.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.expression import (
+    expression_error_algorithm1,
+    expression_error_algorithm2,
+    expression_error_reference,
+)
+
+
+@dataclass(frozen=True)
+class AlgorithmCostPoint:
+    """Cost and result of the three calculators at one K."""
+
+    k: int
+    reference_seconds: float
+    algorithm1_seconds: float
+    algorithm2_seconds: float
+    reference_value: float
+    algorithm1_value: float
+    algorithm2_value: float
+
+    @property
+    def algorithm2_speedup(self) -> float:
+        """Speed-up of Algorithm 2 over Algorithm 1."""
+        if self.algorithm2_seconds == 0:
+            return float("inf")
+        return self.algorithm1_seconds / self.algorithm2_seconds
+
+    @property
+    def algorithm2_absolute_error(self) -> float:
+        """|Algorithm 2 - converged reference| at this K."""
+        return abs(self.algorithm2_value - self.reference_value)
+
+
+def algorithm_cost_sweep(
+    alpha_ij: float = 3.0,
+    alpha_rest: float = 45.0,
+    m: int = 16,
+    k_values: Sequence[int] = (10, 20, 40, 80, 120),
+    include_algorithm1: bool = True,
+) -> Tuple[AlgorithmCostPoint, ...]:
+    """Figure 16: runtime and value of each calculator as K grows.
+
+    ``include_algorithm1=False`` skips the slow scalar-loop transliteration for
+    quick test runs.
+    """
+    if m <= 1:
+        raise ValueError("m must be at least 2 for a meaningful comparison")
+    points = []
+    for k in k_values:
+        start = time.perf_counter()
+        reference_value = expression_error_reference(alpha_ij, alpha_rest, m, k=k)
+        reference_seconds = time.perf_counter() - start
+
+        if include_algorithm1:
+            start = time.perf_counter()
+            algorithm1_value = expression_error_algorithm1(alpha_ij, alpha_rest, m, k=k)
+            algorithm1_seconds = time.perf_counter() - start
+        else:
+            algorithm1_value = reference_value
+            algorithm1_seconds = 0.0
+
+        start = time.perf_counter()
+        algorithm2_value = expression_error_algorithm2(alpha_ij, alpha_rest, m, k=k)
+        algorithm2_seconds = time.perf_counter() - start
+
+        points.append(
+            AlgorithmCostPoint(
+                k=int(k),
+                reference_seconds=reference_seconds,
+                algorithm1_seconds=algorithm1_seconds,
+                algorithm2_seconds=algorithm2_seconds,
+                reference_value=reference_value,
+                algorithm1_value=algorithm1_value,
+                algorithm2_value=algorithm2_value,
+            )
+        )
+    return tuple(points)

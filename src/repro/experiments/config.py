@@ -1,0 +1,116 @@
+"""Experiment configuration profiles.
+
+The paper runs at full city scale (128 x 128 HGrids, up to 76 x 76 MGrids,
+months of trip data, GPU-trained models).  The same code paths are exercised
+here at configurable scale; three named profiles are provided:
+
+* ``tiny``   — seconds; used by the unit/integration tests,
+* ``small``  — a couple of minutes; default for the benchmark harness,
+* ``paper``  — the paper-scale parameters (kept for completeness; running it
+  requires hours of CPU time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.utils.validation import ensure_perfect_square
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale parameters shared by all experiments.
+
+    Attributes
+    ----------
+    name:
+        Profile name.
+    city_scale:
+        Fraction of the real cities' daily order volume to simulate.
+    num_days:
+        Days of history to generate (train + validation + test).
+    hgrid_budget:
+        Total HGrid budget ``N``.
+    mgrid_sides:
+        Candidate ``sqrt(n)`` values swept by the error-curve experiments.
+        Divisors of ``sqrt(N)`` are used so expression errors are compared on
+        the same HGrid lattice.
+    alpha_slot:
+        Time slot used for alpha estimation (08:00-08:30 by default).
+    case_study_slots:
+        Slots simulated by the dispatch case study (the morning peak).
+    drivers_per_100_orders:
+        Fleet size as a fraction of the simulated order volume.
+    seed:
+        Base random seed.
+    """
+
+    name: str
+    city_scale: float
+    num_days: int
+    hgrid_budget: int
+    mgrid_sides: Tuple[int, ...]
+    search_sides: Tuple[int, int] = (2, 0)
+    alpha_slot: int = 16
+    case_study_slots: Tuple[int, ...] = (16, 17, 18, 19)
+    drivers_per_100_orders: float = 12.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.city_scale <= 0:
+            raise ValueError("city_scale must be positive")
+        if self.num_days < 4:
+            raise ValueError("num_days must be at least 4")
+        ensure_perfect_square(self.hgrid_budget, "hgrid_budget")
+        if not self.mgrid_sides:
+            raise ValueError("mgrid_sides must not be empty")
+        if self.drivers_per_100_orders <= 0:
+            raise ValueError("drivers_per_100_orders must be positive")
+
+
+TINY = ExperimentConfig(
+    name="tiny",
+    city_scale=0.005,
+    num_days=10,
+    hgrid_budget=16 * 16,
+    mgrid_sides=(2, 4, 8, 16),
+    case_study_slots=(16, 17),
+    drivers_per_100_orders=14.0,
+)
+
+SMALL = ExperimentConfig(
+    name="small",
+    city_scale=0.02,
+    num_days=21,
+    hgrid_budget=32 * 32,
+    mgrid_sides=(2, 4, 8, 16, 32),
+    case_study_slots=(16, 17, 18, 19),
+    drivers_per_100_orders=12.0,
+)
+
+PAPER = ExperimentConfig(
+    name="paper",
+    city_scale=1.0,
+    num_days=35,
+    hgrid_budget=128 * 128,
+    mgrid_sides=(4, 8, 16, 32, 64, 128),
+    case_study_slots=tuple(range(48)),
+    drivers_per_100_orders=12.0,
+)
+
+PROFILES: Dict[str, ExperimentConfig] = {
+    "tiny": TINY,
+    "small": SMALL,
+    "paper": PAPER,
+}
+
+
+def get_profile(name: str) -> ExperimentConfig:
+    """Look up a configuration profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from exc

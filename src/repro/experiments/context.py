@@ -1,0 +1,87 @@
+"""Shared experiment context: cached datasets and tuners per city.
+
+Most experiments need the same objects — a synthetic dataset per city and a
+:class:`~repro.core.tuner.GridTuner` per (city, model) pair.  Building the
+datasets repeatedly would dominate the runtime of the benchmark suite, so
+:class:`ExperimentContext` constructs them lazily and caches them for the
+lifetime of the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.interfaces import DemandPredictor
+from repro.core.tuner import GridTuner
+from repro.data.dataset import EventDataset
+from repro.data.presets import city_preset
+from repro.experiments.config import ExperimentConfig, get_profile
+from repro.prediction.registry import model_factory, surrogate_factory
+from repro.utils.rng import seed_for
+
+#: The three synthetic cities mirroring the paper's datasets.
+CITIES: Tuple[str, ...] = ("nyc_like", "chengdu_like", "xian_like")
+
+#: The three prediction models compared in the paper.
+MODELS: Tuple[str, ...] = ("mlp", "deepst", "dmvst_net")
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily built, cached datasets and tuners for one configuration profile."""
+
+    config: ExperimentConfig
+    _datasets: Dict[str, EventDataset] = field(default_factory=dict, repr=False)
+    _tuners: Dict[Tuple[str, str, bool], GridTuner] = field(
+        default_factory=dict, repr=False
+    )
+
+    @staticmethod
+    def from_profile(profile: str = "small") -> "ExperimentContext":
+        """Create a context from a named configuration profile."""
+        return ExperimentContext(config=get_profile(profile))
+
+    # ------------------------------------------------------------------ #
+
+    def dataset(self, city: str) -> EventDataset:
+        """The (cached) synthetic dataset for ``city``."""
+        if city not in self._datasets:
+            config = city_preset(city, scale=self.config.city_scale)
+            self._datasets[city] = EventDataset.from_city(
+                config,
+                num_days=self.config.num_days,
+                seed=seed_for(f"{city}/{self.config.name}", self.config.seed),
+            )
+        return self._datasets[city]
+
+    def factory(
+        self, model: str, surrogate: bool = False, **kwargs
+    ) -> Callable[[], DemandPredictor]:
+        """Model factory by name; ``surrogate=True`` swaps in the fast surrogate."""
+        if surrogate:
+            return surrogate_factory(model, seed=seed_for(f"surrogate/{model}", self.config.seed))
+        return model_factory(model, **kwargs)
+
+    def tuner(self, city: str, model: str, surrogate: bool = False) -> GridTuner:
+        """The (cached) GridTuner for a (city, model) pair."""
+        key = (city, model, surrogate)
+        if key not in self._tuners:
+            self._tuners[key] = GridTuner(
+                self.dataset(city),
+                self.factory(model, surrogate=surrogate),
+                hgrid_budget=self.config.hgrid_budget,
+                alpha_slot=self.config.alpha_slot,
+            )
+        return self._tuners[key]
+
+    def fleet_size(self, city: str) -> int:
+        """Number of drivers/vehicles used by the case study for ``city``."""
+        dataset = self.dataset(city)
+        events = dataset.test_events()
+        slot_mask = [
+            slot in set(self.config.case_study_slots) for slot in events.slot
+        ]
+        orders_in_horizon = int(sum(slot_mask))
+        fleet = int(round(orders_in_horizon * self.config.drivers_per_100_orders / 100.0))
+        return max(fleet, 5)

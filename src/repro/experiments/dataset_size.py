@@ -1,0 +1,77 @@
+"""Effect of the training-set size (Figure 19).
+
+The paper shows that both too little training data (alpha estimates and model
+training become noisy) and too much (demand drift makes old data stale) hurt
+the downstream crowdsourcing performance, with roughly four weeks being the
+sweet spot.  This experiment truncates the training split to a varying number
+of weeks and measures the real error and (optionally) the POLAR dispatch
+outcome obtained with the tuned grid size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.tuner import GridTuner
+from repro.experiments.case_study import run_task_assignment
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class DatasetSizePoint:
+    """Outcome of tuning with a training window of ``weeks`` weeks."""
+
+    weeks: int
+    training_days: int
+    optimal_side: int
+    real_error: float
+    upper_bound: float
+    served_orders: Optional[int] = None
+
+
+def dataset_size_sweep(
+    context: ExperimentContext,
+    city: str = "nyc_like",
+    model: str = "deepst",
+    weeks: Sequence[int] = (1, 2, 3, 4),
+    surrogate: bool = True,
+    with_dispatch: bool = False,
+) -> Tuple[DatasetSizePoint, ...]:
+    """Figure 19: real error (and optionally dispatch outcome) vs training weeks."""
+    config = context.config
+    base_dataset = context.dataset(city)
+    points = []
+    for week_count in weeks:
+        dataset = base_dataset.with_training_weeks(week_count)
+        tuner = GridTuner(
+            dataset,
+            context.factory(model, surrogate=surrogate),
+            hgrid_budget=config.hgrid_budget,
+            alpha_slot=config.alpha_slot,
+        )
+        result = tuner.select("iterative", min_side=2, bound=2,
+                              initial_side=max(2, int(round(config.hgrid_budget**0.5)) // 2))
+        report = tuner.evaluate_real_error(result.optimal_side)
+        served: Optional[int] = None
+        if with_dispatch:
+            case_points = run_task_assignment(
+                context,
+                city,
+                "polar",
+                model,
+                sides=[result.optimal_side],
+                surrogate=surrogate,
+            )
+            served = case_points[0].metrics.served_orders
+        points.append(
+            DatasetSizePoint(
+                weeks=int(week_count),
+                training_days=len(dataset.split.train_days),
+                optimal_side=result.optimal_side,
+                real_error=report.real_error,
+                upper_bound=report.upper_bound,
+                served_orders=served,
+            )
+        )
+    return tuple(points)

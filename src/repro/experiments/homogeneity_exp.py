@@ -1,0 +1,113 @@
+"""Homogeneity experiments: Figures 13, 14 and 15.
+
+* Figure 13 — per-MGrid scatter of intra-grid unevenness ``D_alpha(m)`` against
+  the summed expression error of the MGrid's HGrids (positively related).
+* Figure 14 — ``D_alpha(N)`` against ``N``: grows quickly, then flattens at the
+  turning point used to select the HGrid budget.
+* Figure 15 — with ``n`` fixed, the effect of increasing ``m`` (finer HGrids)
+  on expression / model / real error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.uniformity import UniformityPoint, uniformity_vs_expression_error
+from repro.core.errors import decompose_errors
+from repro.core.expression import total_expression_error
+from repro.core.grid import GridLayout
+from repro.core.homogeneity import DAlphaCurve, d_alpha_curve
+from repro.core.interfaces import actual_counts_for_targets, evaluation_targets
+from repro.experiments.context import ExperimentContext
+
+
+def figure13_uniformity_scatter(
+    context: ExperimentContext,
+    city: str = "nyc_like",
+    mgrid_side: int = 8,
+    hgrid_side: int = 4,
+) -> Tuple[UniformityPoint, ...]:
+    """Per-MGrid (D_alpha, expression error) scatter (Figure 13)."""
+    dataset = context.dataset(city)
+    layout = GridLayout(
+        num_mgrids=mgrid_side * mgrid_side,
+        hgrids_per_mgrid=hgrid_side * hgrid_side,
+    )
+    return tuple(
+        uniformity_vs_expression_error(
+            dataset, layout, slot=context.config.alpha_slot
+        )
+    )
+
+
+def figure14_dalpha_curve(
+    context: ExperimentContext,
+    city: str = "nyc_like",
+    resolutions: Sequence[int] = (4, 8, 16, 32, 64),
+    training_weeks: Optional[int] = None,
+) -> DAlphaCurve:
+    """D_alpha(N) against the HGrid resolution (Figure 14).
+
+    ``training_weeks`` optionally restricts the alpha-estimation window, which
+    reproduces the paper's observation that with too little (or too stale) data
+    the curve keeps growing past the true turning point because the alpha
+    estimates themselves become noisy.
+    """
+    dataset = context.dataset(city)
+    if training_weeks is not None:
+        dataset = dataset.with_training_weeks(training_weeks)
+    return d_alpha_curve(
+        lambda resolution: dataset.alpha(resolution, slot=context.config.alpha_slot),
+        resolutions,
+    )
+
+
+@dataclass(frozen=True)
+class EffectOfMPoint:
+    """Figure 15: errors at fixed ``n`` and increasing ``m``."""
+
+    hgrid_side: int
+    hgrids_per_mgrid: int
+    expression_error: float
+    model_error: float
+    real_error: float
+
+
+def figure15_effect_of_m(
+    context: ExperimentContext,
+    city: str = "nyc_like",
+    mgrid_side: int = 4,
+    hgrid_sides: Sequence[int] = (1, 2, 4, 8),
+    model: str = "deepst",
+    surrogate: bool = True,
+) -> Tuple[EffectOfMPoint, ...]:
+    """Expression / model / real error while ``n`` is fixed and ``m`` grows."""
+    dataset = context.dataset(city)
+    tuner = context.tuner(city, model, surrogate=surrogate)
+    model_instance = tuner.model_factory()
+    model_instance.fit(dataset, mgrid_side)
+    targets = evaluation_targets(dataset, list(dataset.split.test_days))
+    predictions = model_instance.predict(dataset, mgrid_side, targets)
+    points = []
+    for hgrid_side in hgrid_sides:
+        layout = GridLayout(
+            num_mgrids=mgrid_side * mgrid_side,
+            hgrids_per_mgrid=hgrid_side * hgrid_side,
+        )
+        alpha = dataset.alpha(layout.fine_resolution, slot=context.config.alpha_slot)
+        expression = total_expression_error(alpha, layout)
+        actual_fine = actual_counts_for_targets(
+            dataset, layout.fine_resolution, targets
+        )
+        report = decompose_errors(predictions, actual_fine, layout)
+        points.append(
+            EffectOfMPoint(
+                hgrid_side=hgrid_side,
+                hgrids_per_mgrid=layout.hgrids_per_mgrid,
+                expression_error=expression,
+                model_error=report.model_error,
+                real_error=report.real_error,
+            )
+        )
+    return tuple(points)

@@ -1,0 +1,253 @@
+"""Search-algorithm evaluation: Table IV, Figure 17 and Figure 18.
+
+Table IV compares Brute-force Search, Ternary Search and the Iterative Method
+on three axes: wall-clock cost, the probability of finding the global optimum
+(over the time slots of a day, whose differing demand patterns give different
+optima), and the *optimal ratio* — how close the dispatch performance obtained
+with the selected grid size is to the performance at the true optimum.
+
+Figure 17 sweeps the Iterative Method's search bound ``b``; Figure 18 reports
+the distribution of the optimal ``n`` across the time slots of a day.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.search import SearchResult, run_search
+from repro.core.upper_bound import UpperBoundEvaluator
+from repro.experiments.case_study import run_task_assignment
+from repro.experiments.context import ExperimentContext
+from repro.utils.rng import seed_for
+
+
+def _slot_evaluator(
+    context: ExperimentContext, city: str, model: str, slot: int, surrogate: bool
+) -> UpperBoundEvaluator:
+    """Upper-bound evaluator whose expression error uses the given time slot."""
+    dataset = context.dataset(city)
+    return UpperBoundEvaluator(
+        dataset=dataset,
+        model_factory=context.factory(model, surrogate=surrogate),
+        hgrid_budget=context.config.hgrid_budget,
+        alpha_slot=slot,
+    )
+
+
+@dataclass(frozen=True)
+class SlotSearchOutcome:
+    """Search results for one time slot."""
+
+    slot: int
+    optimal_side: int
+    results: Dict[str, SearchResult]
+    costs: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class SearchAlgorithmSummary:
+    """One row of Table IV."""
+
+    city: str
+    algorithm: str
+    cost_seconds: float
+    probability_optimal: float
+    optimal_ratio: float
+    mean_evaluations: float
+
+
+def evaluate_search_algorithms(
+    context: ExperimentContext,
+    city: str,
+    model: str = "deepst",
+    slots: Optional[Sequence[int]] = None,
+    algorithms: Sequence[str] = ("ternary", "iterative", "brute_force"),
+    surrogate: bool = True,
+    iterative_initial: Optional[int] = None,
+    iterative_bound: int = 3,
+    compute_optimal_ratio: bool = False,
+) -> Tuple[Tuple[SlotSearchOutcome, ...], Tuple[SearchAlgorithmSummary, ...]]:
+    """Run the OGSS search algorithms across time slots (Table IV).
+
+    The per-slot optimum differs because the demand pattern (and hence the
+    expression error) varies over the day.  ``compute_optimal_ratio=True``
+    additionally runs the POLAR dispatch simulation at each algorithm's most
+    frequently selected grid size to compute the paper's OR metric; it is off
+    by default because it multiplies the runtime.
+    """
+    config = context.config
+    if slots is None:
+        slots = config.case_study_slots
+    budget_side = int(round(config.hgrid_budget**0.5))
+    if iterative_initial is None:
+        iterative_initial = max(2, budget_side // 2)
+
+    outcomes = []
+    costs: Dict[str, float] = {name: 0.0 for name in algorithms}
+    optima_found: Dict[str, int] = {name: 0 for name in algorithms}
+    evaluations: Dict[str, int] = {name: 0 for name in algorithms}
+    selected_sides: Dict[str, Counter] = {name: Counter() for name in algorithms}
+    optimal_sides: Counter = Counter()
+
+    for slot in slots:
+        per_slot_results: Dict[str, SearchResult] = {}
+        per_slot_costs: Dict[str, float] = {}
+        optimal_side: Optional[int] = None
+        for algorithm in algorithms:
+            evaluator = _slot_evaluator(context, city, model, slot, surrogate)
+            kwargs = {}
+            if algorithm == "iterative":
+                kwargs = {"initial_side": iterative_initial, "bound": iterative_bound}
+            start = time.perf_counter()
+            result = run_search(
+                algorithm, evaluator, config.hgrid_budget, min_side=2, **kwargs
+            )
+            elapsed = time.perf_counter() - start
+            per_slot_results[algorithm] = result
+            per_slot_costs[algorithm] = elapsed
+            costs[algorithm] += elapsed
+            evaluations[algorithm] += result.evaluations
+            selected_sides[algorithm][result.best_side] += 1
+            if algorithm == "brute_force":
+                optimal_side = result.best_side
+        if optimal_side is None:
+            # Brute force not requested: take the best probe seen by any algorithm.
+            optimal_side = min(
+                (res for res in per_slot_results.values()),
+                key=lambda res: res.best_value,
+            ).best_side
+        optimal_sides[optimal_side] += 1
+        for algorithm in algorithms:
+            if per_slot_results[algorithm].best_side == optimal_side:
+                optima_found[algorithm] += 1
+        outcomes.append(
+            SlotSearchOutcome(
+                slot=slot,
+                optimal_side=optimal_side,
+                results=per_slot_results,
+                costs=per_slot_costs,
+            )
+        )
+
+    ratios = _optimal_ratios(
+        context, city, model, algorithms, selected_sides, optimal_sides, surrogate
+    ) if compute_optimal_ratio else {name: 1.0 for name in algorithms}
+
+    summaries = tuple(
+        SearchAlgorithmSummary(
+            city=city,
+            algorithm=algorithm,
+            cost_seconds=costs[algorithm],
+            probability_optimal=optima_found[algorithm] / len(list(slots)),
+            optimal_ratio=ratios[algorithm],
+            mean_evaluations=evaluations[algorithm] / len(list(slots)),
+        )
+        for algorithm in algorithms
+    )
+    return tuple(outcomes), summaries
+
+
+def _optimal_ratios(
+    context: ExperimentContext,
+    city: str,
+    model: str,
+    algorithms: Sequence[str],
+    selected_sides: Dict[str, Counter],
+    optimal_sides: Counter,
+    surrogate: bool,
+) -> Dict[str, float]:
+    """OR metric: POLAR served orders at the selected side vs at the optimal side."""
+    reference_side = optimal_sides.most_common(1)[0][0]
+    cache: Dict[int, float] = {}
+
+    def served(side: int) -> float:
+        if side not in cache:
+            points = run_task_assignment(
+                context, city, "polar", model, sides=[side], surrogate=surrogate
+            )
+            cache[side] = float(points[0].metrics.served_orders)
+        return cache[side]
+
+    reference = served(reference_side)
+    ratios: Dict[str, float] = {}
+    for algorithm in algorithms:
+        side = selected_sides[algorithm].most_common(1)[0][0]
+        ratios[algorithm] = served(side) / reference if reference > 0 else 1.0
+    return ratios
+
+
+@dataclass(frozen=True)
+class BoundSweepPoint:
+    """Figure 17: effect of the Iterative Method's bound ``b``."""
+
+    bound: int
+    probability_optimal: float
+    mean_evaluations: float
+    cost_seconds: float
+
+
+def iterative_bound_sweep(
+    context: ExperimentContext,
+    city: str,
+    model: str = "deepst",
+    bounds: Sequence[int] = (1, 2, 3, 4, 6),
+    slots: Optional[Sequence[int]] = None,
+    surrogate: bool = True,
+) -> Tuple[BoundSweepPoint, ...]:
+    """Sweep the Iterative Method's search bound (Figure 17)."""
+    config = context.config
+    if slots is None:
+        slots = config.case_study_slots
+    points = []
+    for bound in bounds:
+        found = 0
+        evaluations = 0
+        cost = 0.0
+        for slot in slots:
+            evaluator = _slot_evaluator(context, city, model, slot, surrogate)
+            brute = run_search("brute_force", evaluator, config.hgrid_budget, min_side=2)
+            evaluator_iter = _slot_evaluator(context, city, model, slot, surrogate)
+            start = time.perf_counter()
+            result = run_search(
+                "iterative",
+                evaluator_iter,
+                config.hgrid_budget,
+                min_side=2,
+                bound=bound,
+                initial_side=max(2, int(round(config.hgrid_budget**0.5)) // 2),
+            )
+            cost += time.perf_counter() - start
+            evaluations += result.evaluations
+            if result.best_side == brute.best_side:
+                found += 1
+        points.append(
+            BoundSweepPoint(
+                bound=bound,
+                probability_optimal=found / len(list(slots)),
+                mean_evaluations=evaluations / len(list(slots)),
+                cost_seconds=cost,
+            )
+        )
+    return tuple(points)
+
+
+def optimal_n_distribution(
+    context: ExperimentContext,
+    city: str,
+    model: str = "deepst",
+    slots: Optional[Sequence[int]] = None,
+    surrogate: bool = True,
+) -> Dict[int, int]:
+    """Figure 18: histogram of the optimal ``sqrt(n)`` across time slots."""
+    config = context.config
+    if slots is None:
+        slots = config.case_study_slots
+    counter: Counter = Counter()
+    for slot in slots:
+        evaluator = _slot_evaluator(context, city, model, slot, surrogate)
+        result = run_search("brute_force", evaluator, config.hgrid_budget, min_side=2)
+        counter[result.best_side] += 1
+    return dict(sorted(counter.items()))

@@ -1,0 +1,61 @@
+"""Historical-average baseline predictor.
+
+Predicts the demand of each MGrid as the mean of the same time slot over the
+training workdays.  This is both the simplest sensible baseline and the
+estimator the paper uses for the HGrid Poisson means ``alpha_ij``; it requires
+no training loop and is therefore also the default model for the large search
+sweeps where training a neural model for every candidate ``n`` would dominate
+the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interfaces import DaySlot
+from repro.data.dataset import EventDataset
+
+
+class HistoricalAveragePredictor:
+    """Per-slot historical mean of the training split."""
+
+    name = "historical_average"
+
+    def __init__(self, workdays_only: bool = True) -> None:
+        self.workdays_only = workdays_only
+        self._slot_means: Optional[np.ndarray] = None
+        self._resolution: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self._slot_means is not None
+
+    def fit(self, dataset: EventDataset, resolution: int) -> None:
+        """Compute the per-slot mean grid over the training days."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        days = list(dataset.split.train_days)
+        if self.workdays_only:
+            workdays = dataset.workdays(days)
+            if workdays:
+                days = workdays
+        counts = dataset.counts(resolution)[np.asarray(days, dtype=int)]
+        self._slot_means = counts.mean(axis=0)
+        self._resolution = resolution
+
+    def predict(
+        self, dataset: EventDataset, resolution: int, targets: Sequence[DaySlot]
+    ) -> np.ndarray:
+        """Return the stored per-slot mean for each requested (day, slot)."""
+        if self._slot_means is None:
+            raise RuntimeError("predict called before fit")
+        if resolution != self._resolution:
+            raise ValueError(
+                f"model was fitted at resolution {self._resolution}, "
+                f"cannot predict at {resolution}"
+            )
+        slots = [int(slot) for _, slot in targets]
+        return self._slot_means[slots]

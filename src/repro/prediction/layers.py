@@ -1,0 +1,266 @@
+"""Minimal NumPy neural-network layers.
+
+The original paper trains its prediction models (MLP, DeepST, DMVST-Net) in
+PyTorch on a GPU.  PyTorch is not available in this environment, so the models
+are built from these hand-rolled layers: dense, ReLU, 2-D convolution (im2col)
+and shape utilities, each with explicit forward/backward passes.  The layers
+are deliberately small and dependency-free; gradient correctness is covered by
+finite-difference tests in ``tests/prediction/test_layers.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.rng import RandomState, default_rng
+
+
+class Layer:
+    """Base class: a differentiable transformation with optional parameters."""
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute the layer output for ``inputs``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and accumulate parameter gradients."""
+        raise NotImplementedError
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trainable parameters keyed by name (empty for stateless layers)."""
+        return {}
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :attr:`params` (populated by :meth:`backward`)."""
+        return {}
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, seed: RandomState = None) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = default_rng(seed)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self._grad_weight = np.zeros_like(self.weight)
+        self._grad_bias = np.zeros_like(self.bias)
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.weight.shape[0]:
+            raise ValueError(
+                f"Dense expects input of shape (batch, {self.weight.shape[0]}), "
+                f"got {inputs.shape}"
+            )
+        if training:
+            self._inputs = inputs
+        return inputs @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError("backward called before forward")
+        self._grad_weight = self._inputs.T @ grad_output
+        self._grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weight": self._grad_weight, "bias": self._grad_bias}
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        mask = inputs > 0
+        if training:
+            self._mask = mask
+        return inputs * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Flatten(Layer):
+    """Flatten all axes after the batch axis."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+class Reshape(Layer):
+    """Reshape the non-batch axes to ``target_shape``."""
+
+    def __init__(self, target_shape: tuple) -> None:
+        self.target_shape = tuple(int(s) for s in target_shape)
+        self._input_shape: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.reshape((inputs.shape[0],) + self.target_shape)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+def _im2col(inputs: np.ndarray, kernel: int, pad: int) -> np.ndarray:
+    """Unfold (batch, channels, H, W) into (batch, H*W, channels*kernel*kernel)."""
+    batch, channels, height, width = inputs.shape
+    padded = np.pad(
+        inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    columns = np.empty((batch, channels, kernel, kernel, height, width))
+    for dy in range(kernel):
+        for dx in range(kernel):
+            columns[:, :, dy, dx] = padded[:, :, dy : dy + height, dx : dx + width]
+    return columns.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch, height * width, channels * kernel * kernel
+    )
+
+
+def _col2im(
+    columns: np.ndarray, input_shape: tuple, kernel: int, pad: int
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`: scatter-add columns back into an image."""
+    batch, channels, height, width = input_shape
+    columns = columns.reshape(batch, height, width, channels, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad))
+    for dy in range(kernel):
+        for dx in range(kernel):
+            padded[:, :, dy : dy + height, dx : dx + width] += columns[:, :, dy, dx]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
+class Conv2D(Layer):
+    """Same-padding 2-D convolution over (batch, channels, H, W) inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        seed: RandomState = None,
+    ) -> None:
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel <= 0 or kernel % 2 == 0:
+            raise ValueError("kernel must be a positive odd integer")
+        rng = default_rng(seed)
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        self.kernel = kernel
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.weight = rng.normal(0.0, scale, size=(fan_in, out_channels))
+        self.bias = np.zeros(out_channels)
+        self._grad_weight = np.zeros_like(self.weight)
+        self._grad_bias = np.zeros_like(self.bias)
+        self._columns: np.ndarray | None = None
+        self._input_shape: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects input of shape (batch, {self.in_channels}, H, W), "
+                f"got {inputs.shape}"
+            )
+        pad = self.kernel // 2
+        columns = _im2col(inputs, self.kernel, pad)
+        if training:
+            self._columns = columns
+            self._input_shape = inputs.shape
+        batch, _, height, width = inputs.shape
+        output = columns @ self.weight + self.bias
+        return output.reshape(batch, height, width, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._columns is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, _, height, width = self._input_shape
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(
+            batch, height * width, self.out_channels
+        )
+        self._grad_weight = np.einsum("bpc,bpo->co", self._columns, grad_flat)
+        self._grad_bias = grad_flat.sum(axis=(0, 1))
+        grad_columns = grad_flat @ self.weight.T
+        pad = self.kernel // 2
+        return _col2im(grad_columns, self._input_shape, self.kernel, pad)
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weight": self._grad_weight, "bias": self._grad_bias}
+
+
+class Sequential(Layer):
+    """Chain of layers applied in order."""
+
+    def __init__(self, layers: List[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output, training=training)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameter_layers(self) -> List[Layer]:
+        """Layers that own trainable parameters (recursing into nested containers)."""
+        result: List[Layer] = []
+        for layer in self.layers:
+            if isinstance(layer, Sequential):
+                result.extend(layer.parameter_layers())
+            elif layer.params:
+                result.append(layer)
+        return result

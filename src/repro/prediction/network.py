@@ -1,0 +1,165 @@
+"""Training loop, loss functions and parameter discovery for the NumPy models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.prediction.layers import Layer, Sequential
+from repro.prediction.optim import Adam
+from repro.utils.rng import RandomState, default_rng
+
+#: Model inputs are either a single array or a tuple of view arrays.
+Inputs = Union[np.ndarray, Tuple[np.ndarray, ...]]
+
+
+def mse_loss(predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared-error loss and its gradient w.r.t. the predictions."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"predictions and targets must have the same shape, got "
+            f"{predictions.shape} vs {targets.shape}"
+        )
+    diff = predictions - targets
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def mae_metric(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error used as the validation metric."""
+    return float(np.mean(np.abs(np.asarray(predictions) - np.asarray(targets))))
+
+
+def collect_parameter_layers(layer: Layer) -> List[Layer]:
+    """Recursively gather every sub-layer that owns trainable parameters.
+
+    Composite layers expose their children either through a ``layers``
+    attribute (e.g. :class:`~repro.prediction.layers.Sequential`) or a
+    ``children()`` method (custom multi-branch networks).
+    """
+    if isinstance(layer, Sequential):
+        result: List[Layer] = []
+        for child in layer.layers:
+            result.extend(collect_parameter_layers(child))
+        return result
+    children = getattr(layer, "children", None)
+    if callable(children):
+        result = []
+        for child in children():
+            result.extend(collect_parameter_layers(child))
+        return result
+    if layer.params:
+        return [layer]
+    return []
+
+
+def _slice_inputs(inputs: Inputs, indices: np.ndarray) -> Inputs:
+    if isinstance(inputs, tuple):
+        return tuple(view[indices] for view in inputs)
+    return inputs[indices]
+
+
+def _num_samples(inputs: Inputs) -> int:
+    if isinstance(inputs, tuple):
+        return inputs[0].shape[0]
+    return inputs.shape[0]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training and validation metrics."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_mae: List[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Mini-batch Adam trainer with optional early stopping on validation MAE."""
+
+    def __init__(
+        self,
+        network: Layer,
+        learning_rate: float = 1e-3,
+        epochs: int = 20,
+        batch_size: int = 32,
+        patience: Optional[int] = 5,
+        seed: RandomState = None,
+    ) -> None:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.network = network
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.patience = patience
+        self._rng = default_rng(seed)
+        parameter_layers = collect_parameter_layers(network)
+        if not parameter_layers:
+            raise ValueError("the network has no trainable parameters")
+        self.optimizer = Adam(parameter_layers, learning_rate=learning_rate)
+
+    def fit(
+        self,
+        inputs: Inputs,
+        targets: np.ndarray,
+        val_inputs: Optional[Inputs] = None,
+        val_targets: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train the network; returns the per-epoch history."""
+        history = TrainingHistory()
+        num_samples = _num_samples(inputs)
+        if num_samples == 0:
+            raise ValueError("cannot train on zero samples")
+        best_val = np.inf
+        epochs_without_improvement = 0
+        for _ in range(self.epochs):
+            order = self._rng.permutation(num_samples)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, num_samples, self.batch_size):
+                indices = order[start : start + self.batch_size]
+                batch_inputs = _slice_inputs(inputs, indices)
+                batch_targets = targets[indices]
+                predictions = self.network.forward(batch_inputs, training=True)
+                loss, grad = mse_loss(predictions, batch_targets)
+                self.network.backward(grad)
+                self.optimizer.step()
+                epoch_loss += loss
+                batches += 1
+            history.train_loss.append(epoch_loss / max(batches, 1))
+            if val_inputs is not None and val_targets is not None:
+                predictions = self.network.forward(val_inputs, training=False)
+                val_mae = mae_metric(predictions, val_targets)
+                history.val_mae.append(val_mae)
+                if val_mae < best_val - 1e-9:
+                    best_val = val_mae
+                    epochs_without_improvement = 0
+                elif self.patience is not None:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= self.patience:
+                        break
+        return history
+
+    def predict(self, inputs: Inputs, batch_size: Optional[int] = None) -> np.ndarray:
+        """Run the network in inference mode, optionally in batches."""
+        if batch_size is None:
+            return self.network.forward(inputs, training=False)
+        num_samples = _num_samples(inputs)
+        outputs = []
+        for start in range(0, num_samples, batch_size):
+            indices = np.arange(start, min(start + batch_size, num_samples))
+            outputs.append(
+                self.network.forward(_slice_inputs(inputs, indices), training=False)
+            )
+        return np.concatenate(outputs, axis=0)

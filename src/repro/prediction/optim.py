@@ -1,0 +1,96 @@
+"""Optimisers for the NumPy neural-network layers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.prediction.layers import Layer
+
+
+class Optimizer:
+    """Base optimiser updating a list of parameterised layers in place."""
+
+    def __init__(self, layers: List[Layer], learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.layers = [layer for layer in layers if layer.params]
+        self.learning_rate = learning_rate
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored in the layers."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, layers: List[Layer], learning_rate: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        super().__init__(layers, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def step(self) -> None:
+        for layer, velocity in zip(self.layers, self._velocity):
+            grads = layer.grads
+            for name, param in layer.params.items():
+                velocity[name] = self.momentum * velocity[name] - self.learning_rate * grads[name]
+                param += velocity[name]
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        layers: List[Layer],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(layers, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step = 0
+        self._first_moment: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in self.layers
+        ]
+        self._second_moment: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for layer, first, second in zip(
+            self.layers, self._first_moment, self._second_moment
+        ):
+            grads = layer.grads
+            for name, param in layer.params.items():
+                grad = grads[name]
+                first[name] = self.beta1 * first[name] + (1.0 - self.beta1) * grad
+                second[name] = self.beta2 * second[name] + (1.0 - self.beta2) * grad**2
+                corrected_first = first[name] / bias1
+                corrected_second = second[name] / bias2
+                param -= (
+                    self.learning_rate
+                    * corrected_first
+                    / (np.sqrt(corrected_second) + self.epsilon)
+                )

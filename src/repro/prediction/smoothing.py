@@ -1,0 +1,104 @@
+"""Exponential-smoothing baseline predictor.
+
+A classical per-cell time-series baseline between the historical average and
+the neural models: each cell's demand is forecast by simple exponential
+smoothing over its recent history, optionally blended with the same-slot
+historical mean (a light-weight seasonal correction).  Useful as a sanity
+baseline in experiments and as a fast model for the search sweeps that still
+reacts to recent demand shifts (unlike the pure historical average).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.interfaces import DaySlot
+from repro.data.dataset import EventDataset
+from repro.utils.validation import ensure_probability
+
+
+class ExponentialSmoothingPredictor:
+    """Per-cell exponential smoothing with a seasonal (same-slot mean) blend.
+
+    Parameters
+    ----------
+    smoothing:
+        Smoothing factor ``alpha`` of the exponentially weighted average over
+        the recent history (0 = ignore recent history, 1 = last value only).
+    seasonal_weight:
+        Weight of the same-slot historical mean in the final forecast;
+        ``1 - seasonal_weight`` goes to the smoothed recent level.
+    history_slots:
+        Number of recent slots folded into the smoothed level at prediction
+        time.
+    """
+
+    name = "exponential_smoothing"
+
+    def __init__(
+        self,
+        smoothing: float = 0.4,
+        seasonal_weight: float = 0.5,
+        history_slots: int = 8,
+        workdays_only: bool = True,
+    ) -> None:
+        ensure_probability(smoothing, "smoothing")
+        ensure_probability(seasonal_weight, "seasonal_weight")
+        if history_slots <= 0:
+            raise ValueError("history_slots must be positive")
+        self.smoothing = smoothing
+        self.seasonal_weight = seasonal_weight
+        self.history_slots = history_slots
+        self.workdays_only = workdays_only
+        self._slot_means: Optional[np.ndarray] = None
+        self._resolution: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self._slot_means is not None
+
+    def fit(self, dataset: EventDataset, resolution: int) -> None:
+        """Estimate the per-slot seasonal means from the training split."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        days = list(dataset.split.train_days)
+        if self.workdays_only:
+            workdays = dataset.workdays(days)
+            if workdays:
+                days = workdays
+        counts = dataset.counts(resolution)[np.asarray(days, dtype=int)]
+        self._slot_means = counts.mean(axis=0)
+        self._resolution = resolution
+
+    def predict(
+        self, dataset: EventDataset, resolution: int, targets: Sequence[DaySlot]
+    ) -> np.ndarray:
+        """Blend the smoothed recent level with the same-slot seasonal mean."""
+        if self._slot_means is None:
+            raise RuntimeError("predict called before fit")
+        if resolution != self._resolution:
+            raise ValueError(
+                f"model was fitted at resolution {self._resolution}, "
+                f"cannot predict at {resolution}"
+            )
+        counts = dataset.counts(resolution)
+        slots = dataset.slots_per_day
+        flat = counts.reshape(-1, resolution, resolution)
+        total = flat.shape[0]
+        weights = self.smoothing * (1.0 - self.smoothing) ** np.arange(self.history_slots)
+        weights = weights / weights.sum()
+        predictions = np.empty((len(targets), resolution, resolution))
+        for index, (day, slot) in enumerate(targets):
+            t = int(day) * slots + int(slot)
+            if not 0 <= t < total:
+                raise ValueError(f"target ({day}, {slot}) outside the dataset range")
+            history_index = np.clip(np.arange(t - self.history_slots, t), 0, total - 1)
+            recent = np.tensordot(weights[::-1], flat[history_index], axes=(0, 0))
+            seasonal = self._slot_means[int(slot)]
+            predictions[index] = (
+                self.seasonal_weight * seasonal + (1.0 - self.seasonal_weight) * recent
+            )
+        return np.maximum(predictions, 0.0)

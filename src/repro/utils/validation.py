@@ -1,0 +1,62 @@
+"""Argument validation helpers shared across the library.
+
+These raise ``ValueError`` with consistent messages so user-facing APIs give
+actionable feedback instead of failing deep inside numeric code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate that ``low <= value <= high`` and return ``value``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def ensure_perfect_square(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive perfect square and return it.
+
+    The paper restricts the number of model grids ``n`` to perfect squares so
+    the city is partitioned into ``sqrt(n) x sqrt(n)`` rectangles.
+    """
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    root = math.isqrt(int(value))
+    if root * root != value:
+        raise ValueError(f"{name} must be a perfect square, got {value!r}")
+    return int(value)
+
+
+def ensure_instance(value: Any, expected_type: type, name: str) -> Any:
+    """Validate that ``value`` is an instance of ``expected_type``."""
+    if not isinstance(value, expected_type):
+        raise TypeError(
+            f"{name} must be an instance of {expected_type.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,78 @@
+"""Tests for repro.analysis (uniformity and distribution summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    order_distribution_grid,
+    spatial_concentration_summary,
+    trip_length_histogram,
+)
+from repro.analysis.uniformity import correlation, uniformity_vs_expression_error
+from repro.core.grid import GridLayout
+from repro.data.dataset import DatasetSplit, EventDataset
+
+
+class TestUniformity:
+    def test_points_cover_all_mgrids(self, tiny_dataset):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=16)
+        points = uniformity_vs_expression_error(tiny_dataset, layout, slot=16)
+        assert len(points) == 4
+        assert all(point.expression_error >= 0 for point in points)
+        assert all(point.d_alpha >= 0 for point in points)
+
+    def test_positive_relationship_on_concentrated_city(self, nyc_dataset):
+        """Figure 13: more uneven MGrids have larger expression error."""
+        layout = GridLayout(num_mgrids=16, hgrids_per_mgrid=16)
+        points = uniformity_vs_expression_error(nyc_dataset, layout, slot=16)
+        meaningful = [p for p in points if p.total_alpha > 0.1]
+        assert len(meaningful) >= 4
+        assert correlation(meaningful) > 0.2
+
+    def test_correlation_requires_two_points(self, tiny_dataset):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)
+        points = uniformity_vs_expression_error(tiny_dataset, layout, slot=16)
+        with pytest.raises(ValueError):
+            correlation(points[:1])
+
+
+class TestDistributions:
+    def test_order_distribution_total(self, tiny_dataset):
+        grid = order_distribution_grid(tiny_dataset, resolution=16)
+        assert grid.shape == (16, 16)
+        assert grid.sum() == len(tiny_dataset.test_events())
+
+    def test_order_distribution_single_slot(self, tiny_dataset):
+        full = order_distribution_grid(tiny_dataset, resolution=8)
+        one = order_distribution_grid(tiny_dataset, resolution=8, slot=16)
+        assert one.sum() <= full.sum()
+
+    def test_trip_length_histogram_counts_everything(self, tiny_dataset):
+        histogram = trip_length_histogram(tiny_dataset)
+        assert sum(histogram.values()) == len(tiny_dataset.test_events())
+
+    def test_trip_length_invalid_bins(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            trip_length_histogram(tiny_dataset, bin_edges_km=(5, 5))
+
+    def test_trip_length_requires_city(self, tiny_dataset):
+        detached = EventDataset(
+            tiny_dataset.events,
+            DatasetSplit.chronological(tiny_dataset.num_days),
+            city=None,
+        )
+        with pytest.raises(ValueError):
+            trip_length_histogram(detached)
+
+    def test_concentration_summary_fields(self, nyc_dataset):
+        summary = spatial_concentration_summary(nyc_dataset, resolution=16)
+        assert summary.city == "nyc_like"
+        assert 0 <= summary.gini <= 1
+        assert 0 <= summary.top_decile_share <= 1
+        assert summary.total_test_orders > 0
+
+    def test_city_concentration_ordering(self, nyc_dataset, xian_dataset):
+        """The NYC-like city must be more spatially concentrated than Xi'an-like."""
+        nyc = spatial_concentration_summary(nyc_dataset, resolution=16)
+        xian = spatial_concentration_summary(xian_dataset, resolution=16)
+        assert nyc.gini > xian.gini

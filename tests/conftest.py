@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (synthetic datasets) are session-scoped so the whole
+suite builds each of them exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CityConfig, EventDataset, GaussianHotspot, IntensitySurface, UniformBackground
+from repro.data.presets import nyc_like, xian_like
+from repro.experiments.config import TINY
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic generator for ad-hoc sampling inside tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_city() -> CityConfig:
+    """A very small synthetic city used across the data/prediction tests."""
+    surface = IntensitySurface(
+        [
+            GaussianHotspot(0.35, 0.6, 0.1, 0.12, weight=3.0),
+            GaussianHotspot(0.7, 0.3, 0.08, 0.08, weight=1.5),
+            UniformBackground(weight=0.4),
+        ]
+    )
+    return CityConfig(
+        name="test_city",
+        width_km=10.0,
+        height_km=12.0,
+        daily_volume=2400.0,
+        surface=surface,
+        raster_resolution=64,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_city: CityConfig) -> EventDataset:
+    """A 12-day dataset for the tiny test city."""
+    return EventDataset.from_city(tiny_city, num_days=12, seed=42)
+
+
+@pytest.fixture(scope="session")
+def xian_dataset() -> EventDataset:
+    """A small Xi'an-like dataset (nearly uniform demand)."""
+    return EventDataset.from_city(xian_like(scale=0.004), num_days=10, seed=11)
+
+
+@pytest.fixture(scope="session")
+def nyc_dataset() -> EventDataset:
+    """A small NYC-like dataset (concentrated demand)."""
+    return EventDataset.from_city(nyc_like(scale=0.004), num_days=10, seed=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_context() -> ExperimentContext:
+    """Experiment context on the tiny profile (cached datasets per city)."""
+    return ExperimentContext(config=TINY)

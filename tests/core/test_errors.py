@@ -1,0 +1,150 @@
+"""Tests for repro.core.errors — the empirical real/model/expression decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.errors import (
+    decompose_errors,
+    expression_error_total_empirical,
+    model_error_total,
+    real_error_total,
+)
+from repro.core.grid import GridLayout
+
+LAYOUT = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)  # 2x2 MGrids on a 4x4 lattice
+
+
+def example_from_paper():
+    """Example 1 / Figure 1 of the paper: 2x2 MGrids, each split into 2x2 HGrids.
+
+    The MGrid predictions are 8, 2, 4, 4 and the actual MGrid totals 9, 1, 4, 5,
+    giving the paper's model error of 3 and real error of 10.
+    """
+    actual_fine = np.array(
+        [
+            [3.0, 2.0, 0.0, 0.0],
+            [3.0, 1.0, 0.0, 1.0],
+            [0.0, 3.0, 1.0, 1.0],
+            [0.0, 1.0, 1.0, 2.0],
+        ]
+    )
+    predictions = np.array([[8.0, 2.0], [4.0, 4.0]])
+    return predictions, actual_fine
+
+
+class TestPaperExample:
+    def test_model_error_matches_paper(self):
+        predictions, actual_fine = example_from_paper()
+        # |8-9| + |2-1| + |4-4| + |4-5| = 3
+        assert model_error_total(predictions, actual_fine, LAYOUT) == pytest.approx(3.0)
+
+    def test_real_error_matches_paper(self):
+        predictions, actual_fine = example_from_paper()
+        # The paper works the HGrid-level error out to 10.
+        assert real_error_total(predictions, actual_fine, LAYOUT) == pytest.approx(10.0)
+
+    def test_upper_bound_holds_on_example(self):
+        predictions, actual_fine = example_from_paper()
+        report = decompose_errors(predictions, actual_fine, LAYOUT)
+        assert report.satisfies_upper_bound()
+        assert report.real_error == pytest.approx(10.0)
+        assert report.model_error == pytest.approx(3.0)
+
+
+class TestShapesAndValidation:
+    def test_accepts_single_sample_2d(self):
+        predictions, actual_fine = example_from_paper()
+        report = decompose_errors(predictions, actual_fine, LAYOUT)
+        assert report.num_samples == 1
+
+    def test_multi_sample_averaging(self):
+        predictions, actual_fine = example_from_paper()
+        stacked_pred = np.stack([predictions, predictions])
+        stacked_actual = np.stack([actual_fine, actual_fine])
+        report = decompose_errors(stacked_pred, stacked_actual, LAYOUT)
+        assert report.real_error == pytest.approx(10.0)
+        assert report.num_samples == 2
+
+    def test_wrong_prediction_shape_rejected(self):
+        _, actual_fine = example_from_paper()
+        with pytest.raises(ValueError):
+            decompose_errors(np.zeros((3, 3)), actual_fine, LAYOUT)
+
+    def test_wrong_fine_shape_rejected(self):
+        predictions, _ = example_from_paper()
+        with pytest.raises(ValueError):
+            decompose_errors(predictions, np.zeros((5, 5)), LAYOUT)
+
+    def test_mismatched_samples_rejected(self):
+        predictions, actual_fine = example_from_paper()
+        with pytest.raises(ValueError):
+            decompose_errors(
+                np.stack([predictions, predictions]), actual_fine[None], LAYOUT
+            )
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_errors(np.zeros((0, 2, 2)), np.zeros((0, 4, 4)), LAYOUT)
+
+
+class TestTheoremII1:
+    """Property-based check of Theorem II.1: real <= model + expression."""
+
+    count_grids = arrays(
+        dtype=float,
+        shape=(4, 4),
+        elements=st.floats(min_value=0.0, max_value=20.0),
+    )
+    prediction_grids = arrays(
+        dtype=float,
+        shape=(2, 2),
+        elements=st.floats(min_value=0.0, max_value=80.0),
+    )
+
+    @given(prediction_grids, count_grids)
+    @settings(max_examples=80, deadline=None)
+    def test_upper_bound_always_holds(self, predictions, actual_fine):
+        report = decompose_errors(predictions, actual_fine, LAYOUT)
+        assert report.real_error <= report.upper_bound + 1e-9
+
+    @given(count_grids)
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_mgrid_prediction_reduces_real_to_expression(self, actual_fine):
+        """With a perfect MGrid prediction, model error is 0 and the real error
+        equals the (empirical) expression error — the situation of the paper's
+        'real order data' dispatch series."""
+        perfect = LAYOUT.aggregate_to_mgrids(actual_fine[None])[0]
+        report = decompose_errors(perfect, actual_fine, LAYOUT)
+        assert report.model_error == pytest.approx(0.0, abs=1e-9)
+        assert report.real_error == pytest.approx(report.expression_error, abs=1e-9)
+
+    @given(prediction_grids)
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_actual_gives_zero_expression_error(self, predictions):
+        uniform_fine = np.full((4, 4), 3.0)
+        report = decompose_errors(predictions, uniform_fine, LAYOUT)
+        assert report.expression_error == pytest.approx(0.0, abs=1e-9)
+        assert report.real_error == pytest.approx(report.model_error, abs=1e-9)
+
+
+class TestEmpiricalExpressionError:
+    def test_paper_example_value(self):
+        _, actual_fine = example_from_paper()
+        # Spreading each MGrid's actual total evenly and comparing to the truth:
+        # MGrid totals are 9, 1, 4, 5 -> per-HGrid estimates 2.25, 0.25, 1.0, 1.25.
+        expected = (
+            abs(2.25 - 3) + abs(2.25 - 2) + abs(2.25 - 3) + abs(2.25 - 1)
+            + abs(0.25 - 0) + abs(0.25 - 0) + abs(0.25 - 0) + abs(0.25 - 1)
+            + abs(1.0 - 0) + abs(1.0 - 3) + abs(1.0 - 0) + abs(1.0 - 1)
+            + abs(1.25 - 1) + abs(1.25 - 1) + abs(1.25 - 1) + abs(1.25 - 2)
+        )
+        value = expression_error_total_empirical(actual_fine, LAYOUT)
+        assert value == pytest.approx(expected)
+
+    def test_report_bound_gap_non_negative(self):
+        predictions, actual_fine = example_from_paper()
+        report = decompose_errors(predictions, actual_fine, LAYOUT)
+        assert report.bound_gap >= -1e-9

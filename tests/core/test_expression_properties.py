@@ -1,0 +1,90 @@
+"""Additional property-based tests tying the expression error to first principles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.expression import (
+    expression_error_algorithm2,
+    expression_error_gaussian,
+    mgrid_expression_error,
+    total_expression_error,
+)
+from repro.core.grid import GridLayout
+from repro.utils.poisson import poisson_mean_abs_deviation
+
+
+class TestSingleHGridLimits:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 3.0, 7.5])
+    def test_all_demand_in_one_hgrid_of_two(self, alpha):
+        """With m=2 and an empty sibling, the deviation is |X/2 - 0 ... | i.e.
+        half the absolute value of X minus its own half — which reduces to
+        E|X|/2 = alpha/2 exactly."""
+        value = expression_error_algorithm2(alpha, 0.0, 2)
+        assert value == pytest.approx(alpha / 2.0, rel=1e-6)
+
+    @pytest.mark.parametrize("alpha", [0.5, 2.0, 6.0])
+    def test_empty_hgrid_error_is_spread_of_siblings(self, alpha):
+        """An empty HGrid's expression error is E[Y]/m where Y is the siblings'
+        total count (it always gets Y/m assigned while its truth is 0)."""
+        m = 4
+        value = expression_error_algorithm2(0.0, alpha, m)
+        assert value == pytest.approx(alpha / m, rel=1e-6)
+
+    @pytest.mark.parametrize("alpha", [1.0, 4.0, 9.0])
+    def test_symmetric_pair_relates_to_mean_abs_difference(self, alpha):
+        """For two iid Poisson HGrids, each error is E|X - Y|/2 and the MGrid
+        total is E|X - Y| — bounded below by the single-variable MAD."""
+        per_grid = expression_error_algorithm2(alpha, alpha, 2)
+        mgrid_total = mgrid_expression_error(np.array([alpha, alpha]))
+        assert mgrid_total == pytest.approx(2 * per_grid, rel=1e-9)
+        assert mgrid_total >= poisson_mean_abs_deviation(alpha) - 1e-9
+
+
+class TestScalingProperties:
+    @given(
+        arrays(dtype=float, shape=(4,), elements=st.floats(min_value=0.0, max_value=8.0))
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariance(self, alphas):
+        """The MGrid total does not depend on the order of its HGrids."""
+        baseline = mgrid_expression_error(alphas)
+        shuffled = mgrid_expression_error(alphas[::-1])
+        assert shuffled == pytest.approx(baseline, rel=1e-9, abs=1e-12)
+
+    @given(st.floats(min_value=0.2, max_value=6.0), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_mgrid_error_below_concentrated(self, alpha, m):
+        """Spreading the same total demand uniformly never increases the error
+        relative to concentrating it all in one HGrid (Figure 13's message)."""
+        total = alpha * m
+        uniform = mgrid_expression_error(np.full(m, alpha))
+        concentrated = mgrid_expression_error(
+            np.concatenate([[total], np.zeros(m - 1)])
+        )
+        assert uniform <= concentrated + 1e-9
+
+    @given(
+        arrays(dtype=float, shape=(8, 8), elements=st.floats(min_value=0.0, max_value=5.0))
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_total_expression_error_monotone_in_layout(self, alpha_fine):
+        """On a fixed HGrid lattice, splitting the city into more MGrids never
+        increases the total expression error."""
+        coarse = total_expression_error(
+            alpha_fine, GridLayout(num_mgrids=4, hgrids_per_mgrid=16)
+        )
+        fine = total_expression_error(
+            alpha_fine, GridLayout(num_mgrids=16, hgrids_per_mgrid=4)
+        )
+        assert fine <= coarse + 1e-6
+
+    @given(st.floats(min_value=30.0, max_value=200.0), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_gaussian_matches_exact_for_large_means(self, total_alpha, m):
+        alpha = total_alpha / m
+        exact = expression_error_algorithm2(alpha, total_alpha - alpha, m)
+        gaussian = expression_error_gaussian(alpha, total_alpha - alpha, m)
+        assert gaussian == pytest.approx(exact, rel=0.05)

@@ -1,0 +1,178 @@
+"""Tests for repro.core.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import (
+    BoundingBox,
+    GridLayout,
+    GridSpec,
+    aggregate_counts,
+    candidate_mgrid_sides,
+    disaggregate_uniform,
+)
+
+
+class TestBoundingBox:
+    def test_area(self):
+        assert BoundingBox(10, 20).area_km2 == 200
+
+    def test_cell_size(self):
+        assert BoundingBox(10, 20).cell_size_km(4) == (2.5, 5.0)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 5)
+
+
+class TestGridSpec:
+    def test_cell_of_corners(self):
+        spec = GridSpec(4)
+        row, col = spec.cell_of(np.array([0.0, 0.99]), np.array([0.0, 0.99]))
+        assert row.tolist() == [0, 3]
+        assert col.tolist() == [0, 3]
+
+    def test_cell_of_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GridSpec(4).cell_of(np.array([1.0]), np.array([0.5]))
+
+    def test_flat_index_roundtrip(self):
+        spec = GridSpec(5)
+        flat = spec.flat_index(np.array([2]), np.array([3]))
+        assert flat[0] == 13
+
+    def test_flat_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            GridSpec(3).flat_index(np.array([3]), np.array([0]))
+
+    def test_cell_center(self):
+        assert GridSpec(2).cell_center(0, 1) == (0.75, 0.25)
+
+    def test_cell_center_out_of_range(self):
+        with pytest.raises(ValueError):
+            GridSpec(2).cell_center(2, 0)
+
+    def test_histogram_counts(self):
+        spec = GridSpec(2)
+        grid = spec.histogram(np.array([0.1, 0.9, 0.9]), np.array([0.1, 0.9, 0.95]))
+        assert grid[0, 0] == 1
+        assert grid[1, 1] == 2
+        assert grid.sum() == 3
+
+    def test_histogram_empty(self):
+        assert GridSpec(3).histogram(np.array([]), np.array([])).sum() == 0
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            GridSpec(0)
+
+
+class TestAggregation:
+    def test_aggregate_sums_blocks(self):
+        fine = np.arange(16, dtype=float).reshape(4, 4)
+        coarse = aggregate_counts(fine, 2)
+        assert coarse.shape == (2, 2)
+        assert coarse[0, 0] == 0 + 1 + 4 + 5
+
+    def test_aggregate_preserves_total(self):
+        fine = np.random.default_rng(0).random((3, 2, 8, 8))
+        coarse = aggregate_counts(fine, 4)
+        assert coarse.shape == (3, 2, 2, 2)
+        assert coarse.sum() == pytest.approx(fine.sum())
+
+    def test_aggregate_invalid_factor(self):
+        with pytest.raises(ValueError):
+            aggregate_counts(np.zeros((4, 4)), 3)
+        with pytest.raises(ValueError):
+            aggregate_counts(np.zeros((4, 4)), 0)
+
+    def test_disaggregate_uniform_spreads_evenly(self):
+        coarse = np.array([[4.0]])
+        fine = disaggregate_uniform(coarse, 2)
+        np.testing.assert_allclose(fine, 1.0)
+
+    def test_aggregate_disaggregate_roundtrip(self):
+        coarse = np.random.default_rng(1).random((2, 3, 3))
+        roundtrip = aggregate_counts(disaggregate_uniform(coarse, 4), 4)
+        np.testing.assert_allclose(roundtrip, coarse)
+
+    def test_disaggregate_invalid_factor(self):
+        with pytest.raises(ValueError):
+            disaggregate_uniform(np.zeros((2, 2)), 0)
+
+
+class TestGridLayout:
+    def test_for_ogss_basic(self):
+        layout = GridLayout.for_ogss(16, 64)
+        assert layout.mgrid_side == 4
+        assert layout.hgrid_side == 2
+        assert layout.hgrids_per_mgrid == 4
+        assert layout.fine_resolution == 8
+        assert layout.total_hgrids == 64
+
+    def test_for_ogss_satisfies_budget(self):
+        """n * m must always be at least N (the OGSS constraint)."""
+        for side in range(1, 17):
+            layout = GridLayout.for_ogss(side * side, 256)
+            assert layout.total_hgrids >= 256
+
+    def test_for_ogss_n_equals_budget(self):
+        layout = GridLayout.for_ogss(64, 64)
+        assert layout.hgrids_per_mgrid == 1
+        assert layout.fine_resolution == 8
+
+    def test_non_square_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            GridLayout.for_ogss(15, 64)
+        with pytest.raises(ValueError):
+            GridLayout.for_ogss(16, 60)
+        with pytest.raises(ValueError):
+            GridLayout(num_mgrids=3, hgrids_per_mgrid=4)
+
+    def test_mgrid_alpha_blocks_groups_correctly(self):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)
+        alpha = np.arange(16, dtype=float).reshape(4, 4)
+        blocks = layout.mgrid_alpha_blocks(alpha)
+        assert blocks.shape == (4, 4)
+        # MGrid 0 covers the top-left 2x2 block of the fine grid.
+        np.testing.assert_allclose(sorted(blocks[0]), [0, 1, 4, 5])
+        # Totals are preserved.
+        assert blocks.sum() == pytest.approx(alpha.sum())
+
+    def test_mgrid_alpha_blocks_wrong_shape(self):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)
+        with pytest.raises(ValueError):
+            layout.mgrid_alpha_blocks(np.zeros((3, 3)))
+
+    def test_aggregate_and_spread(self):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)
+        fine = np.random.default_rng(2).random((5, 4, 4))
+        coarse = layout.aggregate_to_mgrids(fine)
+        assert coarse.shape == (5, 2, 2)
+        spread = layout.spread_to_hgrids(coarse)
+        assert spread.shape == (5, 4, 4)
+        np.testing.assert_allclose(layout.aggregate_to_mgrids(spread), coarse)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=14))
+    @settings(max_examples=50, deadline=None)
+    def test_budget_constraint_property(self, side, budget_side):
+        layout = GridLayout.for_ogss(side * side, budget_side * budget_side)
+        assert layout.total_hgrids >= budget_side * budget_side
+        assert layout.fine_resolution >= budget_side
+        assert layout.fine_resolution == layout.mgrid_side * layout.hgrid_side
+
+
+class TestCandidateSides:
+    def test_full_range(self):
+        assert candidate_mgrid_sides(64) == list(range(1, 9))
+
+    def test_min_side(self):
+        assert candidate_mgrid_sides(64, min_side=3) == list(range(3, 9))
+
+    def test_invalid_min_side(self):
+        with pytest.raises(ValueError):
+            candidate_mgrid_sides(64, min_side=0)
+        with pytest.raises(ValueError):
+            candidate_mgrid_sides(64, min_side=9)

@@ -1,0 +1,114 @@
+"""Tests for repro.core.homogeneity (D_alpha and the selection of N)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.grid import GridLayout, disaggregate_uniform
+from repro.core.homogeneity import (
+    DAlphaCurve,
+    d_alpha,
+    d_alpha_curve,
+    d_alpha_per_mgrid,
+    select_hgrid_budget,
+)
+
+
+class TestDAlpha:
+    def test_uniform_grid_is_zero(self):
+        assert d_alpha(np.full((4, 4), 3.0)) == 0.0
+
+    def test_known_value(self):
+        alpha = np.array([0.0, 0.0, 4.0, 4.0])
+        # mean 2 -> |0-2|*2 + |4-2|*2 = 8
+        assert d_alpha(alpha) == pytest.approx(8.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            d_alpha(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            d_alpha(np.array([1.0, -1.0]))
+
+    @given(
+        arrays(dtype=float, shape=(4, 4), elements=st.floats(min_value=0, max_value=50))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_theorem_iii1_invariance_under_uniform_refinement(self, alpha):
+        """Theorem III.1: refining already-uniform HGrids keeps D_alpha unchanged."""
+        refined = disaggregate_uniform(alpha, 2)
+        assert d_alpha(refined) == pytest.approx(d_alpha(alpha), rel=1e-9, abs=1e-9)
+
+    @given(
+        arrays(dtype=float, shape=(8, 8), elements=st.floats(min_value=0, max_value=50))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_aggregation_never_increases_d_alpha(self, alpha_fine):
+        """Coarsening can only hide unevenness, never create it."""
+        from repro.core.grid import aggregate_counts
+
+        coarse = aggregate_counts(alpha_fine, 2)
+        assert d_alpha(coarse) <= d_alpha(alpha_fine) + 1e-9
+
+
+class TestDAlphaPerMGrid:
+    def test_shape_and_values(self):
+        blocks = np.array([[1.0, 1.0, 1.0, 1.0], [0.0, 0.0, 0.0, 8.0]])
+        values = d_alpha_per_mgrid(blocks)
+        assert values.shape == (2,)
+        assert values[0] == 0.0
+        assert values[1] == pytest.approx(12.0)  # mean 2: 2+2+2+6
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            d_alpha_per_mgrid(np.zeros(4))
+
+
+class TestDAlphaCurve:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            DAlphaCurve(resolutions=(4, 8), values=(1.0,))
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            DAlphaCurve(resolutions=(4,), values=(1.0,))
+
+    def test_turning_point_detection(self):
+        curve = DAlphaCurve(
+            resolutions=(4, 8, 16, 32), values=(10.0, 18.0, 20.0, 20.2)
+        )
+        assert curve.turning_point(flatness=0.05) == 16
+
+    def test_turning_point_never_flattens(self):
+        curve = DAlphaCurve(resolutions=(4, 8, 16), values=(1.0, 2.0, 4.0))
+        assert curve.turning_point() == 16
+
+    def test_invalid_flatness(self):
+        curve = DAlphaCurve(resolutions=(4, 8), values=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            curve.turning_point(flatness=0)
+
+
+class TestCurveConstruction:
+    def test_curve_from_dataset(self, tiny_dataset):
+        curve = d_alpha_curve(
+            lambda g: tiny_dataset.alpha(g, slot=16), [2, 4, 8, 16]
+        )
+        assert len(curve.values) == 4
+        # D_alpha grows (weakly) with resolution on real-ish data.
+        assert curve.values[-1] >= curve.values[0]
+
+    def test_invalid_resolution_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            d_alpha_curve(lambda g: tiny_dataset.alpha(g, slot=16), [0, 4])
+
+    def test_select_budget_is_square(self, tiny_dataset):
+        budget = select_hgrid_budget(
+            lambda g: tiny_dataset.alpha(g, slot=16), [2, 4, 8, 16]
+        )
+        side = int(round(budget**0.5))
+        assert side * side == budget
+        assert side in (2, 4, 8, 16)

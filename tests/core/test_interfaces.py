@@ -1,0 +1,60 @@
+"""Tests for repro.core.interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import (
+    DemandPredictor,
+    actual_counts_for_targets,
+    evaluation_targets,
+)
+from repro.prediction.historical import HistoricalAveragePredictor
+
+
+class TestEvaluationTargets:
+    def test_skips_slots_without_history(self, tiny_dataset):
+        targets = evaluation_targets(tiny_dataset, [0], min_history_slots=8)
+        assert targets[0] == (0, 8)
+        assert len(targets) == 40
+
+    def test_full_day_when_history_available(self, tiny_dataset):
+        targets = evaluation_targets(tiny_dataset, [5])
+        assert len(targets) == 48
+        assert targets[0] == (5, 0)
+
+    def test_multiple_days(self, tiny_dataset):
+        targets = evaluation_targets(tiny_dataset, [5, 6])
+        assert len(targets) == 96
+
+    def test_out_of_range_day_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            evaluation_targets(tiny_dataset, [99])
+
+    def test_empty_result_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            evaluation_targets(tiny_dataset, [0], min_history_slots=48)
+
+
+class TestActualCounts:
+    def test_matches_count_tensor(self, tiny_dataset):
+        targets = [(5, 0), (5, 16), (6, 47)]
+        actual = actual_counts_for_targets(tiny_dataset, 4, targets)
+        counts = tiny_dataset.counts(4)
+        assert actual.shape == (3, 4, 4)
+        np.testing.assert_allclose(actual[1], counts[5, 16])
+
+    def test_total_preserved(self, tiny_dataset):
+        targets = evaluation_targets(tiny_dataset, [11])
+        actual = actual_counts_for_targets(tiny_dataset, 8, targets)
+        assert actual.sum() == tiny_dataset.counts(8)[11].sum()
+
+
+class TestProtocol:
+    def test_historical_average_satisfies_protocol(self):
+        assert isinstance(HistoricalAveragePredictor(), DemandPredictor)
+
+    def test_incomplete_object_fails_protocol(self):
+        class NotAPredictor:
+            name = "nope"
+
+        assert not isinstance(NotAPredictor(), DemandPredictor)

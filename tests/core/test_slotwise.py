@@ -1,0 +1,79 @@
+"""Tests for repro.core.slotwise (per-time-slot grid tuning extension)."""
+
+import pytest
+
+from repro.core.slotwise import SlotwiseGridTuner
+from repro.prediction.historical import HistoricalAveragePredictor
+from repro.prediction.oracle import NoisyOraclePredictor
+
+
+@pytest.fixture()
+def slotwise_tuner(tiny_dataset):
+    return SlotwiseGridTuner(
+        tiny_dataset,
+        lambda: NoisyOraclePredictor(noise_level=0.6, seed=2),
+        hgrid_budget=64,
+        algorithm="iterative",
+        search_kwargs={"bound": 2, "initial_side": 4},
+    )
+
+
+class TestSlotTuning:
+    def test_tune_single_slot(self, slotwise_tuner):
+        result = slotwise_tuner.tune_slot(16)
+        assert result.slot == 16
+        assert 2 <= result.best_side <= 8
+        assert result.best_n == result.best_side**2
+        assert result.evaluations >= 1
+
+    def test_evaluators_cached_per_slot(self, slotwise_tuner):
+        first = slotwise_tuner.evaluator_for_slot(16)
+        second = slotwise_tuner.evaluator_for_slot(16)
+        other = slotwise_tuner.evaluator_for_slot(20)
+        assert first is second
+        assert first is not other
+
+    def test_different_slots_may_select_different_sides(self, slotwise_tuner):
+        """Figure 18: the per-slot optima form a distribution, not a constant.
+
+        At tiny scale two specific slots can coincide, so only the report's
+        bookkeeping is asserted here (distribution sums to the slot count)."""
+        report = slotwise_tuner.tune([4, 16, 32])
+        distribution = report.side_distribution()
+        assert sum(distribution.values()) == 3
+        assert all(2 <= side <= 8 for side in distribution)
+
+    def test_compromise_side_minimises_total_bound(self, slotwise_tuner):
+        report = slotwise_tuner.tune([16, 17])
+        candidates = sorted({result.best_side for result in report.results})
+        totals = {
+            side: sum(
+                slotwise_tuner.evaluator_for_slot(result.slot)(side)
+                for result in report.results
+            )
+            for side in candidates
+        }
+        assert report.compromise_side in candidates
+        assert report.compromise_value == pytest.approx(min(totals.values()))
+
+    def test_modal_side_is_a_selected_side(self, slotwise_tuner):
+        report = slotwise_tuner.tune([16, 17])
+        assert report.modal_side in {result.best_side for result in report.results}
+
+    def test_empty_slot_list_rejected(self, slotwise_tuner):
+        with pytest.raises(ValueError):
+            slotwise_tuner.tune([])
+
+    def test_invalid_budget_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SlotwiseGridTuner(tiny_dataset, HistoricalAveragePredictor, hgrid_budget=63)
+
+    def test_works_with_other_algorithms(self, tiny_dataset):
+        tuner = SlotwiseGridTuner(
+            tiny_dataset,
+            HistoricalAveragePredictor,
+            hgrid_budget=64,
+            algorithm="ternary",
+        )
+        result = tuner.tune_slot(16)
+        assert 2 <= result.best_side <= 8

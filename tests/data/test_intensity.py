@@ -1,0 +1,129 @@
+"""Tests for repro.data.intensity."""
+
+import numpy as np
+import pytest
+
+from repro.data.intensity import (
+    Corridor,
+    GaussianHotspot,
+    IntensitySurface,
+    UniformBackground,
+)
+
+
+class TestGaussianHotspot:
+    def test_peak_at_center(self):
+        hotspot = GaussianHotspot(0.5, 0.5, 0.1, 0.1, weight=2.0)
+        center = hotspot.density(np.array([0.5]), np.array([0.5]))[0]
+        off = hotspot.density(np.array([0.9]), np.array([0.9]))[0]
+        assert center == pytest.approx(2.0)
+        assert off < center
+
+    def test_invalid_center_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianHotspot(1.5, 0.5, 0.1, 0.1)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianHotspot(0.5, 0.5, 0.0, 0.1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianHotspot(0.5, 0.5, 0.1, 0.1, weight=-1)
+
+    def test_anisotropy(self):
+        hotspot = GaussianHotspot(0.5, 0.5, 0.3, 0.05)
+        along_x = hotspot.density(np.array([0.7]), np.array([0.5]))[0]
+        along_y = hotspot.density(np.array([0.5]), np.array([0.7]))[0]
+        assert along_x > along_y
+
+
+class TestCorridor:
+    def test_density_highest_on_segment(self):
+        corridor = Corridor(0.2, 0.5, 0.8, 0.5, width=0.05)
+        on_line = corridor.density(np.array([0.5]), np.array([0.5]))[0]
+        off_line = corridor.density(np.array([0.5]), np.array([0.8]))[0]
+        assert on_line > off_line
+
+    def test_clips_to_segment_end(self):
+        corridor = Corridor(0.2, 0.5, 0.8, 0.5, width=0.05)
+        past_end = corridor.density(np.array([0.95]), np.array([0.5]))[0]
+        at_end = corridor.density(np.array([0.8]), np.array([0.5]))[0]
+        assert past_end < at_end
+
+    def test_degenerate_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Corridor(0.5, 0.5, 0.5, 0.5, width=0.1)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Corridor(0.1, 0.1, 0.9, 0.9, width=0.0)
+
+
+class TestUniformBackground:
+    def test_constant_density(self):
+        background = UniformBackground(weight=0.7)
+        values = background.density(np.array([0.1, 0.9]), np.array([0.2, 0.8]))
+        np.testing.assert_allclose(values, 0.7)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            UniformBackground(weight=-0.1)
+
+
+class TestIntensitySurface:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            IntensitySurface([])
+
+    def test_rasterize_sums_to_one(self):
+        surface = IntensitySurface([GaussianHotspot(0.5, 0.5, 0.2, 0.2)])
+        grid = surface.rasterize(32)
+        assert grid.shape == (32, 32)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_rasterize_invalid_resolution(self):
+        surface = IntensitySurface([UniformBackground()])
+        with pytest.raises(ValueError):
+            surface.rasterize(0)
+
+    def test_uniform_surface_rasterizes_evenly(self):
+        grid = IntensitySurface([UniformBackground()]).rasterize(8)
+        np.testing.assert_allclose(grid, 1.0 / 64, rtol=1e-9)
+
+    def test_sample_within_unit_square(self):
+        surface = IntensitySurface([GaussianHotspot(0.4, 0.6, 0.1, 0.1)])
+        xs, ys = surface.sample(500, np.random.default_rng(0), resolution=64)
+        assert np.all((xs >= 0) & (xs < 1))
+        assert np.all((ys >= 0) & (ys < 1))
+
+    def test_sample_zero_count(self):
+        surface = IntensitySurface([UniformBackground()])
+        xs, ys = surface.sample(0, np.random.default_rng(0))
+        assert len(xs) == 0 and len(ys) == 0
+
+    def test_sample_negative_count_rejected(self):
+        surface = IntensitySurface([UniformBackground()])
+        with pytest.raises(ValueError):
+            surface.sample(-1, np.random.default_rng(0))
+
+    def test_sample_concentrates_near_hotspot(self):
+        surface = IntensitySurface([GaussianHotspot(0.3, 0.3, 0.05, 0.05, weight=5.0)])
+        xs, ys = surface.sample(2000, np.random.default_rng(0), resolution=64)
+        assert abs(xs.mean() - 0.3) < 0.05
+        assert abs(ys.mean() - 0.3) < 0.05
+
+    def test_concentration_index_ordering(self):
+        uniform = IntensitySurface([UniformBackground()])
+        peaked = IntensitySurface([GaussianHotspot(0.5, 0.5, 0.03, 0.03, weight=5.0)])
+        assert uniform.concentration_index() < 0.05
+        assert peaked.concentration_index() > uniform.concentration_index()
+
+    def test_mixture_density_is_additive(self):
+        a = GaussianHotspot(0.3, 0.3, 0.1, 0.1)
+        b = UniformBackground(0.5)
+        surface = IntensitySurface([a, b])
+        xs, ys = np.array([0.3]), np.array([0.3])
+        assert surface.density(xs, ys)[0] == pytest.approx(
+            a.density(xs, ys)[0] + b.density(xs, ys)[0]
+        )

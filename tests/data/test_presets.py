@@ -1,0 +1,50 @@
+"""Tests for repro.data.presets."""
+
+import pytest
+
+from repro.data.presets import (
+    CITY_PRESETS,
+    chengdu_like,
+    city_preset,
+    nyc_like,
+    xian_like,
+)
+
+
+class TestPresets:
+    def test_all_presets_constructible(self):
+        for name in CITY_PRESETS:
+            config = city_preset(name, scale=0.01)
+            assert config.daily_volume > 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            city_preset("atlantis")
+
+    def test_scale_changes_volume_only(self):
+        small = nyc_like(scale=0.01)
+        large = nyc_like(scale=0.02)
+        assert large.daily_volume == pytest.approx(2 * small.daily_volume)
+        assert large.width_km == small.width_km
+
+    def test_volumes_match_paper_order_counts(self):
+        assert nyc_like(1.0).daily_volume == pytest.approx(282_255)
+        assert chengdu_like(1.0).daily_volume == pytest.approx(238_868)
+        assert xian_like(1.0).daily_volume == pytest.approx(109_753)
+
+    def test_city_extents_match_paper(self):
+        nyc = nyc_like()
+        assert (nyc.width_km, nyc.height_km) == (23.0, 37.0)
+        xian = xian_like()
+        assert (xian.width_km, xian.height_km) == (8.5, 8.6)
+
+    def test_concentration_ordering(self):
+        """NYC must be more concentrated than Chengdu, Chengdu more than Xi'an.
+
+        This ordering is what drives the paper's observation that the optimal
+        grid size differs per city (expression error ordering in Figure 3).
+        """
+        nyc = nyc_like().surface.concentration_index(48)
+        chengdu = chengdu_like().surface.concentration_index(48)
+        xian = xian_like().surface.concentration_index(48)
+        assert nyc > chengdu > xian

@@ -1,0 +1,77 @@
+"""Tests for repro.data.temporal."""
+
+import numpy as np
+import pytest
+
+from repro.data.events import TimeSlotConfig
+from repro.data.temporal import TemporalProfile
+
+
+class TestTemporalProfile:
+    def test_weekday_profile_normalised(self):
+        profile = TemporalProfile()
+        assert profile.weekday_hourly.mean() == pytest.approx(1.0)
+        assert profile.weekend_hourly.mean() == pytest.approx(1.0)
+
+    def test_invalid_profile_length_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalProfile(weekday_hourly=np.ones(23))
+
+    def test_negative_profile_rejected(self):
+        bad = np.ones(24)
+        bad[3] = -1
+        with pytest.raises(ValueError):
+            TemporalProfile(weekday_hourly=bad)
+
+    def test_invalid_weekend_factor_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalProfile(weekend_volume_factor=0.0)
+
+    def test_weekend_detection(self):
+        profile = TemporalProfile()
+        assert not profile.is_weekend(0)  # Monday
+        assert profile.is_weekend(5)  # Saturday
+        assert profile.is_weekend(6)  # Sunday
+        assert profile.is_weekend(12)  # next Saturday
+
+    def test_slot_weights_shape(self):
+        profile = TemporalProfile()
+        slots = TimeSlotConfig(30)
+        weights = profile.slot_weights(0, slots)
+        assert weights.shape == (48,)
+        assert np.all(weights >= 0)
+
+    def test_weekday_morning_peak_exceeds_night(self):
+        profile = TemporalProfile()
+        slots = TimeSlotConfig(30)
+        weights = profile.slot_weights(0, slots)
+        assert weights[16] > weights[6]  # 08:00 vs 03:00
+
+    def test_weekend_volume_reduction(self):
+        profile = TemporalProfile(weekend_volume_factor=0.5)
+        slots = TimeSlotConfig(60)
+        weekday = profile.slot_weights(0, slots).sum()
+        weekend = profile.slot_weights(5, slots).sum()
+        assert weekend < weekday
+
+    def test_expected_slot_volume_scales_with_daily_volume(self):
+        profile = TemporalProfile()
+        slots = TimeSlotConfig(30)
+        small = profile.expected_slot_volume(0, 16, 100.0, slots)
+        large = profile.expected_slot_volume(0, 16, 200.0, slots)
+        assert large == pytest.approx(2 * small)
+
+    def test_expected_daily_volume_matches_total(self):
+        profile = TemporalProfile()
+        slots = TimeSlotConfig(30)
+        total = sum(
+            profile.expected_slot_volume(0, slot, 960.0, slots)
+            for slot in range(slots.slots_per_day)
+        )
+        assert total == pytest.approx(960.0, rel=1e-6)
+
+    def test_workdays_listing(self):
+        profile = TemporalProfile()
+        workdays = profile.workdays(14)
+        assert len(workdays) == 10
+        assert 5 not in workdays and 6 not in workdays

@@ -1,0 +1,90 @@
+"""Tests for repro.data.trips."""
+
+import numpy as np
+import pytest
+
+from repro.data.trips import (
+    TripLengthModel,
+    sample_destinations,
+    trip_lengths_km,
+)
+
+
+class TestTripLengthModel:
+    def test_lengths_positive_and_capped(self):
+        model = TripLengthModel(median_km=3.0, sigma=0.6, max_km=20.0)
+        lengths = model.sample_lengths(5000, np.random.default_rng(0))
+        assert np.all(lengths > 0)
+        assert np.all(lengths <= 20.0)
+
+    def test_median_roughly_matches(self):
+        model = TripLengthModel(median_km=4.0, sigma=0.5, max_km=100.0)
+        lengths = model.sample_lengths(20000, np.random.default_rng(1))
+        assert np.median(lengths) == pytest.approx(4.0, rel=0.1)
+
+    def test_zero_count(self):
+        model = TripLengthModel()
+        assert len(model.sample_lengths(0, np.random.default_rng(0))) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TripLengthModel().sample_lengths(-1, np.random.default_rng(0))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TripLengthModel(median_km=0)
+        with pytest.raises(ValueError):
+            TripLengthModel(median_km=5, max_km=4)
+        with pytest.raises(ValueError):
+            TripLengthModel(base_fare=-1)
+
+    def test_fares_linear_in_length(self):
+        model = TripLengthModel(base_fare=2.0, per_km_fare=1.5)
+        fares = model.fares(np.array([0.0, 2.0]))
+        np.testing.assert_allclose(fares, [2.0, 5.0])
+
+    def test_fares_reject_negative_lengths(self):
+        with pytest.raises(ValueError):
+            TripLengthModel().fares(np.array([-1.0]))
+
+
+class TestDestinations:
+    def test_destinations_inside_unit_square(self):
+        rng = np.random.default_rng(0)
+        xs = rng.random(500)
+        ys = rng.random(500)
+        lengths = np.full(500, 5.0)
+        dest_x, dest_y = sample_destinations(xs, ys, lengths, 20.0, 30.0, rng)
+        assert np.all((dest_x >= 0) & (dest_x < 1))
+        assert np.all((dest_y >= 0) & (dest_y < 1))
+
+    def test_distance_close_to_requested_when_far_from_border(self):
+        rng = np.random.default_rng(0)
+        xs = np.full(200, 0.5)
+        ys = np.full(200, 0.5)
+        lengths = np.full(200, 2.0)
+        dest_x, dest_y = sample_destinations(xs, ys, lengths, 20.0, 20.0, rng)
+        realised = trip_lengths_km(xs, ys, dest_x, dest_y, 20.0, 20.0)
+        np.testing.assert_allclose(realised, 2.0, rtol=1e-6)
+
+    def test_mismatched_lengths_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_destinations(np.zeros(3), np.zeros(3), np.zeros(2), 10, 10, rng)
+
+    def test_invalid_extent_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_destinations(np.zeros(1), np.zeros(1), np.ones(1), 0, 10, rng)
+
+
+class TestTripLengthsKm:
+    def test_euclidean_distance(self):
+        lengths = trip_lengths_km(
+            np.array([0.0]), np.array([0.0]), np.array([0.5]), np.array([0.0]), 10.0, 8.0
+        )
+        assert lengths[0] == pytest.approx(5.0)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            trip_lengths_km(np.zeros(1), np.zeros(1), np.ones(1), np.ones(1), -1, 5)

@@ -1,0 +1,118 @@
+"""Tests for repro.dispatch.entities and repro.dispatch.demand."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import GridLayout
+from repro.dispatch.demand import (
+    PredictedDemandProvider,
+    orders_from_events,
+    requests_from_events,
+)
+from repro.dispatch.entities import DispatchMetrics, Driver, Order, Vehicle
+
+
+class TestOrder:
+    def test_negative_revenue_rejected(self):
+        with pytest.raises(ValueError):
+            Order(0, 0, 0.0, 0.5, 0.5, 0.6, 0.6, revenue=-1.0)
+
+    def test_invalid_wait_rejected(self):
+        with pytest.raises(ValueError):
+            Order(0, 0, 0.0, 0.5, 0.5, 0.6, 0.6, revenue=1.0, max_wait_minutes=0)
+
+
+class TestDriver:
+    def test_idle_transitions(self):
+        driver = Driver(0, 0.5, 0.5)
+        assert driver.is_idle(0.0)
+        order = Order(1, 0, 5.0, 0.6, 0.6, 0.7, 0.7, revenue=9.0)
+        driver.assign(order, pickup_minutes=3.0, trip_minutes=10.0)
+        assert not driver.is_idle(10.0)
+        assert driver.is_idle(18.0)
+        assert driver.served_orders == 1
+        assert driver.earned_revenue == 9.0
+        assert (driver.x, driver.y) == (0.7, 0.7)
+
+    def test_negative_travel_rejected(self):
+        driver = Driver(0, 0.5, 0.5)
+        order = Order(1, 0, 5.0, 0.6, 0.6, 0.7, 0.7, revenue=9.0)
+        with pytest.raises(ValueError):
+            driver.assign(order, pickup_minutes=-1.0, trip_minutes=1.0)
+
+
+class TestVehicleAndMetrics:
+    def test_vehicle_capacity(self):
+        vehicle = Vehicle(0, 0.5, 0.5, capacity=2)
+        assert vehicle.has_capacity()
+        vehicle.onboard = 2
+        assert not vehicle.has_capacity()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Vehicle(0, 0.5, 0.5, capacity=0)
+
+    def test_metrics_service_rate(self):
+        metrics = DispatchMetrics(5, 10, 50.0, 20.0, 45.0)
+        assert metrics.service_rate == 0.5
+        empty = DispatchMetrics(0, 0, 0.0, 0.0, 0.0)
+        assert empty.service_rate == 0.0
+
+
+class TestOrdersFromEvents:
+    def test_orders_sorted_by_arrival(self, tiny_dataset):
+        orders = orders_from_events(tiny_dataset.test_events(), day=0, seed=0)
+        arrivals = [order.arrival_minute for order in orders]
+        assert arrivals == sorted(arrivals)
+
+    def test_slot_filter(self, tiny_dataset):
+        orders = orders_from_events(
+            tiny_dataset.test_events(), day=0, slots=[16, 17], seed=0
+        )
+        assert orders
+        assert all(order.slot in (16, 17) for order in orders)
+
+    def test_arrival_minute_within_slot(self, tiny_dataset):
+        orders = orders_from_events(tiny_dataset.test_events(), day=0, slots=[16], seed=0)
+        for order in orders:
+            assert 16 * 30 <= order.arrival_minute < 17 * 30
+
+    def test_requests_share_fields_with_orders(self, tiny_dataset):
+        events = tiny_dataset.test_events()
+        requests = requests_from_events(events, day=0, slots=[16], seed=0)
+        orders = orders_from_events(events, day=0, slots=[16], seed=0)
+        assert len(requests) == len(orders)
+        assert requests[0].max_detour_factor >= 1.0
+
+
+class TestPredictedDemandProvider:
+    def make_provider(self):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)
+        predictions = np.arange(8, dtype=float).reshape(2, 2, 2)
+        targets = [(0, 16), (0, 17)]
+        return PredictedDemandProvider(layout, predictions, targets), predictions, layout
+
+    def test_mgrid_and_hgrid_demand(self):
+        provider, predictions, layout = self.make_provider()
+        np.testing.assert_allclose(provider.mgrid_demand(0, 16), predictions[0])
+        hgrid = provider.hgrid_demand(0, 17)
+        assert hgrid.shape == (4, 4)
+        # Spreading preserves the total demand.
+        assert hgrid.sum() == pytest.approx(predictions[1].sum())
+
+    def test_has_slot(self):
+        provider, _, _ = self.make_provider()
+        assert provider.has_slot(0, 16)
+        assert not provider.has_slot(0, 3)
+
+    def test_missing_slot_raises(self):
+        provider, _, _ = self.make_provider()
+        with pytest.raises(KeyError):
+            provider.mgrid_demand(0, 3)
+
+    def test_shape_validation(self):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)
+        with pytest.raises(ValueError):
+            PredictedDemandProvider(layout, np.zeros((2, 3, 3)), [(0, 1), (0, 2)])
+        with pytest.raises(ValueError):
+            PredictedDemandProvider(layout, np.zeros((2, 2, 2)), [(0, 1)])

@@ -1,0 +1,94 @@
+"""Tests for repro.dispatch.matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dispatch.matching import (
+    greedy_matching,
+    maximum_weight_matching,
+    optimal_matching,
+)
+
+
+class TestGreedyMatching:
+    def test_simple_assignment(self):
+        cost = np.array([[1.0, 10.0], [10.0, 1.0]])
+        assert greedy_matching(cost) == {0: 0, 1: 1}
+
+    def test_respects_max_cost(self):
+        cost = np.array([[5.0, 10.0], [10.0, 20.0]])
+        assignment = greedy_matching(cost, max_cost=6.0)
+        assert assignment == {0: 0}
+
+    def test_each_column_used_once(self):
+        cost = np.array([[1.0], [2.0], [3.0]])
+        assignment = greedy_matching(cost)
+        assert len(assignment) == 1
+
+    def test_empty_matrix(self):
+        assert greedy_matching(np.zeros((0, 0))) == {}
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_matching(np.zeros(3))
+
+
+class TestOptimalMatching:
+    def test_beats_or_ties_greedy_total_cost(self):
+        rng = np.random.default_rng(0)
+        cost = rng.uniform(0, 10, size=(6, 6))
+        greedy = greedy_matching(cost)
+        optimal = optimal_matching(cost)
+        greedy_total = sum(cost[r, c] for r, c in greedy.items())
+        optimal_total = sum(cost[r, c] for r, c in optimal.items())
+        assert len(optimal) == len(greedy) == 6
+        assert optimal_total <= greedy_total + 1e-9
+
+    def test_classic_greedy_trap(self):
+        """Greedy grabs the 1 and is forced into a 100; optimal avoids it."""
+        cost = np.array([[1.0, 2.0], [3.0, 100.0]])
+        optimal = optimal_matching(cost)
+        total = sum(cost[r, c] for r, c in optimal.items())
+        assert total == pytest.approx(5.0)
+
+    def test_max_cost_filters_pairs(self):
+        cost = np.array([[1.0, 50.0], [50.0, 60.0]])
+        assignment = optimal_matching(cost, max_cost=10.0)
+        assert assignment == {0: 0}
+
+    def test_infinite_costs_excluded(self):
+        cost = np.array([[np.inf, np.inf], [np.inf, 2.0]])
+        assignment = optimal_matching(cost)
+        assert assignment == {1: 1}
+
+    def test_empty(self):
+        assert optimal_matching(np.zeros((0, 3))) == {}
+
+
+class TestMaximumWeightMatching:
+    def test_maximises_total_weight(self):
+        weight = np.array([[5.0, 1.0], [6.0, 2.0]])
+        assignment = maximum_weight_matching(weight)
+        total = sum(weight[r, c] for r, c in assignment.items())
+        assert total == pytest.approx(7.0)  # 5 + 2 beats 6 + 1
+
+    def test_min_weight_threshold(self):
+        weight = np.array([[5.0, -2.0], [-3.0, -4.0]])
+        assignment = maximum_weight_matching(weight, min_weight=0.0)
+        assert assignment == {0: 0}
+
+    def test_all_below_threshold(self):
+        weight = np.full((2, 2), -1.0)
+        assert maximum_weight_matching(weight, min_weight=0.0) == {}
+
+    @given(
+        arrays(dtype=float, shape=(4, 4), elements=st.floats(min_value=0.1, max_value=9))
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_never_reuses_rows_or_columns(self, weight):
+        assignment = maximum_weight_matching(weight)
+        assert len(set(assignment.keys())) == len(assignment)
+        assert len(set(assignment.values())) == len(assignment)

@@ -1,0 +1,117 @@
+"""Edge-case tests for the POLAR and LS dispatch policies."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.entities import Driver, Order
+from repro.dispatch.ls import LSDispatcher
+from repro.dispatch.polar import POLARDispatcher
+from repro.dispatch.travel import TravelModel
+
+TRAVEL = TravelModel(width_km=8.0, height_km=8.0, speed_kmh=30.0)
+
+
+def order_at(x, y, order_id=0, revenue=10.0, minute=480.0, max_wait=10.0):
+    return Order(
+        order_id=order_id,
+        slot=16,
+        arrival_minute=minute,
+        x=x,
+        y=y,
+        dropoff_x=min(x + 0.05, 0.99),
+        dropoff_y=min(y + 0.05, 0.99),
+        revenue=revenue,
+        max_wait_minutes=max_wait,
+    )
+
+
+class TestPolarEdgeCases:
+    def test_assign_empty_inputs(self):
+        policy = POLARDispatcher()
+        assert policy.assign([], [Driver(0, 0.5, 0.5)], TRAVEL, 0.0) == {}
+        assert policy.assign([order_at(0.5, 0.5)], [], TRAVEL, 480.0) == {}
+
+    def test_assign_respects_wait_limit(self):
+        policy = POLARDispatcher()
+        stale_order = order_at(0.5, 0.5, minute=400.0, max_wait=5.0)
+        drivers = [Driver(0, 0.5, 0.5)]
+        # The order has already waited 80 minutes at assignment time.
+        assert policy.assign([stale_order], drivers, TRAVEL, 480.0) == {}
+
+    def test_greedy_matching_fallback(self):
+        policy = POLARDispatcher(use_optimal_matching=False)
+        orders = [order_at(0.2, 0.2, order_id=0), order_at(0.8, 0.8, order_id=1)]
+        drivers = [Driver(0, 0.21, 0.2), Driver(1, 0.79, 0.8)]
+        assignment = policy.assign(orders, drivers, TRAVEL, 480.0)
+        assert assignment == {0: 0, 1: 1}
+
+    def test_reposition_with_no_idle_drivers(self):
+        policy = POLARDispatcher(reposition_fraction=1.0)
+        busy = Driver(0, 0.9, 0.9, available_at=1_000.0)
+        demand = np.ones((4, 4))
+        policy.reposition([busy], demand, TRAVEL, 0.0, np.random.default_rng(0))
+        assert (busy.x, busy.y) == (0.9, 0.9)
+
+    def test_reposition_with_zero_deficit(self):
+        """If supply already covers demand everywhere, nobody moves."""
+        policy = POLARDispatcher(reposition_fraction=1.0)
+        drivers = [Driver(i, 0.1 + 0.2 * i, 0.1) for i in range(4)]
+        demand = np.zeros((2, 2))
+        positions = [(d.x, d.y) for d in drivers]
+        policy.reposition(drivers, demand, TRAVEL, 0.0, np.random.default_rng(0))
+        assert positions == [(d.x, d.y) for d in drivers]
+
+    def test_reposition_respects_max_distance(self):
+        policy = POLARDispatcher(reposition_fraction=1.0, max_reposition_km=0.1)
+        drivers = [Driver(0, 0.95, 0.95), Driver(1, 0.9, 0.95)]
+        demand = np.zeros((4, 4))
+        demand[0, 0] = 50.0
+        policy.reposition(drivers, demand, TRAVEL, 0.0, np.random.default_rng(0))
+        # The hot cell is ~14 km away (manhattan), beyond the 0.1 km cap.
+        assert all(driver.x > 0.5 for driver in drivers)
+
+
+class TestLSEdgeCases:
+    def test_assign_empty_inputs(self):
+        policy = LSDispatcher()
+        assert policy.assign([], [Driver(0, 0.5, 0.5)], TRAVEL, 0.0) == {}
+
+    def test_unprofitable_order_not_assigned(self):
+        """An order whose revenue is below the pickup cost is left unmatched."""
+        policy = LSDispatcher(pickup_cost_per_km=10.0)
+        far_cheap_order = order_at(0.9, 0.9, revenue=0.5, max_wait=60.0)
+        drivers = [Driver(0, 0.1, 0.1)]
+        assert policy.assign([far_cheap_order], drivers, TRAVEL, 480.0) == {}
+
+    def test_reposition_prefers_under_supplied_revenue(self):
+        policy = LSDispatcher(reposition_fraction=1.0, max_reposition_km=50.0)
+        # Demand split between two cells; one already has many drivers.
+        demand = np.zeros((2, 2))
+        demand[0, 0] = 10.0
+        demand[1, 1] = 10.0
+        crowded = [Driver(i, 0.2, 0.2) for i in range(8)]
+        mover = Driver(99, 0.8, 0.2)
+        drivers = crowded + [mover]
+        policy.reposition(drivers, demand, TRAVEL, 0.0, np.random.default_rng(1))
+        # At least one driver should now sit in the under-supplied top-right cell.
+        assert any(d.x >= 0.5 and d.y >= 0.5 for d in drivers)
+
+    def test_reposition_without_demand_is_noop(self):
+        policy = LSDispatcher()
+        driver = Driver(0, 0.4, 0.4)
+        policy.reposition([driver], None, TRAVEL, 0.0, np.random.default_rng(0))
+        assert (driver.x, driver.y) == (0.4, 0.4)
+
+    def test_revenue_maximisation_beats_distance_minimisation(self):
+        """LS takes the distant lucrative order over the near cheap one when it
+        can only serve one of them; POLAR does the opposite."""
+        cheap_near = order_at(0.50, 0.50, order_id=0, revenue=2.0)
+        rich_far = order_at(0.56, 0.50, order_id=1, revenue=40.0)
+        ls_assignment = LSDispatcher().assign(
+            [cheap_near, rich_far], [Driver(0, 0.5, 0.5)], TRAVEL, 480.0
+        )
+        polar_assignment = POLARDispatcher().assign(
+            [cheap_near, rich_far], [Driver(0, 0.5, 0.5)], TRAVEL, 480.0
+        )
+        assert ls_assignment == {1: 0}
+        assert polar_assignment == {0: 0}

@@ -1,0 +1,193 @@
+"""Tests for the task-assignment simulator with the POLAR and LS policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import GridLayout
+from repro.dispatch.demand import PredictedDemandProvider
+from repro.dispatch.entities import Driver, Order
+from repro.dispatch.ls import LSDispatcher
+from repro.dispatch.polar import POLARDispatcher
+from repro.dispatch.simulator import TaskAssignmentSimulator, spawn_drivers
+from repro.dispatch.travel import TravelModel
+
+TRAVEL = TravelModel(width_km=10.0, height_km=10.0, speed_kmh=30.0)
+
+
+def make_orders(locations, slot=16, revenue=10.0, max_wait=10.0):
+    orders = []
+    for index, (x, y) in enumerate(locations):
+        orders.append(
+            Order(
+                order_id=index,
+                slot=slot,
+                arrival_minute=slot * 30 + index * 0.5,
+                x=x,
+                y=y,
+                dropoff_x=min(x + 0.05, 0.99),
+                dropoff_y=min(y + 0.05, 0.99),
+                revenue=revenue,
+                max_wait_minutes=max_wait,
+            )
+        )
+    return orders
+
+
+class TestSpawnDrivers:
+    def test_uniform_spawn(self):
+        drivers = spawn_drivers(10, np.random.default_rng(0))
+        assert len(drivers) == 10
+        assert all(0 <= d.x < 1 and 0 <= d.y < 1 for d in drivers)
+
+    def test_demand_weighted_spawn(self):
+        demand = np.zeros((4, 4))
+        demand[0, 0] = 100.0
+        drivers = spawn_drivers(50, np.random.default_rng(0), demand_grid=demand)
+        assert all(d.x < 0.25 and d.y < 0.25 for d in drivers)
+
+    def test_zero_demand_falls_back_to_uniform(self):
+        drivers = spawn_drivers(20, np.random.default_rng(0), demand_grid=np.zeros((2, 2)))
+        assert len(drivers) == 20
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_drivers(0, np.random.default_rng(0))
+
+
+class TestSimulatorBasics:
+    def test_all_orders_served_with_ample_nearby_supply(self):
+        orders = make_orders([(0.5, 0.5), (0.52, 0.52), (0.48, 0.51)])
+        drivers = [Driver(i, 0.5 + 0.01 * i, 0.5) for i in range(5)]
+        simulator = TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, seed=0)
+        metrics = simulator.run(orders, drivers)
+        assert metrics.served_orders == 3
+        assert metrics.total_orders == 3
+        assert metrics.total_revenue == pytest.approx(30.0)
+
+    def test_far_away_drivers_cannot_serve_in_time(self):
+        orders = make_orders([(0.05, 0.05)], max_wait=2.0)
+        drivers = [Driver(0, 0.95, 0.95)]
+        simulator = TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, seed=0)
+        metrics = simulator.run(orders, drivers)
+        assert metrics.served_orders == 0
+        assert metrics.unified_cost > 0
+
+    def test_busy_driver_cannot_serve_second_simultaneous_order(self):
+        orders = make_orders([(0.5, 0.5), (0.5, 0.5)], max_wait=3.0)
+        drivers = [Driver(0, 0.5, 0.5)]
+        simulator = TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, seed=0)
+        metrics = simulator.run(orders, drivers)
+        assert metrics.served_orders == 1
+
+    def test_empty_orders(self):
+        simulator = TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, seed=0)
+        metrics = simulator.run([], [Driver(0, 0.5, 0.5)])
+        assert metrics.total_orders == 0
+
+    def test_no_drivers_rejected(self):
+        simulator = TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, seed=0)
+        with pytest.raises(ValueError):
+            simulator.run(make_orders([(0.5, 0.5)]), [])
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, batch_minutes=0)
+        with pytest.raises(ValueError):
+            TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, unserved_penalty_km=-1)
+
+    def test_deterministic_given_seed(self):
+        orders = make_orders([(0.2, 0.3), (0.7, 0.8), (0.4, 0.4)])
+        metrics = []
+        for _ in range(2):
+            drivers = [Driver(i, 0.5, 0.5) for i in range(2)]
+            simulator = TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, seed=9)
+            metrics.append(simulator.run(orders, drivers))
+        assert metrics[0] == metrics[1]
+
+
+class TestRepositioning:
+    def _provider_with_hotspot(self, slot=16):
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=4)
+        prediction = np.zeros((1, 2, 2))
+        prediction[0, 0, 0] = 40.0  # all demand in the bottom-left MGrid
+        return PredictedDemandProvider(layout, prediction, [(0, slot)])
+
+    def test_polar_moves_idle_drivers_toward_predicted_demand(self):
+        provider = self._provider_with_hotspot()
+        drivers = [Driver(i, 0.9, 0.9) for i in range(10)]
+        policy = POLARDispatcher(reposition_fraction=1.0, max_reposition_km=50.0)
+        policy.reposition(
+            drivers, provider.hgrid_demand(0, 16), TRAVEL, 480.0, np.random.default_rng(0)
+        )
+        moved = [d for d in drivers if d.x < 0.5 and d.y < 0.5]
+        assert len(moved) == 10
+
+    def test_ls_moves_drivers_toward_revenue(self):
+        provider = self._provider_with_hotspot()
+        drivers = [Driver(i, 0.9, 0.9) for i in range(10)]
+        policy = LSDispatcher(reposition_fraction=1.0, max_reposition_km=50.0)
+        policy.reposition(
+            drivers, provider.hgrid_demand(0, 16), TRAVEL, 480.0, np.random.default_rng(0)
+        )
+        moved = [d for d in drivers if d.x < 0.5 and d.y < 0.5]
+        assert len(moved) >= 8
+
+    def test_no_demand_grid_means_no_movement(self):
+        drivers = [Driver(0, 0.9, 0.9)]
+        POLARDispatcher().reposition(drivers, None, TRAVEL, 0.0, np.random.default_rng(0))
+        assert (drivers[0].x, drivers[0].y) == (0.9, 0.9)
+
+    def test_good_predictions_improve_served_orders(self):
+        """Drivers guided by accurate predictions serve more orders than drivers
+        stranded far from the demand — the mechanism behind Figures 6-8."""
+        travel = TravelModel(width_km=4.0, height_km=4.0, speed_kmh=30.0)
+        rng = np.random.default_rng(1)
+        locations = [(0.1 + 0.1 * rng.random(), 0.1 + 0.1 * rng.random()) for _ in range(20)]
+        orders = make_orders(locations, max_wait=6.0)
+        provider = self._provider_with_hotspot()
+
+        def run(demand):
+            drivers = [Driver(i, 0.9, 0.9) for i in range(10)]
+            simulator = TaskAssignmentSimulator(
+                POLARDispatcher(reposition_fraction=1.0, max_reposition_km=50.0),
+                travel,
+                demand=demand,
+                seed=3,
+            )
+            return simulator.run(orders, drivers, day=0, slots=[16])
+
+        with_guidance = run(provider)
+        without_guidance = run(None)
+        assert with_guidance.served_orders > without_guidance.served_orders
+
+
+class TestPolicyAssignment:
+    def test_polar_prefers_nearest_feasible_driver(self):
+        orders = make_orders([(0.1, 0.1)])
+        drivers = [Driver(0, 0.12, 0.1), Driver(1, 0.8, 0.8)]
+        assignment = POLARDispatcher().assign(orders, drivers, TRAVEL, orders[0].arrival_minute)
+        assert assignment == {0: 0}
+
+    def test_ls_prefers_high_revenue_order_when_capacity_limited(self):
+        cheap = make_orders([(0.5, 0.5)], revenue=2.0)[0]
+        lucrative = Order(
+            order_id=1,
+            slot=16,
+            arrival_minute=cheap.arrival_minute,
+            x=0.52,
+            y=0.5,
+            dropoff_x=0.6,
+            dropoff_y=0.6,
+            revenue=30.0,
+        )
+        drivers = [Driver(0, 0.51, 0.5)]
+        assignment = LSDispatcher().assign(
+            [cheap, lucrative], drivers, TRAVEL, cheap.arrival_minute
+        )
+        assert assignment == {1: 0}
+
+    def test_invalid_policy_parameters(self):
+        with pytest.raises(ValueError):
+            POLARDispatcher(reposition_fraction=1.5)
+        with pytest.raises(ValueError):
+            LSDispatcher(mean_order_revenue=0)

@@ -1,0 +1,45 @@
+"""Tests for repro.dispatch.travel."""
+
+import numpy as np
+import pytest
+
+from repro.data.presets import nyc_like
+from repro.dispatch.travel import TravelModel
+
+
+class TestTravelModel:
+    def test_manhattan_distance(self):
+        travel = TravelModel(width_km=10, height_km=20, metric="manhattan")
+        assert travel.distance_km(0.0, 0.0, 0.5, 0.5) == pytest.approx(5 + 10)
+
+    def test_euclidean_distance(self):
+        travel = TravelModel(width_km=3, height_km=4, metric="euclidean")
+        assert travel.distance_km(0.0, 0.0, 1.0, 1.0) == pytest.approx(5.0)
+
+    def test_vectorised_distances(self):
+        travel = TravelModel(width_km=10, height_km=10)
+        xs = np.array([0.0, 0.5])
+        distances = travel.distance_km(xs, xs, xs + 0.1, xs)
+        assert distances.shape == (2,)
+        np.testing.assert_allclose(distances, 1.0)
+
+    def test_minutes_conversion(self):
+        travel = TravelModel(width_km=10, height_km=10, speed_kmh=30)
+        assert travel.minutes(15.0) == pytest.approx(30.0)
+
+    def test_travel_minutes_combines(self):
+        travel = TravelModel(width_km=10, height_km=10, speed_kmh=60, metric="euclidean")
+        assert travel.travel_minutes(0.0, 0.0, 1.0, 0.0) == pytest.approx(10.0)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TravelModel(width_km=0, height_km=10)
+        with pytest.raises(ValueError):
+            TravelModel(width_km=10, height_km=10, speed_kmh=0)
+        with pytest.raises(ValueError):
+            TravelModel(width_km=10, height_km=10, metric="warp")
+
+    def test_for_city(self):
+        travel = TravelModel.for_city(nyc_like())
+        assert travel.width_km == 23.0
+        assert travel.height_km == 37.0

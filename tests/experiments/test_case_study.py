@@ -1,0 +1,106 @@
+"""Tests for repro.experiments.case_study (Figures 6-9, Table III machinery)."""
+
+import pytest
+
+from repro.experiments.case_study import (
+    run_route_planning,
+    run_task_assignment,
+    table3_promotion,
+)
+
+
+class TestTaskAssignment:
+    def test_polar_points_structure(self, tiny_context):
+        points = run_task_assignment(
+            tiny_context, "xian_like", "polar", "deepst", sides=[2, 4], surrogate=True
+        )
+        assert [p.mgrid_side for p in points] == [2, 4]
+        for point in points:
+            assert 0 <= point.metrics.served_orders <= point.metrics.total_orders
+            assert point.metrics.total_revenue >= 0
+
+    def test_ls_reports_revenue(self, tiny_context):
+        points = run_task_assignment(
+            tiny_context, "xian_like", "ls", "deepst", sides=[4], surrogate=True
+        )
+        assert points[0].metrics.total_revenue > 0
+
+    def test_real_data_series_supported(self, tiny_context):
+        points = run_task_assignment(
+            tiny_context, "xian_like", "polar", "real_data", sides=[4]
+        )
+        assert points[0].metrics.total_orders > 0
+
+    def test_unknown_dispatcher_rejected(self, tiny_context):
+        with pytest.raises(ValueError):
+            run_task_assignment(
+                tiny_context, "xian_like", "taxi_hailing", "deepst", sides=[4]
+            )
+
+    def test_total_orders_independent_of_side(self, tiny_context):
+        points = run_task_assignment(
+            tiny_context, "xian_like", "polar", "deepst", sides=[2, 8], surrogate=True
+        )
+        assert points[0].metrics.total_orders == points[1].metrics.total_orders
+
+
+class TestRoutePlanning:
+    def test_daif_points_structure(self, tiny_context):
+        points = run_route_planning(
+            tiny_context, "xian_like", "deepst", sides=[2, 4], surrogate=True
+        )
+        for point in points:
+            assert point.metrics.unified_cost >= 0
+            assert point.metrics.served_orders <= point.metrics.total_orders
+
+    def test_unified_cost_accounts_for_unserved(self, tiny_context):
+        points = run_route_planning(
+            tiny_context, "xian_like", "deepst", sides=[4], surrogate=True
+        )
+        metrics = points[0].metrics
+        expected_floor = metrics.total_travel_km
+        assert metrics.unified_cost >= expected_floor - 1e-9
+
+
+class TestTable3:
+    def test_promotion_rows_structure(self, tiny_context):
+        rows = table3_promotion(
+            tiny_context, city="xian_like", model="deepst", sides=[2, 4, 8], surrogate=True
+        )
+        algorithms = {row.algorithm for row in rows}
+        assert algorithms == {"polar", "ls", "daif"}
+        for row in rows:
+            assert row.optimal_side in {2, 4, 8}
+            assert row.original_side in {2, 4, 8}
+            # The optimal side is by definition at least as good as the original.
+            if row.metric == "unified_cost":
+                assert row.optimal_value <= row.original_value + 1e-9
+            else:
+                assert row.optimal_value >= row.original_value - 1e-9
+            assert row.improvement_ratio >= -1e-9
+
+    def test_improvement_ratio_direction_for_cost_metric(self):
+        from repro.experiments.case_study import PromotionRow
+
+        row = PromotionRow(
+            metric="unified_cost",
+            algorithm="daif",
+            optimal_side=4,
+            original_side=2,
+            optimal_value=80.0,
+            original_value=100.0,
+        )
+        assert row.improvement_ratio == pytest.approx(0.2)
+
+    def test_improvement_ratio_zero_division_guard(self):
+        from repro.experiments.case_study import PromotionRow
+
+        row = PromotionRow(
+            metric="served_orders",
+            algorithm="polar",
+            optimal_side=4,
+            original_side=2,
+            optimal_value=10.0,
+            original_value=0.0,
+        )
+        assert row.improvement_ratio == 0.0

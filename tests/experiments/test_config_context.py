@@ -1,0 +1,81 @@
+"""Tests for repro.experiments.config and repro.experiments.context."""
+
+import pytest
+
+from repro.data.dataset import EventDataset
+from repro.experiments.config import PROFILES, ExperimentConfig, get_profile
+from repro.experiments.context import CITIES, MODELS, ExperimentContext
+from repro.prediction.oracle import NoisyOraclePredictor
+
+
+class TestConfig:
+    def test_profiles_available(self):
+        assert set(PROFILES) == {"tiny", "small", "paper"}
+        for profile in PROFILES.values():
+            assert profile.hgrid_budget > 0
+
+    def test_get_profile(self):
+        assert get_profile("tiny").name == "tiny"
+        with pytest.raises(KeyError):
+            get_profile("huge")
+
+    def test_paper_profile_matches_paper_parameters(self):
+        paper = get_profile("paper")
+        assert paper.hgrid_budget == 128 * 128
+        assert paper.alpha_slot == 16  # 08:00-08:30 with 30-minute slots
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                name="bad",
+                city_scale=0,
+                num_days=10,
+                hgrid_budget=16,
+                mgrid_sides=(2,),
+            )
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                name="bad",
+                city_scale=0.1,
+                num_days=10,
+                hgrid_budget=15,
+                mgrid_sides=(2,),
+            )
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                name="bad",
+                city_scale=0.1,
+                num_days=10,
+                hgrid_budget=16,
+                mgrid_sides=(),
+            )
+
+
+class TestContext:
+    def test_city_and_model_lists(self):
+        assert set(CITIES) == {"nyc_like", "chengdu_like", "xian_like"}
+        assert set(MODELS) == {"mlp", "deepst", "dmvst_net"}
+
+    def test_dataset_cached(self, tiny_context):
+        first = tiny_context.dataset("xian_like")
+        second = tiny_context.dataset("xian_like")
+        assert first is second
+        assert isinstance(first, EventDataset)
+
+    def test_dataset_matches_profile(self, tiny_context):
+        dataset = tiny_context.dataset("xian_like")
+        assert dataset.num_days == tiny_context.config.num_days
+
+    def test_tuner_cached_per_key(self, tiny_context):
+        tuner_a = tiny_context.tuner("xian_like", "deepst", surrogate=True)
+        tuner_b = tiny_context.tuner("xian_like", "deepst", surrogate=True)
+        tuner_c = tiny_context.tuner("xian_like", "mlp", surrogate=True)
+        assert tuner_a is tuner_b
+        assert tuner_a is not tuner_c
+
+    def test_surrogate_factory_produces_noisy_oracle(self, tiny_context):
+        model = tiny_context.factory("deepst", surrogate=True)()
+        assert isinstance(model, NoisyOraclePredictor)
+
+    def test_fleet_size_positive(self, tiny_context):
+        assert tiny_context.fleet_size("xian_like") >= 5

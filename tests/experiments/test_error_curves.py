@@ -1,0 +1,94 @@
+"""Tests for repro.experiments.error_curves (Figures 3-5 machinery)."""
+
+import pytest
+
+from repro.experiments.error_curves import (
+    expression_error_curve,
+    model_error_curve,
+    optimal_side_from_curve,
+    real_error_curve,
+)
+
+
+class TestExpressionErrorCurve:
+    def test_curve_shape_and_monotonicity(self, tiny_context):
+        curves = expression_error_curve(
+            tiny_context, cities=["xian_like"], sides=[2, 4, 8, 16]
+        )
+        points = curves["xian_like"]
+        assert [p.mgrid_side for p in points] == [2, 4, 8, 16]
+        values = [p.value for p in points]
+        # Figure 3: expression error decreases as n grows (divisor-aligned sides).
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == pytest.approx(0.0)
+
+    def test_nyc_has_larger_expression_error_than_xian(self, tiny_context):
+        """Figure 3: the expression error of the NYC-like city (large volume,
+        concentrated demand) exceeds that of the Xi'an-like city (small volume,
+        nearly uniform demand) at the same n."""
+        curves = expression_error_curve(
+            tiny_context, cities=["nyc_like", "xian_like"], sides=[4]
+        )
+        assert curves["nyc_like"][0].value > curves["xian_like"][0].value
+
+    def test_num_mgrids_property(self, tiny_context):
+        curves = expression_error_curve(tiny_context, cities=["xian_like"], sides=[4])
+        assert curves["xian_like"][0].num_mgrids == 16
+
+
+class TestModelErrorCurve:
+    def test_model_error_increases_with_n(self, tiny_context):
+        curves = model_error_curve(
+            tiny_context, "xian_like", models=["deepst"], sides=[2, 4, 8], surrogate=True
+        )
+        values = [p.value for p in curves["deepst"]]
+        assert values == sorted(values)
+
+    def test_model_ordering_matches_paper(self, tiny_context):
+        """Figure 4: MLP has the largest model error, DMVST-Net the smallest."""
+        curves = model_error_curve(
+            tiny_context,
+            "xian_like",
+            models=["mlp", "deepst", "dmvst_net"],
+            sides=[4],
+            surrogate=True,
+        )
+        assert (
+            curves["mlp"][0].value
+            > curves["deepst"][0].value
+            > curves["dmvst_net"][0].value
+        )
+
+
+class TestRealErrorCurve:
+    def test_points_satisfy_upper_bound(self, tiny_context):
+        points = real_error_curve(
+            tiny_context, "xian_like", "deepst", sides=[2, 4, 8], surrogate=True
+        )
+        for point in points:
+            assert point.real_error <= point.empirical_upper_bound + 1e-9
+            assert point.analytic_upper_bound >= 0
+
+    def test_optimal_side_from_curve(self, tiny_context):
+        points = real_error_curve(
+            tiny_context, "xian_like", "deepst", sides=[2, 4, 8], surrogate=True
+        )
+        best = optimal_side_from_curve(points)
+        assert best in {2, 4, 8}
+        best_point = min(points, key=lambda p: p.real_error)
+        assert best == best_point.mgrid_side
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_side_from_curve([])
+
+    def test_better_model_has_smaller_real_error(self, tiny_context):
+        """Figure 5: a more accurate model yields a smaller real error at the
+        same grid size."""
+        accurate = real_error_curve(
+            tiny_context, "xian_like", "dmvst_net", sides=[4], surrogate=True
+        )[0]
+        weak = real_error_curve(
+            tiny_context, "xian_like", "mlp", sides=[4], surrogate=True
+        )[0]
+        assert accurate.real_error < weak.real_error

@@ -1,0 +1,142 @@
+"""Tests for search evaluation, homogeneity, algorithm-cost and dataset-size experiments."""
+
+import pytest
+
+from repro.experiments.algorithm_cost import algorithm_cost_sweep
+from repro.experiments.dataset_size import dataset_size_sweep
+from repro.experiments.homogeneity_exp import (
+    figure13_uniformity_scatter,
+    figure14_dalpha_curve,
+    figure15_effect_of_m,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.search_eval import (
+    evaluate_search_algorithms,
+    iterative_bound_sweep,
+    optimal_n_distribution,
+)
+
+
+class TestSearchEvaluation:
+    def test_summaries_structure(self, tiny_context):
+        outcomes, summaries = evaluate_search_algorithms(
+            tiny_context,
+            "xian_like",
+            model="deepst",
+            slots=(16, 17),
+            algorithms=("ternary", "iterative", "brute_force"),
+            surrogate=True,
+        )
+        assert len(outcomes) == 2
+        assert {s.algorithm for s in summaries} == {"ternary", "iterative", "brute_force"}
+        by_name = {s.algorithm: s for s in summaries}
+        assert by_name["brute_force"].probability_optimal == pytest.approx(1.0)
+        for summary in summaries:
+            assert 0.0 <= summary.probability_optimal <= 1.0
+            assert summary.cost_seconds >= 0.0
+
+    def test_searches_evaluate_fewer_candidates_than_brute_force(self, tiny_context):
+        _, summaries = evaluate_search_algorithms(
+            tiny_context,
+            "xian_like",
+            model="deepst",
+            slots=(16,),
+            algorithms=("ternary", "brute_force"),
+            surrogate=True,
+        )
+        by_name = {s.algorithm: s for s in summaries}
+        assert by_name["ternary"].mean_evaluations <= by_name["brute_force"].mean_evaluations
+
+    def test_bound_sweep(self, tiny_context):
+        points = iterative_bound_sweep(
+            tiny_context, "xian_like", bounds=(1, 3), slots=(16,), surrogate=True
+        )
+        assert [p.bound for p in points] == [1, 3]
+        assert points[1].mean_evaluations >= points[0].mean_evaluations
+
+    def test_optimal_n_distribution(self, tiny_context):
+        distribution = optimal_n_distribution(
+            tiny_context, "xian_like", slots=(16, 17), surrogate=True
+        )
+        assert sum(distribution.values()) == 2
+        budget_side = int(round(tiny_context.config.hgrid_budget**0.5))
+        assert all(2 <= side <= budget_side for side in distribution)
+
+
+class TestHomogeneityExperiments:
+    def test_figure13_scatter(self, tiny_context):
+        points = figure13_uniformity_scatter(
+            tiny_context, "xian_like", mgrid_side=4, hgrid_side=2
+        )
+        assert len(points) == 16
+
+    def test_figure14_curve_grows_then_flattens(self, tiny_context):
+        curve = figure14_dalpha_curve(
+            tiny_context, "xian_like", resolutions=(2, 4, 8, 16)
+        )
+        assert len(curve.values) == 4
+        assert curve.values[-1] >= curve.values[0]
+        assert curve.turning_point() in (2, 4, 8, 16)
+
+    def test_figure14_with_restricted_training_window(self, tiny_context):
+        curve = figure14_dalpha_curve(
+            tiny_context, "xian_like", resolutions=(2, 4, 8), training_weeks=1
+        )
+        assert len(curve.values) == 3
+
+    def test_figure15_effect_of_m(self, tiny_context):
+        points = figure15_effect_of_m(
+            tiny_context, "xian_like", mgrid_side=2, hgrid_sides=(1, 2, 4), surrogate=True
+        )
+        assert [p.hgrid_side for p in points] == [1, 2, 4]
+        # Expression error grows with m (finer HGrids split the same demand).
+        assert points[0].expression_error <= points[-1].expression_error + 1e-9
+        # Model error is independent of m (it lives at MGrid level).
+        assert points[0].model_error == pytest.approx(points[-1].model_error, rel=1e-6)
+
+
+class TestAlgorithmCost:
+    def test_sweep_accuracy_and_speed(self):
+        points = algorithm_cost_sweep(
+            alpha_ij=2.0, alpha_rest=14.0, m=8, k_values=(10, 30), include_algorithm1=True
+        )
+        assert [p.k for p in points] == [10, 30]
+        final = points[-1]
+        assert final.algorithm1_value == pytest.approx(final.reference_value, rel=1e-6)
+        assert final.algorithm2_value == pytest.approx(final.reference_value, rel=1e-6)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            algorithm_cost_sweep(m=1)
+
+    def test_can_skip_algorithm1(self):
+        points = algorithm_cost_sweep(k_values=(10,), include_algorithm1=False)
+        assert points[0].algorithm1_seconds == 0.0
+
+
+class TestDatasetSize:
+    def test_sweep_points(self, tiny_context):
+        points = dataset_size_sweep(
+            tiny_context, "xian_like", weeks=(1,), surrogate=True
+        )
+        assert points[0].weeks == 1
+        assert points[0].training_days <= 7
+        assert points[0].real_error >= 0
+        assert points[0].optimal_side >= 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series({"k": 1.23456}, title="S")
+        assert "1.235" in text

@@ -1,0 +1,111 @@
+"""Tests for the historical-average baseline and the oracle predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import actual_counts_for_targets, evaluation_targets
+from repro.prediction.historical import HistoricalAveragePredictor
+from repro.prediction.oracle import NoisyOraclePredictor, PerfectPredictor
+
+
+class TestHistoricalAverage:
+    def test_prediction_is_training_mean(self, tiny_dataset):
+        model = HistoricalAveragePredictor(workdays_only=False)
+        model.fit(tiny_dataset, 4)
+        prediction = model.predict(tiny_dataset, 4, [(9, 16)])
+        train_days = np.asarray(tiny_dataset.split.train_days)
+        expected = tiny_dataset.counts(4)[train_days, 16].mean(axis=0)
+        np.testing.assert_allclose(prediction[0], expected)
+
+    def test_workdays_only_filtering_changes_result(self, tiny_dataset):
+        all_days = HistoricalAveragePredictor(workdays_only=False)
+        workdays = HistoricalAveragePredictor(workdays_only=True)
+        all_days.fit(tiny_dataset, 4)
+        workdays.fit(tiny_dataset, 4)
+        target = [(9, 20)]
+        assert not np.allclose(
+            all_days.predict(tiny_dataset, 4, target),
+            workdays.predict(tiny_dataset, 4, target),
+        )
+
+    def test_predict_before_fit(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            HistoricalAveragePredictor().predict(tiny_dataset, 4, [(9, 0)])
+
+    def test_resolution_mismatch(self, tiny_dataset):
+        model = HistoricalAveragePredictor()
+        model.fit(tiny_dataset, 4)
+        with pytest.raises(ValueError):
+            model.predict(tiny_dataset, 8, [(9, 0)])
+
+    def test_invalid_resolution(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            HistoricalAveragePredictor().fit(tiny_dataset, 0)
+
+    def test_is_reasonably_accurate(self, tiny_dataset):
+        model = HistoricalAveragePredictor()
+        model.fit(tiny_dataset, 4)
+        targets = evaluation_targets(tiny_dataset, tiny_dataset.split.test_days)
+        predictions = model.predict(tiny_dataset, 4, targets)
+        actual = actual_counts_for_targets(tiny_dataset, 4, targets)
+        zero_error = np.abs(actual).mean()
+        assert np.abs(predictions - actual).mean() < zero_error
+
+
+class TestPerfectPredictor:
+    def test_returns_actual_counts(self, tiny_dataset):
+        model = PerfectPredictor()
+        model.fit(tiny_dataset, 4)
+        targets = [(9, 5), (10, 16)]
+        predictions = model.predict(tiny_dataset, 4, targets)
+        np.testing.assert_allclose(
+            predictions, actual_counts_for_targets(tiny_dataset, 4, targets)
+        )
+
+    def test_resolution_mismatch_rejected(self, tiny_dataset):
+        model = PerfectPredictor()
+        model.fit(tiny_dataset, 4)
+        with pytest.raises(ValueError):
+            model.predict(tiny_dataset, 8, [(9, 0)])
+
+
+class TestNoisyOracle:
+    def test_noise_level_controls_error(self, tiny_dataset):
+        targets = evaluation_targets(tiny_dataset, tiny_dataset.split.test_days)
+        actual = actual_counts_for_targets(tiny_dataset, 4, targets)
+        quiet = NoisyOraclePredictor(noise_level=0.1, seed=0)
+        noisy = NoisyOraclePredictor(noise_level=2.0, seed=0)
+        quiet.fit(tiny_dataset, 4)
+        noisy.fit(tiny_dataset, 4)
+        quiet_error = np.abs(quiet.predict(tiny_dataset, 4, targets) - actual).mean()
+        noisy_error = np.abs(noisy.predict(tiny_dataset, 4, targets) - actual).mean()
+        assert quiet_error < noisy_error
+
+    def test_zero_noise_is_perfect(self, tiny_dataset):
+        model = NoisyOraclePredictor(noise_level=0.0, seed=0)
+        model.fit(tiny_dataset, 4)
+        targets = [(9, 16)]
+        np.testing.assert_allclose(
+            model.predict(tiny_dataset, 4, targets),
+            actual_counts_for_targets(tiny_dataset, 4, targets),
+        )
+
+    def test_predictions_non_negative(self, tiny_dataset):
+        model = NoisyOraclePredictor(noise_level=3.0, seed=0)
+        model.fit(tiny_dataset, 4)
+        targets = evaluation_targets(tiny_dataset, tiny_dataset.split.test_days)
+        assert np.all(model.predict(tiny_dataset, 4, targets) >= 0)
+
+    def test_same_seed_reproducible(self, tiny_dataset):
+        targets = [(9, 10)]
+        a = NoisyOraclePredictor(noise_level=1.0, seed=5)
+        b = NoisyOraclePredictor(noise_level=1.0, seed=5)
+        a.fit(tiny_dataset, 4)
+        b.fit(tiny_dataset, 4)
+        np.testing.assert_allclose(
+            a.predict(tiny_dataset, 4, targets), b.predict(tiny_dataset, 4, targets)
+        )
+
+    def test_invalid_noise_level(self):
+        with pytest.raises(ValueError):
+            NoisyOraclePredictor(noise_level=-0.1)

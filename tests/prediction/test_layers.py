@@ -1,0 +1,190 @@
+"""Tests for repro.prediction.layers, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    ReLU,
+    Reshape,
+    Sequential,
+)
+
+
+def numerical_gradient(function, array, epsilon=1e-6):
+    """Central-difference gradient of a scalar function w.r.t. ``array``."""
+    gradient = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = gradient.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function()
+        flat[index] = original - epsilon
+        lower = function()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+class TestDense:
+    def test_forward_shape_and_value(self):
+        layer = Dense(3, 2, seed=0)
+        layer.weight[:] = np.arange(6).reshape(3, 2)
+        layer.bias[:] = [1.0, -1.0]
+        output = layer.forward(np.array([[1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(output, [[1 + 0 + 8, -1 + 1 + 0 + 10]])
+
+    def test_invalid_input_shape(self):
+        with pytest.raises(ValueError):
+            Dense(3, 2).forward(np.zeros((1, 4)))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, seed=1)
+        inputs = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(inputs) - target) ** 2)
+
+        output = layer.forward(inputs)
+        grad_out = output - target
+        grad_in = layer.backward(grad_out)
+
+        np.testing.assert_allclose(
+            layer.grads["weight"], numerical_gradient(loss, layer.weight), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            layer.grads["bias"], numerical_gradient(loss, layer.bias), atol=1e-5
+        )
+        numerical_input_grad = numerical_gradient(loss, inputs)
+        np.testing.assert_allclose(grad_in, numerical_input_grad, atol=1e-5)
+
+
+class TestReLU:
+    def test_forward_clamps_negative(self):
+        output = ReLU().forward(np.array([[-1.0, 2.0, 0.0]]))
+        np.testing.assert_allclose(output, [[0.0, 2.0, 0.0]])
+
+    def test_backward_masks_gradient(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 2)))
+
+
+class TestShapeLayers:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        inputs = np.arange(24, dtype=float).reshape(2, 3, 4)
+        flat = layer.forward(inputs)
+        assert flat.shape == (2, 12)
+        restored = layer.backward(flat)
+        assert restored.shape == inputs.shape
+
+    def test_reshape_roundtrip(self):
+        layer = Reshape((3, 4))
+        inputs = np.arange(24, dtype=float).reshape(2, 12)
+        shaped = layer.forward(inputs)
+        assert shaped.shape == (2, 3, 4)
+        assert layer.backward(shaped).shape == (2, 12)
+
+
+class TestConv2D:
+    def test_forward_shape(self):
+        layer = Conv2D(2, 3, kernel=3, seed=0)
+        output = layer.forward(np.random.default_rng(0).normal(size=(4, 2, 5, 5)))
+        assert output.shape == (4, 3, 5, 5)
+
+    def test_identity_kernel(self):
+        layer = Conv2D(1, 1, kernel=3, seed=0)
+        layer.weight[:] = 0.0
+        layer.weight[4, 0] = 1.0  # centre tap of the single 3x3 kernel
+        layer.bias[:] = 0.0
+        inputs = np.random.default_rng(1).normal(size=(2, 1, 6, 6))
+        np.testing.assert_allclose(layer.forward(inputs), inputs, atol=1e-12)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, kernel=2)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 1)
+
+    def test_wrong_input_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(2, 1).forward(np.zeros((1, 3, 4, 4)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        layer = Conv2D(2, 2, kernel=3, seed=3)
+        inputs = rng.normal(size=(2, 2, 4, 4))
+        target = rng.normal(size=(2, 2, 4, 4))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(inputs) - target) ** 2)
+
+        output = layer.forward(inputs)
+        grad_out = output - target
+        grad_in = layer.backward(grad_out)
+
+        np.testing.assert_allclose(
+            layer.grads["weight"], numerical_gradient(loss, layer.weight), atol=1e-4
+        )
+        np.testing.assert_allclose(
+            layer.grads["bias"], numerical_gradient(loss, layer.bias), atol=1e-4
+        )
+        np.testing.assert_allclose(grad_in, numerical_gradient(loss, inputs), atol=1e-4)
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        network = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 2, seed=1)])
+        inputs = np.random.default_rng(0).normal(size=(3, 4))
+        output = network.forward(inputs)
+        assert output.shape == (3, 2)
+        grad = network.backward(np.ones_like(output))
+        assert grad.shape == inputs.shape
+
+    def test_parameter_layers_discovery(self):
+        inner = Sequential([Dense(2, 2, seed=0), ReLU()])
+        outer = Sequential([inner, Dense(2, 1, seed=1)])
+        assert len(outer.parameter_layers()) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_gradient_check_through_network(self):
+        rng = np.random.default_rng(4)
+        network = Sequential([Dense(3, 5, seed=5), ReLU(), Dense(5, 2, seed=6)])
+        inputs = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((network.forward(inputs) - target) ** 2)
+
+        output = network.forward(inputs)
+        network.backward(output - target)
+        first_dense = network.layers[0]
+        np.testing.assert_allclose(
+            first_dense.grads["weight"],
+            numerical_gradient(loss, first_dense.weight),
+            atol=1e-5,
+        )

@@ -1,0 +1,121 @@
+"""Tests for repro.prediction.network (losses, trainer, parameter discovery)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.deepst import ResidualBlock
+from repro.prediction.layers import Conv2D, Dense, ReLU, Sequential
+from repro.prediction.network import (
+    Trainer,
+    collect_parameter_layers,
+    mae_metric,
+    mse_loss,
+)
+
+
+class TestLosses:
+    def test_mse_value_and_gradient(self):
+        predictions = np.array([[1.0, 2.0]])
+        targets = np.array([[0.0, 4.0]])
+        loss, grad = mse_loss(predictions, targets)
+        assert loss == pytest.approx((1 + 4) / 2)
+        np.testing.assert_allclose(grad, [[1.0, -2.0]])
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_mae_metric(self):
+        assert mae_metric(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == 1.5
+
+
+class TestParameterDiscovery:
+    def test_collects_nested_sequential(self):
+        network = Sequential(
+            [Sequential([Dense(2, 4, seed=0), ReLU()]), Dense(4, 1, seed=1)]
+        )
+        assert len(collect_parameter_layers(network)) == 2
+
+    def test_collects_children_of_custom_composites(self):
+        network = Sequential(
+            [Conv2D(1, 4, seed=0), ResidualBlock(4, seed=1), Conv2D(4, 1, kernel=1)]
+        )
+        layers = collect_parameter_layers(network)
+        # conv + (2 convs inside the residual block) + conv
+        assert len(layers) == 4
+
+    def test_plain_parameter_layer(self):
+        dense = Dense(2, 2)
+        assert collect_parameter_layers(dense) == [dense]
+
+
+class TestTrainer:
+    def _make_data(self, n=128, seed=0):
+        rng = np.random.default_rng(seed)
+        inputs = rng.normal(size=(n, 3))
+        targets = inputs @ np.array([[1.0], [-2.0], [0.5]]) + 0.3
+        return inputs, targets
+
+    def test_training_reduces_loss(self):
+        inputs, targets = self._make_data()
+        network = Sequential([Dense(3, 16, seed=1), ReLU(), Dense(16, 1, seed=2)])
+        trainer = Trainer(network, learning_rate=5e-3, epochs=30, batch_size=16, seed=0)
+        history = trainer.fit(inputs, targets)
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.epochs_run == 30
+
+    def test_early_stopping_on_validation(self):
+        inputs, targets = self._make_data()
+        network = Sequential([Dense(3, 8, seed=1), ReLU(), Dense(8, 1, seed=2)])
+        trainer = Trainer(
+            network, learning_rate=1e-2, epochs=100, batch_size=32, patience=2, seed=0
+        )
+        history = trainer.fit(inputs, targets, inputs, targets)
+        assert history.epochs_run <= 100
+        assert len(history.val_mae) == history.epochs_run
+
+    def test_tuple_inputs_supported(self):
+        rng = np.random.default_rng(3)
+        view_a = rng.normal(size=(64, 2))
+        view_b = rng.normal(size=(64, 2))
+        targets = (view_a + view_b) @ np.array([[1.0], [1.0]])
+
+        class ConcatNetwork(Sequential):
+            def forward(self, inputs, training=True):
+                merged = np.concatenate(inputs, axis=1)
+                return super().forward(merged, training=training)
+
+            def backward(self, grad_output):
+                grad = super().backward(grad_output)
+                return grad[:, :2], grad[:, 2:]
+
+        network = ConcatNetwork([Dense(4, 8, seed=0), ReLU(), Dense(8, 1, seed=1)])
+        trainer = Trainer(network, epochs=10, batch_size=16, seed=0)
+        history = trainer.fit((view_a, view_b), targets)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_predict_batched_matches_unbatched(self):
+        inputs, targets = self._make_data(64)
+        network = Sequential([Dense(3, 4, seed=5), ReLU(), Dense(4, 1, seed=6)])
+        trainer = Trainer(network, epochs=2, batch_size=16, seed=0)
+        trainer.fit(inputs, targets)
+        np.testing.assert_allclose(
+            trainer.predict(inputs), trainer.predict(inputs, batch_size=10), atol=1e-12
+        )
+
+    def test_invalid_hyperparameters(self):
+        network = Sequential([Dense(2, 1)])
+        with pytest.raises(ValueError):
+            Trainer(network, epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(network, batch_size=0)
+
+    def test_network_without_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Trainer(Sequential([ReLU()]))
+
+    def test_zero_samples_rejected(self):
+        network = Sequential([Dense(2, 1)])
+        trainer = Trainer(network, epochs=1)
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((0, 2)), np.zeros((0, 1)))

@@ -1,0 +1,69 @@
+"""Tests for repro.prediction.optim."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.layers import Dense
+from repro.prediction.optim import SGD, Adam
+
+
+def quadratic_step(optimizer_factory, steps=300):
+    """Minimise ||W x - y||^2 for a tiny regression problem; return final loss."""
+    rng = np.random.default_rng(0)
+    true_weight = np.array([[2.0], [-3.0]])
+    inputs = rng.normal(size=(64, 2))
+    targets = inputs @ true_weight
+    layer = Dense(2, 1, seed=1)
+    optimizer = optimizer_factory([layer])
+    for _ in range(steps):
+        predictions = layer.forward(inputs)
+        grad = 2.0 * (predictions - targets) / len(inputs)
+        layer.backward(grad)
+        optimizer.step()
+    return float(np.mean((layer.forward(inputs) - targets) ** 2)), layer
+
+
+class TestSGD:
+    def test_converges_on_linear_regression(self):
+        loss, layer = quadratic_step(lambda layers: SGD(layers, learning_rate=0.1))
+        assert loss < 1e-3
+        np.testing.assert_allclose(layer.weight, [[2.0], [-3.0]], atol=0.05)
+
+    def test_momentum_accepted(self):
+        loss, _ = quadratic_step(
+            lambda layers: SGD(layers, learning_rate=0.05, momentum=0.9)
+        )
+        assert loss < 1e-3
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Dense(2, 1)], learning_rate=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Dense(2, 1)], momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_linear_regression(self):
+        loss, layer = quadratic_step(
+            lambda layers: Adam(layers, learning_rate=0.05), steps=400
+        )
+        assert loss < 1e-3
+        np.testing.assert_allclose(layer.weight, [[2.0], [-3.0]], atol=0.05)
+
+    def test_skips_parameterless_layers(self):
+        from repro.prediction.layers import ReLU
+
+        optimizer = Adam([ReLU(), Dense(2, 1)], learning_rate=0.01)
+        assert len(optimizer.layers) == 1
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Dense(2, 1)], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([Dense(2, 1)], beta2=-0.1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            Adam([Dense(2, 1)], epsilon=0.0)

@@ -1,0 +1,77 @@
+"""Tests for repro.prediction.registry."""
+
+import pytest
+
+from repro.prediction.historical import HistoricalAveragePredictor
+from repro.prediction.oracle import NoisyOraclePredictor
+from repro.prediction.registry import (
+    SURROGATE_NOISE_LEVELS,
+    available_models,
+    create_model,
+    model_factory,
+    register_model,
+    surrogate_factory,
+)
+
+
+class TestRegistry:
+    def test_all_expected_models_present(self):
+        names = available_models()
+        for expected in ("mlp", "deepst", "dmvst_net", "historical_average", "real_data"):
+            assert expected in names
+
+    def test_create_model_by_name(self):
+        model = create_model("historical_average")
+        assert isinstance(model, HistoricalAveragePredictor)
+
+    def test_create_unknown_model(self):
+        with pytest.raises(KeyError):
+            create_model("transformer")
+
+    def test_model_factory_returns_fresh_instances(self):
+        factory = model_factory("historical_average")
+        assert factory() is not factory()
+
+    def test_model_factory_passes_kwargs(self):
+        factory = model_factory("noisy_oracle", noise_level=1.5)
+        model = factory()
+        assert isinstance(model, NoisyOraclePredictor)
+        assert model.noise_level == 1.5
+
+    def test_model_factory_unknown_name(self):
+        with pytest.raises(KeyError):
+            model_factory("transformer")
+
+    def test_register_model(self):
+        register_model("custom_for_test", HistoricalAveragePredictor, overwrite=True)
+        assert "custom_for_test" in available_models()
+        assert isinstance(create_model("custom_for_test"), HistoricalAveragePredictor)
+
+    def test_register_duplicate_rejected(self):
+        register_model("dup_for_test", HistoricalAveragePredictor, overwrite=True)
+        with pytest.raises(ValueError):
+            register_model("dup_for_test", HistoricalAveragePredictor)
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("", HistoricalAveragePredictor)
+
+
+class TestSurrogates:
+    def test_surrogate_factory_profiles(self):
+        for name, noise in SURROGATE_NOISE_LEVELS.items():
+            model = surrogate_factory(name)()
+            assert isinstance(model, NoisyOraclePredictor)
+            assert model.noise_level == noise
+
+    def test_surrogate_ordering_matches_paper(self):
+        """The surrogate accuracy must preserve MLP < DeepST < DMVST-Net."""
+        assert (
+            SURROGATE_NOISE_LEVELS["mlp"]
+            > SURROGATE_NOISE_LEVELS["deepst"]
+            > SURROGATE_NOISE_LEVELS["dmvst_net"]
+        )
+
+    def test_unknown_surrogate(self):
+        with pytest.raises(KeyError):
+            surrogate_factory("historical_average")

@@ -1,0 +1,88 @@
+"""Tests for the exponential-smoothing baseline predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import (
+    DemandPredictor,
+    actual_counts_for_targets,
+    evaluation_targets,
+)
+from repro.core.model_error import mean_absolute_error
+from repro.prediction.registry import available_models, create_model
+from repro.prediction.smoothing import ExponentialSmoothingPredictor
+
+
+class TestConstruction:
+    def test_satisfies_protocol(self):
+        assert isinstance(ExponentialSmoothingPredictor(), DemandPredictor)
+
+    def test_registered(self):
+        assert "exponential_smoothing" in available_models()
+        assert isinstance(
+            create_model("exponential_smoothing"), ExponentialSmoothingPredictor
+        )
+
+    @pytest.mark.parametrize("kwargs", [
+        {"smoothing": -0.1},
+        {"smoothing": 1.5},
+        {"seasonal_weight": 2.0},
+        {"history_slots": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ExponentialSmoothingPredictor(**kwargs)
+
+
+class TestFitPredict:
+    def test_prediction_shape_and_nonnegativity(self, tiny_dataset):
+        model = ExponentialSmoothingPredictor()
+        model.fit(tiny_dataset, 4)
+        targets = evaluation_targets(tiny_dataset, tiny_dataset.split.test_days)
+        predictions = model.predict(tiny_dataset, 4, targets)
+        assert predictions.shape == (len(targets), 4, 4)
+        assert np.all(predictions >= 0)
+
+    def test_predict_before_fit(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            ExponentialSmoothingPredictor().predict(tiny_dataset, 4, [(9, 16)])
+
+    def test_resolution_mismatch(self, tiny_dataset):
+        model = ExponentialSmoothingPredictor()
+        model.fit(tiny_dataset, 4)
+        with pytest.raises(ValueError):
+            model.predict(tiny_dataset, 8, [(9, 16)])
+
+    def test_invalid_target_rejected(self, tiny_dataset):
+        model = ExponentialSmoothingPredictor()
+        model.fit(tiny_dataset, 4)
+        with pytest.raises(ValueError):
+            model.predict(tiny_dataset, 4, [(99, 0)])
+
+    def test_pure_seasonal_equals_historical_mean(self, tiny_dataset):
+        """With seasonal_weight=1 the forecast reduces to the same-slot mean."""
+        model = ExponentialSmoothingPredictor(seasonal_weight=1.0, workdays_only=False)
+        model.fit(tiny_dataset, 4)
+        prediction = model.predict(tiny_dataset, 4, [(9, 16)])[0]
+        train_days = np.asarray(tiny_dataset.split.train_days)
+        expected = tiny_dataset.counts(4)[train_days, 16].mean(axis=0)
+        np.testing.assert_allclose(prediction, expected)
+
+    def test_pure_recent_tracks_last_slots(self, tiny_dataset):
+        """With seasonal_weight=0 and smoothing=1 the forecast is the last slot."""
+        model = ExponentialSmoothingPredictor(
+            smoothing=1.0, seasonal_weight=0.0, history_slots=4
+        )
+        model.fit(tiny_dataset, 4)
+        counts = tiny_dataset.counts(4).reshape(-1, 4, 4)
+        target_index = 9 * 48 + 16
+        prediction = model.predict(tiny_dataset, 4, [(9, 16)])[0]
+        np.testing.assert_allclose(prediction, counts[target_index - 1])
+
+    def test_beats_zero_baseline(self, tiny_dataset):
+        model = ExponentialSmoothingPredictor()
+        model.fit(tiny_dataset, 4)
+        targets = evaluation_targets(tiny_dataset, tiny_dataset.split.test_days)
+        actual = actual_counts_for_targets(tiny_dataset, 4, targets)
+        predictions = model.predict(tiny_dataset, 4, targets)
+        assert mean_absolute_error(predictions, actual) < np.abs(actual).mean()

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_NAMES, build_parser, main
+
+FAST_DATASET_ARGS = [
+    "--city",
+    "xian_like",
+    "--scale",
+    "0.004",
+    "--days",
+    "8",
+    "--budget",
+    "64",
+    "--seed",
+    "3",
+]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.command == "tune"
+        assert args.algorithm == "iterative"
+        assert args.model == "historical_average"
+
+    def test_curve_accepts_sides(self):
+        args = build_parser().parse_args(["curve", "--sides", "2", "4", "8"])
+        assert args.sides == [2, 4, 8]
+
+    def test_experiment_names_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_all_experiment_names_parse(self):
+        for name in EXPERIMENT_NAMES:
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+
+    def test_invalid_city_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--city", "atlantis"])
+
+
+class TestCommands:
+    def test_tune_command_runs(self, capsys):
+        exit_code = main(["tune", *FAST_DATASET_ARGS, "--algorithm", "iterative"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "selected n" in output
+        assert "Theorem II.1 holds" in output
+        assert "True" in output
+
+    def test_curve_command_runs(self, capsys):
+        exit_code = main(["curve", *FAST_DATASET_ARGS, "--sides", "2", "4", "8"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Upper-bound curve" in output
+        assert "8x8" in output
+
+    def test_experiment_fig3_runs(self, capsys):
+        exit_code = main(["experiment", "fig3", "--profile", "tiny"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 3" in output
+        assert "xian_like" in output
+
+    def test_experiment_table4_runs(self, capsys):
+        exit_code = main(
+            ["experiment", "table4", "--profile", "tiny", "--city", "xian_like"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table IV" in output
+        assert "brute_force" in output

@@ -1,0 +1,103 @@
+"""Tests for repro.utils.poisson."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.utils.poisson import (
+    poisson_cdf,
+    poisson_mean_abs_deviation,
+    poisson_pmf,
+    sample_inhomogeneous_counts,
+    truncated_poisson_support,
+)
+
+
+class TestPoissonPmf:
+    def test_matches_scipy(self):
+        ks = np.arange(0, 30)
+        np.testing.assert_allclose(
+            poisson_pmf(ks, 4.5), stats.poisson.pmf(ks, 4.5), atol=1e-12
+        )
+
+    def test_scalar_input_returns_float(self):
+        value = poisson_pmf(3, 2.0)
+        assert isinstance(value, float)
+        assert value == pytest.approx(stats.poisson.pmf(3, 2.0))
+
+    def test_zero_mean_is_point_mass(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(1, -0.5)
+
+    def test_negative_k_has_zero_mass(self):
+        assert poisson_pmf(np.array([-1]), 3.0)[0] == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=80.0))
+    @settings(max_examples=30, deadline=None)
+    def test_pmf_sums_to_one(self, mean):
+        support = np.arange(0, truncated_poisson_support(mean) + 1)
+        assert poisson_pmf(support, mean).sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPoissonCdf:
+    def test_matches_scipy(self):
+        assert poisson_cdf(5, 3.2) == pytest.approx(stats.poisson.cdf(5, 3.2))
+
+    def test_negative_k(self):
+        assert poisson_cdf(-1, 3.0) == 0.0
+
+    def test_zero_mean(self):
+        assert poisson_cdf(0, 0.0) == 1.0
+
+
+class TestMeanAbsDeviation:
+    @pytest.mark.parametrize("mean", [0.3, 1.0, 2.7, 8.0, 25.0])
+    def test_matches_numerical_expectation(self, mean):
+        ks = np.arange(0, truncated_poisson_support(mean) + 1)
+        numerical = float(np.sum(np.abs(ks - mean) * stats.poisson.pmf(ks, mean)))
+        assert poisson_mean_abs_deviation(mean) == pytest.approx(numerical, rel=1e-6)
+
+    def test_zero_mean(self):
+        assert poisson_mean_abs_deviation(0.0) == 0.0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_mean_abs_deviation(-1.0)
+
+
+class TestTruncatedSupport:
+    def test_covers_requested_mass(self):
+        k = truncated_poisson_support(12.0, coverage=0.999)
+        assert stats.poisson.cdf(k, 12.0) >= 0.999
+
+    def test_small_mean_gives_small_support(self):
+        assert truncated_poisson_support(0.0) == 1
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_poisson_support(3.0, coverage=1.5)
+
+
+class TestSampling:
+    def test_shape_preserved(self):
+        rng = np.random.default_rng(0)
+        counts = sample_inhomogeneous_counts(np.full((3, 4), 2.0), rng)
+        assert counts.shape == (3, 4)
+
+    def test_mean_close_to_rate(self):
+        rng = np.random.default_rng(0)
+        counts = sample_inhomogeneous_counts(np.full(20000, 5.0), rng)
+        assert counts.mean() == pytest.approx(5.0, rel=0.05)
+
+    def test_negative_rates_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_inhomogeneous_counts(np.array([-1.0]), rng)

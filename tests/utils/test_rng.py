@@ -1,0 +1,55 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, seed_for, spawn_rng
+
+
+class TestDefaultRng:
+    def test_none_gives_deterministic_stream(self):
+        first = default_rng(None).random(5)
+        second = default_rng(None).random(5)
+        np.testing.assert_allclose(first, second)
+
+    def test_integer_seed_is_reproducible(self):
+        np.testing.assert_allclose(default_rng(7).random(4), default_rng(7).random(4))
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(default_rng(1).random(8), default_rng(2).random(8))
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(3)
+        assert default_rng(generator) is generator
+
+
+class TestSpawnRng:
+    def test_spawns_requested_count(self):
+        children = spawn_rng(default_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rng(default_rng(0), 2)
+        assert not np.allclose(children[0].random(6), children[1].random(6))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(default_rng(0), -1)
+
+    def test_zero_count_gives_empty_list(self):
+        assert spawn_rng(default_rng(0), 0) == []
+
+
+class TestSeedFor:
+    def test_is_deterministic(self):
+        assert seed_for("nyc/training") == seed_for("nyc/training")
+
+    def test_labels_give_distinct_seeds(self):
+        assert seed_for("a") != seed_for("b")
+
+    def test_base_seed_changes_result(self):
+        assert seed_for("a", 1) != seed_for("a", 2)
+
+    def test_result_is_valid_seed(self):
+        value = seed_for("anything", 999)
+        assert isinstance(value, int) and 0 <= value < 2**31

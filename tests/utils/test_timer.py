@@ -1,0 +1,51 @@
+"""Tests for repro.utils.timer."""
+
+import time
+
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_accumulates_time(self):
+        timer = Timer()
+        with timer.measure("work"):
+            time.sleep(0.01)
+        with timer.measure("work"):
+            time.sleep(0.01)
+        assert timer.total("work") >= 0.02
+        assert timer.count("work") == 2
+
+    def test_mean_of_measurements(self):
+        timer = Timer()
+        with timer.measure("a"):
+            pass
+        assert timer.mean("a") == timer.total("a")
+
+    def test_unknown_label_defaults(self):
+        timer = Timer()
+        assert timer.total("missing") == 0.0
+        assert timer.count("missing") == 0
+        assert timer.mean("missing") == 0.0
+
+    def test_reset_clears_state(self):
+        timer = Timer()
+        with timer.measure("a"):
+            pass
+        timer.reset()
+        assert timer.count("a") == 0
+
+    def test_records_even_when_exception_raised(self):
+        timer = Timer()
+        try:
+            with timer.measure("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert timer.count("boom") == 1
+
+
+class TestTimed:
+    def test_fills_seconds(self):
+        with timed() as result:
+            time.sleep(0.005)
+        assert result["seconds"] >= 0.005

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_instance,
+    ensure_non_negative,
+    ensure_perfect_square,
+    ensure_positive,
+    ensure_probability,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            ensure_positive(value, "x")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.1, "x")
+
+
+class TestEnsureProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert ensure_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            ensure_probability(value, "p")
+
+
+class TestEnsureInRange:
+    def test_accepts_inside(self):
+        assert ensure_in_range(3, 1, 5, "v") == 3
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(7, 1, 5, "v")
+
+
+class TestEnsurePerfectSquare:
+    @pytest.mark.parametrize("value", [1, 4, 9, 16, 1024])
+    def test_accepts_squares(self, value):
+        assert ensure_perfect_square(value, "n") == value
+
+    @pytest.mark.parametrize("value", [0, -4, 2, 15, 1023])
+    def test_rejects_non_squares(self, value):
+        with pytest.raises(ValueError):
+            ensure_perfect_square(value, "n")
+
+
+class TestEnsureInstance:
+    def test_accepts_matching_type(self):
+        assert ensure_instance(3, int, "x") == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            ensure_instance("3", int, "x")
