@@ -3,14 +3,18 @@
 Paper shape: the straightforward evaluation and Algorithm 1 get expensive as K
 grows while Algorithm 2's cost stays low; accuracy saturates well before the
 paper's default K = 250.
+
+Extension: the batched engine replaces a city probe's per-HGrid scalar loop
+with a few vectorised passes; the second table measures that speed-up.
 """
 
 from conftest import run_once
 
-from repro.experiments.algorithm_cost import algorithm_cost_sweep
+from repro.experiments.algorithm_cost import algorithm_cost_sweep, batch_cost_sweep
 from repro.experiments.reporting import format_table
 
 K_VALUES = (10, 20, 40, 80)
+BATCH_SIZES = (256, 1024, 4096)
 
 
 def test_fig16_algorithm_cost(benchmark):
@@ -50,3 +54,30 @@ def test_fig16_algorithm_cost(benchmark):
     growth_alg1 = points[-1].algorithm1_seconds / max(points[0].algorithm1_seconds, 1e-9)
     growth_alg2 = points[-1].algorithm2_seconds / max(points[0].algorithm2_seconds, 1e-9)
     assert growth_alg1 > growth_alg2
+
+
+def test_fig16_batched_city_probe(benchmark):
+    """Batched engine vs per-HGrid scalar loop for a whole-city probe."""
+    points = run_once(benchmark, batch_cost_sweep, BATCH_SIZES)
+    rows = [
+        [
+            p.num_cells,
+            round(p.scalar_seconds * 1e3, 3),
+            round(p.batch_seconds * 1e3, 3),
+            f"{p.batch_speedup:.1f}x",
+            f"{p.max_abs_difference:.2e}",
+        ]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["cells", "scalar loop (ms)", "batched (ms)", "batch speedup", "max |diff|"],
+            rows,
+            title="Figure 16 extension: batched engine vs scalar loop per city probe",
+        )
+    )
+    largest = points[-1]
+    # The batched engine is faster at city scale and numerically equivalent.
+    assert largest.batch_seconds < largest.scalar_seconds
+    assert largest.max_abs_difference < 1e-9

@@ -12,6 +12,8 @@ Spatiotemporal Prediction Models"* (ICDE 2022).  The package is organised as:
 * :mod:`repro.dispatch` -- POLAR / LS / DAIF dispatch simulators for the case
   study.
 * :mod:`repro.experiments` -- the harness reproducing every figure and table.
+* :mod:`repro.sweep` -- parallel multi-city OGSS sweeps with persistent
+  result caching.
 
 Quickstart::
 
@@ -43,7 +45,7 @@ from repro.prediction import (
     model_factory,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GridTuner",

@@ -14,6 +14,11 @@ Three subcommands cover the common workflows:
     Run one of the named paper experiments (``fig3``, ``fig4`` ... ``table4``)
     at a chosen profile and print the reproduced series.
 
+``sweep``
+    Fan OGSS searches across (city preset x model x slot) combinations in
+    parallel, with a persistent on-disk result cache (rerunning the same
+    sweep replays it from the cache).
+
 Examples
 --------
 ::
@@ -21,6 +26,7 @@ Examples
     python -m repro tune --city nyc_like --model deepst --budget 256 --algorithm iterative
     python -m repro curve --city xian_like --model historical_average --sides 2 4 8 16
     python -m repro experiment fig3 --profile tiny
+    python -m repro sweep --preset nyc,chengdu,xian --slots 16 17 --workers 4
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.experiments.error_curves import (
     model_error_curve,
     real_error_curve,
 )
+from repro.experiments.multi_city import resolve_city, run_city_sweep
 from repro.experiments.reporting import format_table
 from repro.experiments.search_eval import evaluate_search_algorithms
 from repro.prediction.registry import available_models, model_factory
@@ -86,6 +93,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--city", choices=CITIES, default="nyc_like", help="city for per-city experiments"
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="parallel OGSS sweep across city presets with result caching"
+    )
+    sweep.add_argument(
+        "--preset",
+        default="nyc,chengdu,xian",
+        help="comma-separated city presets; short aliases allowed (default: nyc,chengdu,xian)",
+    )
+    sweep.add_argument(
+        "--models",
+        default="historical_average",
+        help="comma-separated prediction models (default: historical_average)",
+    )
+    sweep.add_argument(
+        "--slots",
+        type=int,
+        nargs="+",
+        default=[16],
+        help="time slots to tune (default: 16, the 08:00-08:30 peak)",
+    )
+    sweep.add_argument(
+        "--algorithm",
+        choices=("brute_force", "ternary", "iterative"),
+        default="iterative",
+        help="OGSS search algorithm (default: iterative)",
+    )
+    sweep.add_argument(
+        "--profile",
+        choices=("tiny", "small", "paper"),
+        default="tiny",
+        help="experiment scale profile for dataset/budget (default: tiny)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="worker threads (default: one per task)"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=".gridtuner_cache",
+        help="persistent result-cache directory; 'none' disables caching",
     )
     return parser
 
@@ -210,6 +258,52 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    cities = [resolve_city(name.strip()) for name in args.preset.split(",") if name.strip()]
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    cache_dir = None if args.cache_dir.lower() == "none" else args.cache_dir
+    try:
+        report = run_city_sweep(
+            cities=cities,
+            models=models,
+            slots=args.slots,
+            algorithm=args.algorithm,
+            profile=args.profile,
+            cache_dir=cache_dir,
+            max_workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            o.task.city,
+            o.task.model,
+            o.task.slot,
+            f"{o.result.best_side}x{o.result.best_side}",
+            round(o.upper_bound, 2),
+            o.result.evaluations,
+            round(o.seconds, 3),
+            "hit" if o.from_cache else "miss",
+        ]
+        for o in report.outcomes
+    ]
+    print(
+        format_table(
+            ["city", "model", "slot", "grid", "upper bound", "evals", "seconds", "cache"],
+            rows,
+            title=f"OGSS sweep ({args.algorithm}, profile={args.profile})",
+        )
+    )
+    print(
+        f"{len(report.outcomes)} searches in {report.seconds:.2f}s "
+        f"({report.cache_hits} cache hits, {report.cache_misses} misses)"
+    )
+    if cache_dir is not None:
+        print(f"result cache: {cache_dir}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -220,6 +314,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_curve(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

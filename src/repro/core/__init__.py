@@ -34,13 +34,17 @@ from repro.core.expression import (
     expression_error_gaussian,
     expression_error_monte_carlo,
     expression_error_upper_bound,
+    expression_error_batch,
     mgrid_expression_error,
+    mgrid_expression_error_batch,
     total_expression_error,
+    total_expression_error_multi,
     total_expression_error_upper_bound,
     DEFAULT_K,
 )
 from repro.core.homogeneity import (
     d_alpha,
+    d_alpha_batch,
     d_alpha_per_mgrid,
     d_alpha_curve,
     DAlphaCurve,
@@ -48,7 +52,9 @@ from repro.core.homogeneity import (
 )
 from repro.core.model_error import (
     mean_absolute_error,
+    mean_absolute_error_batch,
     total_model_error,
+    total_model_error_batch,
     total_model_error_from_mae,
     relative_error,
 )
@@ -92,17 +98,23 @@ __all__ = [
     "expression_error_gaussian",
     "expression_error_monte_carlo",
     "expression_error_upper_bound",
+    "expression_error_batch",
     "mgrid_expression_error",
+    "mgrid_expression_error_batch",
     "total_expression_error",
+    "total_expression_error_multi",
     "total_expression_error_upper_bound",
     "DEFAULT_K",
     "d_alpha",
+    "d_alpha_batch",
     "d_alpha_per_mgrid",
     "d_alpha_curve",
     "DAlphaCurve",
     "select_hgrid_budget",
     "mean_absolute_error",
+    "mean_absolute_error_batch",
     "total_model_error",
+    "total_model_error_batch",
     "total_model_error_from_mae",
     "relative_error",
     "DemandPredictor",

@@ -27,9 +27,23 @@ This module provides several calculators that trade speed for fidelity:
   moderately large means; enables full-city sweeps in milliseconds.
 * :func:`expression_error_monte_carlo` — sampling estimate for property tests.
 
+Batched engine
+--------------
+
+:func:`expression_error_batch` evaluates the error of *many* HGrids in a few
+vectorised array passes instead of one Python call per cell: the truncated
+Poisson pmf tables of all cells are built as one ``(batch, support)`` matrix,
+the prefix-sum identity is applied column-wise, and the whole batch is reduced
+at once.  A city-scale probe (thousands of HGrids) therefore costs a handful
+of NumPy operations.  :func:`mgrid_expression_error_batch` reduces per-cell
+errors to per-MGrid totals and :func:`total_expression_error_multi` evaluates
+several alpha grids (e.g. every time slot of a day) against one layout in a
+single batched pass.
+
 Aggregate helpers (:func:`mgrid_expression_error`,
 :func:`total_expression_error`) sum the per-HGrid errors over an MGrid or over
-a whole city at a given :class:`~repro.core.grid.GridLayout`.
+a whole city at a given :class:`~repro.core.grid.GridLayout`; both are backed
+by the batched engine.
 """
 
 from __future__ import annotations
@@ -38,7 +52,7 @@ import math
 from typing import Literal
 
 import numpy as np
-from scipy import stats
+from scipy import special, stats
 
 from repro.core.grid import GridLayout
 from repro.utils.poisson import poisson_pmf, truncated_poisson_support
@@ -47,8 +61,10 @@ from repro.utils.validation import ensure_non_negative, ensure_positive
 
 ExpressionMethod = Literal["auto", "exact", "algorithm1", "algorithm2", "gaussian", "reference"]
 
-#: Default truncation hyper-parameter K (the paper uses 250; smaller values are
-#: adequate for the laptop-scale alphas used in tests and benches).
+#: Reference truncation hyper-parameter K (the paper uses 250; smaller values
+#: are adequate for the laptop-scale alphas used in tests and benches).  When
+#: ``k`` is omitted the calculators size the truncation to the actual means
+#: via :func:`default_k_for` instead, which stays accurate for large alphas.
 DEFAULT_K = 120
 
 #: Mean above which the Gaussian approximation is considered accurate enough
@@ -64,13 +80,17 @@ def _validate_inputs(alpha_ij: float, alpha_rest: float, m: int, k: int) -> None
 
 
 def expression_error_reference(
-    alpha_ij: float, alpha_rest: float, m: int, k: int = DEFAULT_K
+    alpha_ij: float, alpha_rest: float, m: int, k: int | None = None
 ) -> float:
     """Direct truncated evaluation of Equation 7 (dense double sum).
 
     ``alpha_rest`` is ``sum_{g != j} alpha_ig``.  The double sum runs over
     ``kh in [0, K]`` and ``km in [0, (m - 1) K]`` as in Theorem III.2.
+    ``k=None`` picks a truncation covering both Poisson tails
+    (:func:`default_k_for`), so large means stay accurate.
     """
+    if k is None:
+        k = default_k_for(alpha_ij, alpha_rest, m)
     _validate_inputs(alpha_ij, alpha_rest, m, k)
     if m == 1:
         return 0.0
@@ -83,13 +103,16 @@ def expression_error_reference(
 
 
 def expression_error_algorithm1(
-    alpha_ij: float, alpha_rest: float, m: int, k: int = DEFAULT_K
+    alpha_ij: float, alpha_rest: float, m: int, k: int | None = None
 ) -> float:
     """Paper Algorithm 1: running-product evaluation of the truncated series.
 
     Complexity O(m K^2) in scalar operations.  Retained for the Figure 16
     runtime comparison and as an independent implementation for cross-checks.
+    ``k=None`` picks a tail-covering truncation (:func:`default_k_for`).
     """
+    if k is None:
+        k = default_k_for(alpha_ij, alpha_rest, m)
     _validate_inputs(alpha_ij, alpha_rest, m, k)
     if m == 1:
         return 0.0
@@ -108,7 +131,7 @@ def expression_error_algorithm1(
 
 
 def expression_error_algorithm2(
-    alpha_ij: float, alpha_rest: float, m: int, k: int = DEFAULT_K
+    alpha_ij: float, alpha_rest: float, m: int, k: int | None = None
 ) -> float:
     """Fast O(m K) expression-error calculator (paper Algorithm 2 equivalent).
 
@@ -118,8 +141,11 @@ def expression_error_algorithm2(
         E|c - Y| = c * (2 F(c) - 1) - 2 S(c) + E_trunc[Y]
 
     evaluated at ``c = (m - 1) kh`` for every ``kh``, then averaged over the
-    truncated Poisson pmf of ``lambda_ij`` and divided by ``m``.
+    truncated Poisson pmf of ``lambda_ij`` and divided by ``m``.  ``k=None``
+    picks a tail-covering truncation (:func:`default_k_for`).
     """
+    if k is None:
+        k = default_k_for(alpha_ij, alpha_rest, m)
     _validate_inputs(alpha_ij, alpha_rest, m, k)
     if m == 1:
         return 0.0
@@ -202,6 +228,216 @@ def default_k_for(alpha_ij: float, alpha_rest: float, m: int) -> int:
     return max(8, k_h, k_rest)
 
 
+# --------------------------------------------------------------------- #
+# Batched engine
+# --------------------------------------------------------------------- #
+
+#: Upper bound on the number of pmf-table entries materialised per batched
+#: pass; larger batches are processed in chunks of this size so city-scale
+#: sweeps stay within a few tens of megabytes of working memory.
+BATCH_TABLE_BUDGET = 4_000_000
+
+
+def _poisson_pmf_table(support: np.ndarray, means: np.ndarray) -> np.ndarray:
+    """Poisson pmf of every mean in ``means`` over ``support``: ``(B, S)`` table.
+
+    Identical log-space evaluation to :func:`repro.utils.poisson.poisson_pmf`,
+    broadcast over a batch of means so one table serves a whole city probe.
+    """
+    support = np.asarray(support, dtype=float)
+    means = np.asarray(means, dtype=float)
+    safe = np.where(means > 0, means, 1.0)
+    log_pmf = (
+        support[None, :] * np.log(safe)[:, None]
+        - safe[:, None]
+        - special.gammaln(support + 1.0)[None, :]
+    )
+    table = np.exp(log_pmf)
+    zero = means <= 0
+    if np.any(zero):
+        table[zero] = np.where(support[None, :] == 0, 1.0, 0.0)
+    return table
+
+
+def _batch_algorithm2(
+    alpha_ij: np.ndarray, alpha_rest: np.ndarray, m: int, k: int
+) -> np.ndarray:
+    """Vectorised Algorithm 2 over a batch of (alpha_ij, alpha_rest) cells.
+
+    Builds the truncated pmf table of ``Y = lambda_{i,!=j}`` for the whole
+    batch at once and applies the prefix-sum identity column-wise — the same
+    arithmetic as :func:`expression_error_algorithm2`, one row per cell.
+    """
+    km = np.arange(0, (m - 1) * k + 1)
+    pmf_rest = _poisson_pmf_table(km, alpha_rest)
+    cdf_rest = np.cumsum(pmf_rest, axis=1)
+    partial_mean = np.cumsum(km[None, :] * pmf_rest, axis=1)
+    truncated_mean = partial_mean[:, -1]
+
+    kh = np.arange(0, k + 1)
+    pmf_h = _poisson_pmf_table(kh, alpha_ij)
+    c = np.minimum((m - 1) * kh, km[-1])
+    expected_abs = (
+        c[None, :] * (2.0 * cdf_rest[:, c] - cdf_rest[:, -1:])
+        - 2.0 * partial_mean[:, c]
+        + truncated_mean[:, None]
+    )
+    return (pmf_h * expected_abs).sum(axis=1) / m
+
+
+def _batch_gaussian(alpha_ij: np.ndarray, alpha_rest: np.ndarray, m: int) -> np.ndarray:
+    """Vectorised Normal approximation over a batch of cells (O(batch))."""
+    mu = (m - 1) * alpha_ij - alpha_rest
+    variance = (m - 1) ** 2 * alpha_ij + alpha_rest
+    safe_var = np.maximum(variance, 1e-300)
+    sigma = np.sqrt(safe_var)
+    expected_abs = sigma * math.sqrt(2.0 / math.pi) * np.exp(
+        -(mu**2) / (2.0 * safe_var)
+    ) + mu * (1.0 - 2.0 * stats.norm.cdf(-mu / sigma))
+    expected_abs = np.where(variance <= 0, np.abs(mu), expected_abs)
+    return expected_abs / m
+
+
+def _batch_algorithm2_chunked(
+    alpha_ij: np.ndarray, alpha_rest: np.ndarray, m: int, k: int
+) -> np.ndarray:
+    """Apply :func:`_batch_algorithm2` in memory-bounded chunks."""
+    table_width = (m - 1) * k + 1
+    chunk = max(1, BATCH_TABLE_BUDGET // table_width)
+    if alpha_ij.size <= chunk:
+        return _batch_algorithm2(alpha_ij, alpha_rest, m, k)
+    pieces = [
+        _batch_algorithm2(alpha_ij[start : start + chunk], alpha_rest[start : start + chunk], m, k)
+        for start in range(0, alpha_ij.size, chunk)
+    ]
+    return np.concatenate(pieces)
+
+
+def expression_error_batch(
+    alphas: np.ndarray,
+    m: int | None = None,
+    rest: np.ndarray | None = None,
+    k: int | None = None,
+    method: ExpressionMethod = "auto",
+) -> np.ndarray:
+    """Per-HGrid expression errors for a whole batch of cells at once.
+
+    Two input conventions are supported:
+
+    * **Block mode** (``rest is None``): ``alphas`` holds per-HGrid alphas
+      grouped by MGrid along the last axis, shape ``(..., m)`` — e.g. the
+      output of :meth:`repro.core.grid.GridLayout.mgrid_alpha_blocks`.  The
+      rest-of-MGrid mass of each cell is derived from its block.
+    * **Elementwise mode** (``rest`` given): ``alphas`` and ``rest`` are
+      broadcast-compatible arrays of ``alpha_ij`` and ``alpha_{i,!=j}`` values
+      and ``m`` must be given explicitly.
+
+    Returns an array of per-cell errors with the same shape as ``alphas``.
+    With a shared ``k`` the result matches the scalar calculators cell-for-cell
+    to floating-point accuracy; with ``k=None`` a batch-wide truncation large
+    enough for every cell is chosen.  ``method`` accepts the same names as
+    :func:`expression_error`; ``"algorithm1"`` and ``"reference"`` fall back to
+    a per-cell loop (they exist for cross-checks, not speed).
+    """
+    alphas = np.asarray(alphas, dtype=float)
+    if rest is None:
+        if alphas.ndim < 1 or alphas.shape[-1] == 0:
+            raise ValueError("block-mode alphas must have a non-empty last axis")
+        block_m = alphas.shape[-1]
+        if m is not None and int(m) != block_m:
+            raise ValueError(
+                f"m={m} does not match the block size {block_m} of the last axis"
+            )
+        m = block_m
+        rest = alphas.sum(axis=-1, keepdims=True) - alphas
+    else:
+        if m is None:
+            raise ValueError("m is required in elementwise mode (rest given)")
+        alphas, rest = np.broadcast_arrays(alphas, np.asarray(rest, dtype=float))
+    m = int(m)
+    ensure_positive(m, "m")
+    if np.any(alphas < 0) or np.any(rest < 0):
+        raise ValueError("all alphas must be non-negative")
+    shape = alphas.shape
+    if m == 1:
+        return np.zeros(shape)
+
+    flat_alpha = np.ascontiguousarray(alphas, dtype=float).ravel()
+    flat_rest = np.ascontiguousarray(rest, dtype=float).ravel()
+    if flat_alpha.size == 0:
+        return np.zeros(shape)
+
+    if method == "gaussian":
+        return _batch_gaussian(flat_alpha, flat_rest, m).reshape(shape)
+    if method in ("algorithm1", "reference"):
+        calculator = (
+            expression_error_algorithm1 if method == "algorithm1" else expression_error_reference
+        )
+        out = np.array(
+            [
+                calculator(
+                    float(a), float(r), m, k=k if k is not None else default_k_for(float(a), float(r), m)
+                )
+                for a, r in zip(flat_alpha, flat_rest)
+            ]
+        )
+        return out.reshape(shape)
+    if method not in ("auto", "exact", "algorithm2"):
+        raise ValueError(f"unknown expression-error method {method!r}")
+
+    out = np.zeros(flat_alpha.size)
+    if method == "auto":
+        exact_mask = flat_alpha + flat_rest < _GAUSSIAN_MEAN_THRESHOLD
+        if np.any(~exact_mask):
+            out[~exact_mask] = _batch_gaussian(
+                flat_alpha[~exact_mask], flat_rest[~exact_mask], m
+            )
+    else:
+        exact_mask = np.ones(flat_alpha.size, dtype=bool)
+    if np.any(exact_mask):
+        exact_alpha = flat_alpha[exact_mask]
+        exact_rest = flat_rest[exact_mask]
+        shared_k = k if k is not None else default_k_for(
+            float(exact_alpha.max()), float(exact_rest.max()), m
+        )
+        ensure_positive(shared_k, "K")
+        out[exact_mask] = _batch_algorithm2_chunked(exact_alpha, exact_rest, m, shared_k)
+    return out.reshape(shape)
+
+
+def mgrid_expression_error_batch(
+    blocks: np.ndarray,
+    k: int | None = None,
+    method: ExpressionMethod = "auto",
+) -> np.ndarray:
+    """Total expression error of every MGrid in ``blocks`` in one batched pass.
+
+    ``blocks`` has shape ``(..., m)`` (one row of per-HGrid alphas per MGrid);
+    the result drops the last axis.  Equivalent to mapping
+    :func:`mgrid_expression_error` over the rows, but vectorised.
+    """
+    return expression_error_batch(blocks, k=k, method=method).sum(axis=-1)
+
+
+def total_expression_error_multi(
+    alpha_stack: np.ndarray,
+    layout: GridLayout,
+    k: int | None = None,
+    method: ExpressionMethod = "auto",
+) -> np.ndarray:
+    """City-total expression error of several alpha grids in one batched pass.
+
+    ``alpha_stack`` has shape ``(..., F, F)`` with ``F`` the layout's fine
+    resolution — e.g. one alpha grid per time slot.  Returns the summed
+    expression error per leading entry (shape ``(...)``), equal to mapping
+    :func:`total_expression_error` over the stack.
+    """
+    blocks = layout.mgrid_alpha_blocks(alpha_stack)
+    if layout.hgrids_per_mgrid == 1:
+        return np.zeros(blocks.shape[:-2])
+    return mgrid_expression_error_batch(blocks, k=k, method=method).sum(axis=-1)
+
+
 def expression_error(
     alpha_ij: float,
     alpha_rest: float,
@@ -244,34 +480,9 @@ def mgrid_expression_error(
         raise ValueError("an MGrid must contain at least one HGrid")
     if np.any(alphas < 0):
         raise ValueError("all alphas must be non-negative")
-    m = alphas.size
-    if m == 1:
+    if alphas.size == 1:
         return 0.0
-    total_alpha = float(alphas.sum())
-    if method == "auto" and total_alpha >= _GAUSSIAN_MEAN_THRESHOLD:
-        return _mgrid_expression_error_gaussian(alphas)
-    if method == "gaussian":
-        return _mgrid_expression_error_gaussian(alphas)
-    result = 0.0
-    for alpha_ij in alphas:
-        rest = total_alpha - float(alpha_ij)
-        result += expression_error(float(alpha_ij), rest, m, k=k, method=method)
-    return result
-
-
-def _mgrid_expression_error_gaussian(alphas: np.ndarray) -> float:
-    """Vectorised Gaussian-approximation total over one MGrid."""
-    m = alphas.size
-    total_alpha = alphas.sum()
-    rest = total_alpha - alphas
-    mu = (m - 1) * alphas - rest
-    variance = (m - 1) ** 2 * alphas + rest
-    sigma = np.sqrt(np.maximum(variance, 1e-300))
-    expected_abs = sigma * math.sqrt(2.0 / math.pi) * np.exp(
-        -(mu**2) / (2.0 * np.maximum(variance, 1e-300))
-    ) + mu * (1.0 - 2.0 * stats.norm.cdf(-mu / sigma))
-    expected_abs = np.where(variance <= 0, np.abs(mu), expected_abs)
-    return float(expected_abs.sum() / m)
+    return float(expression_error_batch(alphas[None, :], k=k, method=method).sum())
 
 
 def total_expression_error(
@@ -282,6 +493,10 @@ def total_expression_error(
 ) -> float:
     """Summed expression error of all HGrids in the city for a given layout.
 
+    One batched pass over all MGrids (see :func:`expression_error_batch`); in
+    ``"auto"`` mode the Gaussian approximation handles the large-mean MGrids
+    and a single batched Algorithm-2 evaluation covers the small-mean rest.
+
     Parameters
     ----------
     alpha_fine:
@@ -290,44 +505,12 @@ def total_expression_error(
     layout:
         The MGrid/HGrid layout under evaluation.
     k, method:
-        Passed to the per-MGrid calculators.
+        Passed to the batched calculators.
     """
     blocks = layout.mgrid_alpha_blocks(alpha_fine)
     if layout.hgrids_per_mgrid == 1:
         return 0.0
-    if method in ("auto", "gaussian"):
-        gaussian_total = _total_expression_error_gaussian(blocks)
-        if method == "gaussian":
-            return gaussian_total
-        # In auto mode, recompute exactly only the MGrids with small means.
-        small = blocks.sum(axis=1) < _GAUSSIAN_MEAN_THRESHOLD
-        if not np.any(small):
-            return gaussian_total
-        total = _total_expression_error_gaussian(blocks[~small]) if np.any(~small) else 0.0
-        for row in blocks[small]:
-            total += mgrid_expression_error(row, k=k, method="algorithm2")
-        return total
-    return float(
-        sum(mgrid_expression_error(row, k=k, method=method) for row in blocks)
-    )
-
-
-def _total_expression_error_gaussian(blocks: np.ndarray) -> float:
-    """Vectorised Gaussian-approximation total over many MGrids at once."""
-    if blocks.size == 0:
-        return 0.0
-    m = blocks.shape[1]
-    totals = blocks.sum(axis=1, keepdims=True)
-    rest = totals - blocks
-    mu = (m - 1) * blocks - rest
-    variance = (m - 1) ** 2 * blocks + rest
-    safe_var = np.maximum(variance, 1e-300)
-    sigma = np.sqrt(safe_var)
-    expected_abs = sigma * math.sqrt(2.0 / math.pi) * np.exp(
-        -(mu**2) / (2.0 * safe_var)
-    ) + mu * (1.0 - 2.0 * stats.norm.cdf(-mu / sigma))
-    expected_abs = np.where(variance <= 0, np.abs(mu), expected_abs)
-    return float(expected_abs.sum() / m)
+    return float(mgrid_expression_error_batch(blocks, k=k, method=method).sum())
 
 
 def total_expression_error_upper_bound(alpha_fine: np.ndarray, layout: GridLayout) -> float:

@@ -182,28 +182,31 @@ class GridLayout:
         return GridLayout(num_mgrids=n, hgrids_per_mgrid=hgrid_side * hgrid_side)
 
     def mgrid_alpha_blocks(self, alpha_fine: np.ndarray) -> np.ndarray:
-        """Group a fine-resolution alpha grid into per-MGrid blocks.
+        """Group fine-resolution alpha grids into per-MGrid blocks.
 
         Parameters
         ----------
         alpha_fine:
-            Array of shape ``(fine_resolution, fine_resolution)``.
+            Array of shape ``(..., fine_resolution, fine_resolution)``; any
+            leading axes (e.g. one grid per time slot) are preserved.
 
         Returns
         -------
-        Array of shape ``(num_mgrids, hgrids_per_mgrid)`` where row ``i`` holds
-        the alphas of all HGrids inside MGrid ``i`` (row-major MGrid order).
+        Array of shape ``(..., num_mgrids, hgrids_per_mgrid)`` where row ``i``
+        holds the alphas of all HGrids inside MGrid ``i`` (row-major MGrid
+        order).
         """
         alpha_fine = np.asarray(alpha_fine, dtype=float)
         expected = (self.fine_resolution, self.fine_resolution)
-        if alpha_fine.shape != expected:
+        if alpha_fine.ndim < 2 or alpha_fine.shape[-2:] != expected:
             raise ValueError(
-                f"alpha grid must have shape {expected}, got {alpha_fine.shape}"
+                f"alpha grid must have trailing shape {expected}, got {alpha_fine.shape}"
             )
+        lead = alpha_fine.shape[:-2]
         side, sub = self.mgrid_side, self.hgrid_side
-        blocks = alpha_fine.reshape(side, sub, side, sub)
-        blocks = blocks.transpose(0, 2, 1, 3).reshape(self.num_mgrids, self.hgrids_per_mgrid)
-        return blocks
+        blocks = alpha_fine.reshape(lead + (side, sub, side, sub))
+        blocks = np.moveaxis(blocks, -3, -2)
+        return blocks.reshape(lead + (self.num_mgrids, self.hgrids_per_mgrid))
 
     def aggregate_to_mgrids(self, fine: np.ndarray) -> np.ndarray:
         """Sum a fine-resolution tensor down to MGrid resolution."""

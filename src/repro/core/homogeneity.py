@@ -22,7 +22,27 @@ def d_alpha(alpha: np.ndarray) -> float:
         raise ValueError("alpha must contain at least one cell")
     if np.any(alpha < 0):
         raise ValueError("alpha values must be non-negative")
-    return float(np.abs(alpha - alpha.mean()).sum())
+    return float(d_alpha_batch(alpha.reshape(1, -1))[0])
+
+
+def d_alpha_batch(alpha_stack: np.ndarray) -> np.ndarray:
+    """D_alpha of many grids at once: ``(batch, ...)`` in, ``(batch,)`` out.
+
+    Each entry of the leading axis is one alpha grid (any trailing shape);
+    entry ``b`` of the result equals ``d_alpha(alpha_stack[b])``.  Used to
+    score every time slot of a day — or every grid of a sweep — in one
+    vectorised pass instead of a Python loop.
+    """
+    alpha_stack = np.asarray(alpha_stack, dtype=float)
+    if alpha_stack.ndim < 1 or alpha_stack.size == 0:
+        raise ValueError("alpha_stack must contain at least one grid")
+    flat = alpha_stack.reshape(alpha_stack.shape[0], -1)
+    if flat.shape[1] == 0:
+        raise ValueError("each grid must contain at least one cell")
+    if np.any(flat < 0):
+        raise ValueError("alpha values must be non-negative")
+    means = flat.mean(axis=1, keepdims=True)
+    return np.abs(flat - means).sum(axis=1)
 
 
 def d_alpha_per_mgrid(alpha_blocks: np.ndarray) -> np.ndarray:
@@ -35,8 +55,7 @@ def d_alpha_per_mgrid(alpha_blocks: np.ndarray) -> np.ndarray:
     alpha_blocks = np.asarray(alpha_blocks, dtype=float)
     if alpha_blocks.ndim != 2:
         raise ValueError("alpha_blocks must be 2-D (num_mgrids, m)")
-    means = alpha_blocks.mean(axis=1, keepdims=True)
-    return np.abs(alpha_blocks - means).sum(axis=1)
+    return d_alpha_batch(alpha_blocks)
 
 
 @dataclass(frozen=True)

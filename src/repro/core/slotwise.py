@@ -6,14 +6,25 @@ over the day (Figure 18), but its system still deploys a single grid size.
 This module provides the natural extension: tune ``n`` per time slot, then
 either use the per-slot grids directly or collapse them into one compromise
 grid chosen to minimise the summed upper bound across slots.
+
+Two batching optimisations make whole-day tuning cheap: every per-slot
+evaluator shares one model-error cache (the model error does not depend on the
+alpha slot, so each candidate side trains its model exactly once for the whole
+day), and :meth:`SlotwiseGridTuner.expression_error_matrix` probes the
+expression error of *all* slots at a candidate side in a single vectorised
+pass through :func:`repro.core.expression.total_expression_error_multi`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.expression import ExpressionMethod, total_expression_error_multi
+from repro.core.grid import GridLayout
 from repro.core.interfaces import DemandPredictor
 from repro.core.search import run_search
 from repro.core.upper_bound import UpperBoundEvaluator
@@ -86,6 +97,9 @@ class SlotwiseGridTuner:
         self.min_side = min_side
         self.search_kwargs = dict(search_kwargs or {})
         self._evaluators: Dict[int, UpperBoundEvaluator] = {}
+        # Shared across all slot evaluators: the model error depends only on
+        # the side, so each candidate side is trained once for the whole day.
+        self._model_error_cache: Dict[int, Tuple[float, float]] = {}
 
     def evaluator_for_slot(self, slot: int) -> UpperBoundEvaluator:
         """The (cached) upper-bound evaluator whose alpha uses ``slot``."""
@@ -95,8 +109,43 @@ class SlotwiseGridTuner:
                 model_factory=self.model_factory,
                 hgrid_budget=self.hgrid_budget,
                 alpha_slot=slot,
+                model_error_cache=self._model_error_cache,
             )
         return self._evaluators[slot]
+
+    def expression_error_matrix(
+        self,
+        slots: Sequence[int],
+        sides: Sequence[int],
+        method: ExpressionMethod = "auto",
+    ) -> np.ndarray:
+        """Whole-city expression errors for every (slot, side) pair, batched.
+
+        Stacks the alpha grids of all ``slots`` and evaluates each candidate
+        side with one vectorised pass, so the full matrix costs a handful of
+        array operations per side instead of ``len(slots)`` scalar sweeps.
+        Returns an array of shape ``(len(slots), len(sides))``.
+
+        Example
+        -------
+        >>> tuner = SlotwiseGridTuner(dataset, model_factory, hgrid_budget=64)
+        >>> errors = tuner.expression_error_matrix(slots=range(48), sides=[2, 4, 8])
+        """
+        if not slots:
+            raise ValueError("at least one slot is required")
+        if not sides:
+            raise ValueError("at least one side is required")
+        matrix = np.zeros((len(slots), len(sides)))
+        for column, side in enumerate(sides):
+            layout = GridLayout.for_ogss(int(side) ** 2, self.hgrid_budget)
+            alpha_stack = np.stack(
+                [
+                    self.dataset.alpha(layout.fine_resolution, slot=int(slot))
+                    for slot in slots
+                ]
+            )
+            matrix[:, column] = total_expression_error_multi(alpha_stack, layout, method=method)
+        return matrix
 
     def tune_slot(self, slot: int) -> SlotTuningResult:
         """Tune the grid size for one time slot."""

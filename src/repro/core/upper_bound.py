@@ -10,8 +10,9 @@ so the search algorithms never retrain a model for the same ``n`` twice.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, MutableMapping, Optional, Sequence, Tuple
 
 from repro.core.expression import ExpressionMethod, total_expression_error
 from repro.core.grid import GridLayout
@@ -68,6 +69,18 @@ class UpperBoundEvaluator:
         dataset's validation + test days.
     expression_method, expression_k:
         Passed through to :func:`repro.core.expression.total_expression_error`.
+    model_error_cache:
+        Optional mapping ``mgrid_side -> (model_error, mae)`` shared between
+        evaluators.  The model error depends only on the dataset, the model
+        and the side — not on ``alpha_slot`` — so evaluators that differ only
+        in their alpha slot (e.g. the per-slot tuners in
+        :mod:`repro.core.slotwise`) can share one cache and train each model
+        once instead of once per slot.  Requires a deterministic
+        ``model_factory``.  If the mapping additionally provides a
+        ``lock_for(side)`` method returning a context manager (see
+        :class:`repro.sweep.runner.SingleFlightModelErrorCache`), the
+        evaluator holds that lock around training so concurrent evaluators
+        sharing the cache train each side exactly once.
     """
 
     dataset: EventDataset
@@ -77,6 +90,7 @@ class UpperBoundEvaluator:
     evaluation_days: Optional[Sequence[int]] = None
     expression_method: ExpressionMethod = "auto"
     expression_k: Optional[int] = None
+    model_error_cache: Optional[MutableMapping[int, Tuple[float, float]]] = None
     timer: Timer = field(default_factory=Timer)
 
     def __post_init__(self) -> None:
@@ -139,6 +153,20 @@ class UpperBoundEvaluator:
         )
 
     def _model_error(self, mgrid_side: int) -> tuple[float, float]:
+        """Cached-and-locked wrapper around :meth:`_train_and_measure`."""
+        cache = self.model_error_cache
+        if cache is None:
+            return self._train_and_measure(mgrid_side)
+        lock_for = getattr(cache, "lock_for", None)
+        guard = lock_for(mgrid_side) if lock_for is not None else nullcontext()
+        with guard:
+            if mgrid_side in cache:
+                return cache[mgrid_side]
+            entry = self._train_and_measure(mgrid_side)
+            cache[mgrid_side] = entry
+            return entry
+
+    def _train_and_measure(self, mgrid_side: int) -> tuple[float, float]:
         """Train a fresh model at this resolution and estimate ``n * MAE``."""
         model = self.model_factory()
         with self.timer.measure("model_training"):

@@ -43,7 +43,13 @@ from repro.experiments.homogeneity_exp import (
     figure14_dalpha_curve,
     figure15_effect_of_m,
 )
-from repro.experiments.algorithm_cost import AlgorithmCostPoint, algorithm_cost_sweep
+from repro.experiments.algorithm_cost import (
+    AlgorithmCostPoint,
+    BatchCostPoint,
+    algorithm_cost_sweep,
+    batch_cost_sweep,
+)
+from repro.experiments.multi_city import CITY_ALIASES, resolve_city, run_city_sweep
 from repro.experiments.dataset_size import DatasetSizePoint, dataset_size_sweep
 from repro.experiments.reporting import format_series, format_table
 
@@ -79,7 +85,12 @@ __all__ = [
     "figure14_dalpha_curve",
     "figure15_effect_of_m",
     "AlgorithmCostPoint",
+    "BatchCostPoint",
     "algorithm_cost_sweep",
+    "batch_cost_sweep",
+    "CITY_ALIASES",
+    "resolve_city",
+    "run_city_sweep",
     "DatasetSizePoint",
     "dataset_size_sweep",
     "format_series",

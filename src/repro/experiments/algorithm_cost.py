@@ -4,6 +4,11 @@ The paper compares the straightforward O(m^2 K^3) evaluation, Algorithm 1
 (O(m K^2)) and Algorithm 2 (O(m K)) as the truncation parameter ``K`` grows,
 showing that Algorithm 2's cost stays flat while the others blow up, and that
 accuracy saturates well before the default K = 250.
+
+:func:`batch_cost_sweep` extends the study to the batched engine: a full-city
+probe evaluates thousands of HGrids, and the batched calculator
+(:func:`repro.core.expression.expression_error_batch`) replaces that many
+scalar Algorithm-2 calls with a few vectorised passes.
 """
 
 from __future__ import annotations
@@ -12,9 +17,12 @@ import time
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.core.expression import (
-    expression_error_algorithm1,
     expression_error_algorithm2,
+    expression_error_algorithm1,
+    expression_error_batch,
     expression_error_reference,
 )
 
@@ -85,6 +93,75 @@ def algorithm_cost_sweep(
                 reference_value=reference_value,
                 algorithm1_value=algorithm1_value,
                 algorithm2_value=algorithm2_value,
+            )
+        )
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class BatchCostPoint:
+    """Scalar-loop vs batched-engine cost for one city-probe size."""
+
+    num_cells: int
+    scalar_seconds: float
+    batch_seconds: float
+    max_abs_difference: float
+
+    @property
+    def batch_speedup(self) -> float:
+        """Speed-up of the batched engine over the per-cell scalar loop."""
+        if self.batch_seconds == 0:
+            return float("inf")
+        return self.scalar_seconds / self.batch_seconds
+
+
+def batch_cost_sweep(
+    num_cells_values: Sequence[int] = (256, 1024, 4096),
+    m: int = 4,
+    k: int = 60,
+    seed: int = 0,
+) -> Tuple[BatchCostPoint, ...]:
+    """Cost of a whole-city expression-error probe: scalar loop vs batched.
+
+    For each probe size, draws ``num_cells`` random (alpha_ij, alpha_rest)
+    pairs and computes every per-HGrid error twice: once with a Python loop of
+    scalar Algorithm-2 calls (the seed implementation of a city probe) and
+    once with a single :func:`expression_error_batch` call sharing one
+    truncation ``k``.  Also reports the largest absolute disagreement, which
+    should sit at floating-point level.
+    """
+    if m <= 1:
+        raise ValueError("m must be at least 2 for a meaningful comparison")
+    rng = np.random.default_rng(seed)
+    points = []
+    for num_cells in num_cells_values:
+        alpha_ij = rng.uniform(0.0, 8.0, size=int(num_cells))
+        alpha_rest = rng.uniform(0.0, 8.0 * (m - 1), size=int(num_cells))
+        # Full-size warm-up pass so the timed run measures compute, not the
+        # one-off page-fault cost of first touching the pmf tables.
+        expression_error_batch(alpha_ij, m, rest=alpha_rest, k=k, method="algorithm2")
+
+        start = time.perf_counter()
+        scalar_values = np.array(
+            [
+                expression_error_algorithm2(float(a), float(r), m, k=k)
+                for a, r in zip(alpha_ij, alpha_rest)
+            ]
+        )
+        scalar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch_values = expression_error_batch(
+            alpha_ij, m, rest=alpha_rest, k=k, method="algorithm2"
+        )
+        batch_seconds = time.perf_counter() - start
+
+        points.append(
+            BatchCostPoint(
+                num_cells=int(num_cells),
+                scalar_seconds=scalar_seconds,
+                batch_seconds=batch_seconds,
+                max_abs_difference=float(np.abs(scalar_values - batch_values).max()),
             )
         )
     return tuple(points)

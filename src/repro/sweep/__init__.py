@@ -1,0 +1,47 @@
+"""Parallel OGSS sweep subsystem: many (city, slot, model) searches at once.
+
+The paper tunes one grid size for one city, one prediction model and one time
+slot at a time.  A production deployment needs the whole matrix — every city
+preset, every serving slot, every candidate model — re-tuned as data drifts.
+This package fans those searches out across worker threads and memoises the
+results in a persistent on-disk cache so repeated sweeps are nearly free.
+
+* :class:`~repro.sweep.runner.SweepTask` — one (city, model, slot, algorithm)
+  combination plus the dataset parameters that define it.
+* :func:`~repro.sweep.runner.sweep_tasks` — cross-product task builder.
+* :class:`~repro.sweep.runner.SweepRunner` — executes tasks with
+  :mod:`concurrent.futures`, shares datasets and model-error caches between
+  tasks, and persists each :class:`~repro.core.search.SearchResult` through
+  :class:`~repro.utils.cache.ResultCache`.
+* :class:`~repro.sweep.runner.SweepReport` — the collected outcomes.
+
+Example
+-------
+>>> from repro.sweep import SweepRunner, sweep_tasks
+>>> tasks = sweep_tasks(
+...     cities=["nyc_like", "xian_like"], slots=[16, 17], scale=0.005, num_days=8
+... )
+>>> report = SweepRunner(tasks, cache_dir="~/.cache/gridtuner", max_workers=4).run()
+>>> {(o.task.city, o.task.slot): o.result.best_side for o in report.outcomes}
+
+See ``examples/sweep_multi_city.py`` for a complete runnable script and the
+``repro sweep`` CLI subcommand for the command-line entry point.
+"""
+
+from repro.sweep.runner import (
+    SingleFlightModelErrorCache,
+    SweepOutcome,
+    SweepReport,
+    SweepRunner,
+    SweepTask,
+    sweep_tasks,
+)
+
+__all__ = [
+    "SingleFlightModelErrorCache",
+    "SweepOutcome",
+    "SweepReport",
+    "SweepRunner",
+    "SweepTask",
+    "sweep_tasks",
+]

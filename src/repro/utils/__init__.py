@@ -1,5 +1,6 @@
-"""Shared utilities: seeded RNG management, Poisson helpers, validation, timing."""
+"""Shared utilities: seeded RNG management, Poisson helpers, validation, timing, caching."""
 
+from repro.utils.cache import ResultCache, canonical_json
 from repro.utils.rng import RandomState, default_rng, spawn_rng
 from repro.utils.poisson import (
     poisson_pmf,
@@ -17,6 +18,8 @@ from repro.utils.validation import (
 from repro.utils.timer import Timer, timed
 
 __all__ = [
+    "ResultCache",
+    "canonical_json",
     "RandomState",
     "default_rng",
     "spawn_rng",

@@ -1,0 +1,122 @@
+"""Persistent on-disk result cache keyed by parameter hashes.
+
+Expensive computations — OGSS searches, upper-bound curves, whole benchmark
+sweeps — are deterministic functions of their parameters (city preset, scale,
+days, seed, model, budget, ...).  :class:`ResultCache` memoises such results
+across processes: the parameters are hashed into a stable key and the result
+is stored as canonical JSON under ``<root>/<key>.json``, so a second run with
+the same parameters reads the bytes back instead of recomputing.
+
+Writes are atomic (temp file + rename) so a crashed or parallel run never
+leaves a truncated entry behind, and the canonical encoding (sorted keys, no
+whitespace) makes a cache entry byte-identical across runs of the same
+computation.
+
+Example
+-------
+>>> cache = ResultCache("~/.cache/gridtuner")
+>>> key = ResultCache.key_for({"city": "nyc_like", "budget": 256, "seed": 7})
+>>> if (result := cache.get(key)) is None:
+...     result = run_expensive_search()
+...     cache.put(key, result)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, minimal separators."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """A directory of canonical-JSON result files keyed by parameter hashes.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created (with parents) if missing.  ``~`` is
+        expanded.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(payload: Mapping[str, Any]) -> str:
+        """Stable hex key for a JSON-serialisable parameter mapping."""
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Path of the cache file backing ``key`` (whether or not it exists)."""
+        if not key or any(ch in key for ch in "/\\"):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` on a miss.
+
+        Any unreadable entry — missing, corrupted, wrong encoding, bad
+        permissions — degrades to a miss so a damaged cache never aborts the
+        computation it memoises.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> Path:
+        """Atomically store a JSON-serialisable ``value`` under ``key``."""
+        path = self.path_for(key)
+        encoded = canonical_json(value)
+        # The ".tmp" suffix keeps in-flight files out of the "*.json" globs
+        # used by __len__ and clear(), so a killed writer never skews counts.
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of entries removed.
+
+        Also sweeps any ``.tmp-*`` files orphaned by a killed writer (these
+        are never counted as entries).
+        """
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob(".tmp-*"):
+            path.unlink(missing_ok=True)
+        return removed

@@ -1,0 +1,252 @@
+"""Property/equivalence tests for the batched error engine.
+
+The batched calculators must agree with the scalar references cell-for-cell:
+with a shared truncation ``k`` the arithmetic is identical, so the tolerance
+is essentially floating-point (well below the 1e-9 equivalence budget).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expression import (
+    default_k_for,
+    expression_error,
+    expression_error_algorithm2,
+    expression_error_batch,
+    expression_error_gaussian,
+    mgrid_expression_error,
+    mgrid_expression_error_batch,
+    total_expression_error,
+    total_expression_error_multi,
+)
+from repro.core import expression as expression_module
+from repro.core.grid import GridLayout
+from repro.core.homogeneity import d_alpha, d_alpha_batch, d_alpha_per_mgrid
+from repro.core.model_error import (
+    mean_absolute_error,
+    mean_absolute_error_batch,
+    total_model_error,
+    total_model_error_batch,
+)
+
+alpha_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=15.0), min_size=1, max_size=12
+)
+ms = st.integers(min_value=2, max_value=10)
+
+
+def _random_pairs(rng, size, alpha_high=8.0, rest_high=24.0):
+    return rng.uniform(0.0, alpha_high, size), rng.uniform(0.0, rest_high, size)
+
+
+class TestElementwiseEquivalence:
+    @pytest.mark.parametrize("method", ["algorithm2", "gaussian", "auto"])
+    def test_matches_scalar_dispatcher(self, rng, method):
+        alpha_ij, alpha_rest = _random_pairs(rng, 64)
+        k = 80
+        batch = expression_error_batch(alpha_ij, 6, rest=alpha_rest, k=k, method=method)
+        scalar = np.array(
+            [
+                expression_error(float(a), float(r), 6, k=k, method=method)
+                for a, r in zip(alpha_ij, alpha_rest)
+            ]
+        )
+        assert batch.shape == scalar.shape
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=1e-12)
+
+    @given(alpha_arrays, ms)
+    @settings(max_examples=25, deadline=None)
+    def test_algorithm2_property(self, alphas, m):
+        alphas = np.asarray(alphas)
+        rest = np.full_like(alphas, 5.0)
+        k = default_k_for(float(alphas.max()), 5.0, m)
+        batch = expression_error_batch(alphas, m, rest=rest, k=k, method="algorithm2")
+        for index, alpha in enumerate(alphas):
+            scalar = expression_error_algorithm2(float(alpha), 5.0, m, k=k)
+            assert batch[index] == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+    def test_reference_and_algorithm1_fallbacks(self):
+        alpha_ij = np.array([0.5, 2.0, 0.0])
+        alpha_rest = np.array([2.0, 6.0, 1.0])
+        for method in ("reference", "algorithm1"):
+            batch = expression_error_batch(
+                alpha_ij, 4, rest=alpha_rest, k=40, method=method
+            )
+            scalar = np.array(
+                [
+                    expression_error(float(a), float(r), 4, k=40, method=method)
+                    for a, r in zip(alpha_ij, alpha_rest)
+                ]
+            )
+            np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=1e-12)
+
+    def test_auto_mode_switches_per_cell(self):
+        """Cells above the Gaussian threshold use the Normal approximation,
+        cells below use Algorithm 2 — exactly like the scalar dispatcher."""
+        alpha_ij = np.array([1.0, 40.0])
+        alpha_rest = np.array([3.0, 80.0])
+        batch = expression_error_batch(alpha_ij, 4, rest=alpha_rest, method="auto")
+        assert batch[0] == pytest.approx(
+            expression_error_algorithm2(1.0, 3.0, 4, k=default_k_for(1.0, 3.0, 4)),
+            rel=1e-6,
+        )
+        assert batch[1] == pytest.approx(
+            expression_error_gaussian(40.0, 80.0, 4), rel=1e-12
+        )
+
+
+class TestEdgeCases:
+    def test_m_one_is_all_zeros(self):
+        assert np.all(expression_error_batch(np.array([[5.0], [0.0]])) == 0.0)
+        assert np.all(
+            expression_error_batch(np.array([3.0, 7.0]), 1, rest=np.zeros(2)) == 0.0
+        )
+
+    def test_zero_alphas(self):
+        batch = expression_error_batch(np.zeros((3, 4)), method="algorithm2")
+        np.testing.assert_allclose(batch, 0.0, atol=1e-12)
+
+    def test_large_alpha(self):
+        """Means far above the Gaussian threshold stay consistent with the
+        scalar dispatcher (which also picks the Gaussian branch)."""
+        batch = expression_error_batch(
+            np.array([150.0]), 4, rest=np.array([600.0]), method="auto"
+        )
+        scalar = expression_error(150.0, 600.0, 4, method="auto")
+        assert batch[0] == pytest.approx(scalar, rel=1e-12)
+
+    def test_empty_batch(self):
+        out = expression_error_batch(np.zeros((0, 4)))
+        assert out.shape == (0, 4)
+
+    def test_rejects_negative_alphas(self):
+        with pytest.raises(ValueError):
+            expression_error_batch(np.array([[1.0, -0.5]]))
+        with pytest.raises(ValueError):
+            expression_error_batch(np.array([1.0]), 2, rest=np.array([-1.0]))
+
+    def test_rejects_missing_m_in_elementwise_mode(self):
+        with pytest.raises(ValueError):
+            expression_error_batch(np.array([1.0]), rest=np.array([1.0]))
+
+    def test_rejects_mismatched_block_m(self):
+        with pytest.raises(ValueError):
+            expression_error_batch(np.ones((2, 4)), m=3)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            expression_error_batch(np.ones((2, 4)), method="magic")
+
+    def test_chunked_path_matches_single_pass(self, rng, monkeypatch):
+        alpha_ij, alpha_rest = _random_pairs(rng, 64)
+        full = expression_error_batch(
+            alpha_ij, 4, rest=alpha_rest, k=40, method="algorithm2"
+        )
+        monkeypatch.setattr(expression_module, "BATCH_TABLE_BUDGET", 500)
+        chunked = expression_error_batch(
+            alpha_ij, 4, rest=alpha_rest, k=40, method="algorithm2"
+        )
+        np.testing.assert_array_equal(full, chunked)
+
+
+class TestBlockMode:
+    def test_block_mode_matches_mgrid_loop(self, rng):
+        blocks = rng.uniform(0.0, 6.0, size=(10, 9))
+        totals = mgrid_expression_error_batch(blocks, k=60, method="algorithm2")
+        for index in range(blocks.shape[0]):
+            scalar = mgrid_expression_error(blocks[index], k=60, method="algorithm2")
+            assert totals[index] == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+    def test_block_rest_is_block_total_minus_cell(self):
+        blocks = np.array([[2.0, 0.0, 1.0]])
+        per_cell = expression_error_batch(blocks, k=40, method="algorithm2")
+        expected = [
+            expression_error_algorithm2(2.0, 1.0, 3, k=40),
+            expression_error_algorithm2(0.0, 3.0, 3, k=40),
+            expression_error_algorithm2(1.0, 2.0, 3, k=40),
+        ]
+        np.testing.assert_allclose(per_cell[0], expected, rtol=1e-9, atol=1e-12)
+
+    def test_total_expression_error_matches_row_loop(self, rng):
+        alpha = rng.uniform(0.0, 6.0, size=(8, 8))
+        layout = GridLayout(num_mgrids=16, hgrids_per_mgrid=4)
+        batched = total_expression_error(alpha, layout, k=60, method="algorithm2")
+        looped = sum(
+            mgrid_expression_error(row, k=60, method="algorithm2")
+            for row in layout.mgrid_alpha_blocks(alpha)
+        )
+        assert batched == pytest.approx(looped, rel=1e-9)
+
+
+class TestMultiSlot:
+    def test_multi_matches_per_slot_totals(self, rng):
+        alpha_stack = rng.uniform(0.0, 5.0, size=(4, 8, 8))
+        layout = GridLayout(num_mgrids=4, hgrids_per_mgrid=16)
+        multi = total_expression_error_multi(alpha_stack, layout, k=60, method="algorithm2")
+        per_slot = np.array(
+            [
+                total_expression_error(alpha_stack[s], layout, k=60, method="algorithm2")
+                for s in range(alpha_stack.shape[0])
+            ]
+        )
+        assert multi.shape == (4,)
+        np.testing.assert_allclose(multi, per_slot, rtol=1e-9, atol=1e-12)
+
+    def test_multi_zero_when_m_is_one(self, rng):
+        alpha_stack = rng.uniform(0.0, 5.0, size=(3, 4, 4))
+        layout = GridLayout(num_mgrids=16, hgrids_per_mgrid=1)
+        np.testing.assert_array_equal(
+            total_expression_error_multi(alpha_stack, layout), np.zeros(3)
+        )
+
+
+class TestModelErrorBatch:
+    def test_mae_batch_matches_scalar(self, rng):
+        predictions = rng.normal(size=(5, 7, 4, 4))
+        actual = rng.normal(size=(5, 7, 4, 4))
+        batch = mean_absolute_error_batch(predictions, actual)
+        for index in range(5):
+            assert batch[index] == pytest.approx(
+                mean_absolute_error(predictions[index], actual[index])
+            )
+
+    def test_total_model_error_batch_matches_scalar(self, rng):
+        predictions = rng.normal(size=(3, 6, 4, 4))
+        actual = rng.normal(size=(3, 6, 4, 4))
+        batch = total_model_error_batch(predictions, actual)
+        for index in range(3):
+            assert batch[index] == pytest.approx(
+                total_model_error(predictions[index], actual[index])
+            )
+
+    def test_single_grid_per_item_accepted(self, rng):
+        predictions = rng.normal(size=(3, 4, 4))
+        actual = rng.normal(size=(3, 4, 4))
+        batch = total_model_error_batch(predictions, actual)
+        assert batch.shape == (3,)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error_batch(np.zeros((2, 3)), np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            total_model_error_batch(np.zeros((2, 1, 4, 4)), np.zeros((2, 1, 5, 5)))
+
+
+class TestDAlphaBatch:
+    def test_matches_scalar_d_alpha(self, rng):
+        stack = rng.uniform(0.0, 4.0, size=(6, 8, 8))
+        batch = d_alpha_batch(stack)
+        for index in range(6):
+            assert batch[index] == pytest.approx(d_alpha(stack[index]))
+
+    def test_backs_d_alpha_per_mgrid(self, rng):
+        blocks = rng.uniform(0.0, 4.0, size=(9, 16))
+        np.testing.assert_allclose(d_alpha_batch(blocks), d_alpha_per_mgrid(blocks))
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            d_alpha_batch(np.zeros((0, 4)))
+        with pytest.raises(ValueError):
+            d_alpha_batch(np.array([[1.0, -2.0]]))

@@ -1,0 +1,158 @@
+"""Tests for repro.sweep — the parallel, cached OGSS sweep runner."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.upper_bound import UpperBoundEvaluator
+from repro.prediction.historical import HistoricalAveragePredictor
+from repro.sweep import SingleFlightModelErrorCache, SweepRunner, SweepTask, sweep_tasks
+from repro.sweep.runner import _serialise_outcome
+from repro.utils.cache import ResultCache
+
+FAST = dict(
+    algorithm="iterative",
+    hgrid_budget=64,
+    scale=0.004,
+    num_days=8,
+    seed=3,
+    search_kwargs=(("bound", 2), ("initial_side", 4)),
+)
+
+
+class TestSweepTask:
+    def test_rejects_unknown_city(self):
+        with pytest.raises(ValueError):
+            SweepTask(city="atlantis")
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            SweepTask(city="xian_like", model="crystal_ball")
+
+    def test_rejects_non_square_budget(self):
+        with pytest.raises(ValueError):
+            SweepTask(city="xian_like", hgrid_budget=63)
+
+    def test_cache_payload_is_stable(self):
+        first = SweepTask(city="xian_like", **FAST)
+        second = SweepTask(city="xian_like", **FAST)
+        assert ResultCache.key_for(first.cache_payload()) == ResultCache.key_for(
+            second.cache_payload()
+        )
+
+    def test_cache_payload_distinguishes_slots(self):
+        base = SweepTask(city="xian_like", slot=16, **FAST)
+        other = SweepTask(city="xian_like", slot=17, **FAST)
+        assert ResultCache.key_for(base.cache_payload()) != ResultCache.key_for(
+            other.cache_payload()
+        )
+
+
+class TestSweepTasksBuilder:
+    def test_cross_product(self):
+        tasks = sweep_tasks(
+            ["xian_like", "nyc_like"], models=["historical_average"], slots=[16, 17]
+        )
+        assert len(tasks) == 4
+        assert {(t.city, t.slot) for t in tasks} == {
+            ("xian_like", 16),
+            ("xian_like", 17),
+            ("nyc_like", 16),
+            ("nyc_like", 17),
+        }
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_tasks([])
+        with pytest.raises(ValueError):
+            sweep_tasks(["xian_like"], slots=[])
+
+
+class TestSweepRunner:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        return sweep_tasks(["xian_like"], slots=[16, 17], **FAST)
+
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            SweepRunner([])
+
+    def test_parallel_run_populates_cache(self, tasks, tmp_path):
+        cache_dir = tmp_path / "cache"
+        report = SweepRunner(tasks, cache_dir=str(cache_dir), max_workers=2).run()
+        assert len(report.outcomes) == 2
+        assert report.cache_hits == 0 and report.cache_misses == 2
+        for outcome in report.outcomes:
+            assert not outcome.from_cache
+            assert 2 <= outcome.result.best_side <= 8
+            assert outcome.upper_bound == pytest.approx(
+                outcome.model_error + outcome.expression_error
+            )
+        assert len(list(cache_dir.glob("*.json"))) == 2
+
+    def test_rerun_hits_cache_with_identical_results(self, tasks, tmp_path):
+        cache_dir = tmp_path / "cache"
+        fresh = SweepRunner(tasks, cache_dir=str(cache_dir), max_workers=2).run()
+        file_bytes = {
+            path.name: path.read_bytes() for path in cache_dir.glob("*.json")
+        }
+        replayed = SweepRunner(tasks, cache_dir=str(cache_dir), max_workers=2).run()
+        assert replayed.cache_hits == 2 and replayed.cache_misses == 0
+        for first, second in zip(fresh.outcomes, replayed.outcomes):
+            assert second.from_cache
+            # The replayed SearchResult is byte-identical through the cache:
+            # the dataclass compares equal and re-serialises to the same JSON.
+            assert second.result == first.result
+            assert _serialise_outcome(second) == _serialise_outcome(first)
+        assert {
+            path.name: path.read_bytes() for path in cache_dir.glob("*.json")
+        } == file_bytes
+
+    def test_runs_without_cache(self, tasks):
+        report = SweepRunner([tasks[0]], cache_dir=None, max_workers=1).run()
+        assert len(report.outcomes) == 1
+        assert not report.outcomes[0].from_cache
+
+    def test_datasets_shared_between_tasks(self, tasks):
+        runner = SweepRunner(tasks, cache_dir=None, max_workers=1)
+        runner.run()
+        assert len(runner._datasets) == 1
+
+    def test_single_flight_cache_trains_each_side_once(self, tiny_dataset):
+        """Concurrent slot evaluators sharing the cache never duplicate a
+        training: the per-side lock makes late arrivals wait and reuse."""
+        trainings = []
+        lock = threading.Lock()
+
+        def counting_factory():
+            with lock:
+                trainings.append(1)
+            return HistoricalAveragePredictor()
+
+        shared = SingleFlightModelErrorCache()
+        evaluators = [
+            UpperBoundEvaluator(
+                dataset=tiny_dataset,
+                model_factory=counting_factory,
+                hgrid_budget=64,
+                alpha_slot=slot,
+                model_error_cache=shared,
+            )
+            for slot in (16, 17, 18, 19)
+        ]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            totals = list(pool.map(lambda e: e(4), evaluators))
+        assert len(trainings) == 1
+        # Model error is slot-independent; expression error varies by slot.
+        model_errors = {e.evaluate_side(4).model_error for e in evaluators}
+        assert len(model_errors) == 1
+        assert len(totals) == 4
+
+    def test_best_sides_mapping(self, tasks, tmp_path):
+        report = SweepRunner(tasks, cache_dir=str(tmp_path / "c"), max_workers=2).run()
+        mapping = report.best_sides()
+        assert set(mapping) == {
+            ("xian_like", "historical_average", 16),
+            ("xian_like", "historical_average", 17),
+        }

@@ -46,6 +46,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tune", "--city", "atlantis"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.preset == "nyc,chengdu,xian"
+        assert args.slots == [16]
+        assert args.algorithm == "iterative"
+        assert args.cache_dir == ".gridtuner_cache"
+
+    def test_sweep_accepts_workers_and_slots(self):
+        args = build_parser().parse_args(
+            ["sweep", "--slots", "16", "17", "--workers", "4"]
+        )
+        assert args.slots == [16, 17]
+        assert args.workers == 4
+
 
 class TestCommands:
     def test_tune_command_runs(self, capsys):
@@ -78,3 +93,40 @@ class TestCommands:
         assert exit_code == 0
         assert "Table IV" in output
         assert "brute_force" in output
+
+    def test_sweep_command_populates_and_hits_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "sweep-cache")
+        argv = ["sweep", "--preset", "xian", "--workers", "2", "--cache-dir", cache_dir]
+        exit_code = main(argv)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "OGSS sweep" in output
+        assert "xian_like" in output
+        assert "0 cache hits, 1 misses" in output
+
+        exit_code = main(argv)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "1 cache hits, 0 misses" in output
+
+    def test_sweep_command_rejects_unknown_preset_cleanly(self, capsys):
+        exit_code = main(["sweep", "--preset", "atlantis", "--cache-dir", "none"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown city preset 'atlantis'" in captured.err
+
+    def test_sweep_command_rejects_unknown_model_cleanly(self, capsys):
+        exit_code = main(
+            ["sweep", "--preset", "xian", "--models", "crystal_ball", "--cache-dir", "none"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown prediction model" in captured.err
+
+    def test_sweep_command_without_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(["sweep", "--preset", "xian", "--cache-dir", "none"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "result cache" not in output
+        assert not (tmp_path / "none").exists()

@@ -1,0 +1,90 @@
+"""Tests for repro.utils.cache (persistent on-disk result cache)."""
+
+import json
+
+import pytest
+
+from repro.utils.cache import ResultCache, canonical_json
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_and_no_whitespace(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_independent_of_insertion_order(self):
+        first = ResultCache.key_for({"a": 1, "b": 2.5})
+        second = ResultCache.key_for({"b": 2.5, "a": 1})
+        assert first == second
+
+    def test_key_changes_with_values(self):
+        assert ResultCache.key_for({"a": 1}) != ResultCache.key_for({"a": 2})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = ResultCache.key_for({"city": "nyc_like", "seed": 7})
+        assert cache.get(key) is None
+        cache.put(key, {"best_side": 8, "probes": {"2": 1.5}})
+        assert key in cache
+        assert cache.get(key) == {"best_side": 8, "probes": {"2": 1.5}}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_stored_bytes_are_canonical_and_stable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = ResultCache.key_for({"x": 1})
+        path = cache.put(key, {"b": 2, "a": 1.25})
+        first = path.read_bytes()
+        cache.put(key, {"a": 1.25, "b": 2})
+        assert path.read_bytes() == first == b'{"a":1.25,"b":2}'
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            cache.put(ResultCache.key_for({"i": index}), index)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = ResultCache.key_for({"x": 1})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_unreadable_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = ResultCache.key_for({"x": 1})
+        cache.path_for(key).write_bytes(b"\xff\xfe invalid utf-8 \xff")
+        assert cache.get(key) is None
+        directory_key = ResultCache.key_for({"x": 2})
+        cache.path_for(directory_key).mkdir()
+        assert cache.get(directory_key) is None
+
+    def test_orphaned_temp_files_not_counted_and_swept_by_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(ResultCache.key_for({"x": 1}), 1)
+        orphan = tmp_path / ".tmp-orphan.tmp"
+        orphan.write_text("partial", encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert not orphan.exists()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(ResultCache.key_for({"x": 1}), [1, 2, 3])
+        assert not list(tmp_path.glob(".tmp-*"))
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.path_for("../escape")
+        with pytest.raises(ValueError):
+            cache.path_for("")
+
+    def test_unserialisable_value_leaves_no_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = ResultCache.key_for({"x": 1})
+        with pytest.raises(TypeError):
+            cache.put(key, object())
+        assert key not in cache
