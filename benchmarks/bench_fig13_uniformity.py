@@ -5,7 +5,6 @@ Paper shape: the expression error of an MGrid grows with the unevenness
 expression error even when it is busy.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis.uniformity import correlation

@@ -1,0 +1,127 @@
+"""CI perf-regression gate for the dispatch engine benchmark.
+
+Compares a freshly emitted ``BENCH_dispatch.json`` (from
+``benchmarks/bench_dispatch_engine.py``) against the committed baseline
+``benchmarks/baseline_dispatch.json`` and fails (exit code 1) on regression:
+
+* **Correctness** — every configuration must report bit-identical metrics
+  between the vectorized and scalar engines, and the metric values must match
+  the baseline within ``metrics_rtol`` (they are deterministic functions of
+  the scenario seed, so any drift means the engine's semantics changed).
+* **Speed** — the vectorized/scalar speedup must stay above
+  ``min_speedup`` per configuration.  The ratio is used as the primary gate
+  because it is robust to CI hardware differences; an absolute wall-time
+  ceiling (``max_vector_seconds_factor`` times the baseline measurement)
+  additionally catches pathological slowdowns that hit both engines.
+
+Usage::
+
+    python benchmarks/bench_dispatch_engine.py --output BENCH_dispatch.json
+    python benchmarks/check_dispatch_regression.py BENCH_dispatch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline_dispatch.json"
+
+
+def _compare_metrics(current: Dict, baseline: Dict, rtol: float) -> List[str]:
+    problems = []
+    for key, expected in baseline.items():
+        actual = current.get(key)
+        if actual is None:
+            problems.append(f"metric {key!r} missing from benchmark output")
+            continue
+        if not math.isclose(float(actual), float(expected), rel_tol=rtol, abs_tol=rtol):
+            problems.append(
+                f"metric {key!r} drifted: baseline {expected!r}, got {actual!r}"
+            )
+    return problems
+
+
+def check(current: Dict, baseline: Dict) -> List[str]:
+    """Return a list of human-readable regression descriptions (empty = pass)."""
+    gates = baseline.get("gates", {})
+    min_speedup = float(gates.get("min_speedup", 1.5))
+    rtol = float(gates.get("metrics_rtol", 1e-9))
+    time_factor = float(gates.get("max_vector_seconds_factor", 5.0))
+    problems: List[str] = []
+
+    baseline_engines = {
+        (entry["policy"], entry["matching"]): entry for entry in baseline["engines"]
+    }
+    current_engines = {
+        (entry["policy"], entry["matching"]): entry for entry in current.get("engines", [])
+    }
+    for key, base_entry in baseline_engines.items():
+        entry = current_engines.get(key)
+        label = "/".join(key)
+        if entry is None:
+            problems.append(f"{label}: configuration missing from benchmark output")
+            continue
+        if not entry.get("metrics_equal", False):
+            problems.append(f"{label}: vectorized metrics no longer equal the scalar oracle")
+        problems.extend(
+            f"{label}: {problem}"
+            for problem in _compare_metrics(entry["metrics"], base_entry["metrics"], rtol)
+        )
+        speedup = float(entry["speedup"])
+        if speedup < min_speedup:
+            problems.append(
+                f"{label}: speedup {speedup:.2f}x below the {min_speedup:.2f}x floor"
+            )
+        ceiling = float(base_entry["vector_seconds"]) * time_factor
+        if float(entry["vector_seconds"]) > ceiling:
+            problems.append(
+                f"{label}: vector wall-time {entry['vector_seconds']:.3f}s exceeds "
+                f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
+            )
+
+    stream = current.get("order_stream", {})
+    if not stream.get("streams_identical", False):
+        problems.append("order stream: batched builder diverged from the per-object one")
+    stream_floor = float(gates.get("min_order_stream_speedup", 2.0))
+    if float(stream.get("speedup", 0.0)) < stream_floor:
+        problems.append(
+            f"order stream: speedup {stream.get('speedup', 0.0):.2f}x below "
+            f"the {stream_floor:.2f}x floor"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="dispatch perf-regression gate")
+    parser.add_argument("benchmark", help="freshly emitted BENCH_dispatch.json")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON (default: benchmarks/baseline_dispatch.json)",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(Path(args.benchmark).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    problems = check(current, baseline)
+    for entry in current.get("engines", []):
+        print(
+            f"{entry['policy']}/{entry['matching']}: speedup {entry['speedup']:.2f}x "
+            f"(vector {entry['vector_seconds'] * 1e3:.1f}ms), "
+            f"metrics equal: {entry['metrics_equal']}"
+        )
+    if problems:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,11 @@ Three subcommands cover the common workflows:
     parallel, with a persistent on-disk result cache (rerunning the same
     sweep replays it from the cache).
 
+``dispatch``
+    Fan dispatch simulations across (city x policy x fleet size x demand
+    scale x seed) scenario points through the vectorized engine, with the
+    same persistent result cache (reruns replay byte-stably).
+
 Examples
 --------
 ::
@@ -27,6 +32,7 @@ Examples
     python -m repro curve --city xian_like --model historical_average --sides 2 4 8 16
     python -m repro experiment fig3 --profile tiny
     python -m repro sweep --preset nyc,chengdu,xian --slots 16 17 --workers 4
+    python -m repro dispatch --preset nyc --fleet-sizes 100 200 --demand-scales 1 2
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from repro.experiments.error_curves import (
     model_error_curve,
     real_error_curve,
 )
+from repro.experiments.dispatch_suite import run_dispatch_suite
 from repro.experiments.multi_city import resolve_city, run_city_sweep
 from repro.experiments.reporting import format_table
 from repro.experiments.search_eval import evaluate_search_algorithms
@@ -128,9 +135,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment scale profile for dataset/budget (default: tiny)",
     )
     sweep.add_argument(
-        "--workers", type=int, default=None, help="worker threads (default: one per task)"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads (default: min(tasks, CPU count))",
     )
     sweep.add_argument(
+        "--cache-dir",
+        default=".gridtuner_cache",
+        help="persistent result-cache directory; 'none' disables caching",
+    )
+
+    dispatch = subparsers.add_parser(
+        "dispatch",
+        help="parallel dispatch scenario suite (city x policy x fleet x demand x seed)",
+    )
+    dispatch.add_argument(
+        "--preset",
+        default="nyc",
+        help="comma-separated city presets; short aliases allowed (default: nyc)",
+    )
+    dispatch.add_argument(
+        "--policies",
+        default="polar,ls",
+        help="comma-separated dispatch policies (default: polar,ls)",
+    )
+    dispatch.add_argument(
+        "--fleet-sizes",
+        type=int,
+        nargs="+",
+        default=[100, 200],
+        help="driver counts to sweep (default: 100 200)",
+    )
+    dispatch.add_argument(
+        "--demand-scales",
+        type=float,
+        nargs="+",
+        default=[1.0, 2.0],
+        help="demand multipliers to sweep; 2.0 is a surge day (default: 1 2)",
+    )
+    dispatch.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[7],
+        help="random seeds to sweep (default: 7)",
+    )
+    dispatch.add_argument(
+        "--profile",
+        choices=("tiny", "small", "paper"),
+        default="tiny",
+        help="experiment scale profile for dataset/slots (default: tiny)",
+    )
+    dispatch.add_argument(
+        "--engine",
+        choices=("vector", "scalar"),
+        default="vector",
+        help="simulation engine (default: vector; scalar is the reference oracle)",
+    )
+    dispatch.add_argument(
+        "--matching",
+        choices=("optimal", "greedy"),
+        default="optimal",
+        help="POLAR assignment solver (default: optimal)",
+    )
+    dispatch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads (default: min(scenarios, CPU count))",
+    )
+    dispatch.add_argument(
         "--cache-dir",
         default=".gridtuner_cache",
         help="persistent result-cache directory; 'none' disables caching",
@@ -304,6 +379,70 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_dispatch(args: argparse.Namespace) -> int:
+    cities = [name.strip() for name in args.preset.split(",") if name.strip()]
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    cache_dir = None if args.cache_dir.lower() == "none" else args.cache_dir
+    try:
+        report = run_dispatch_suite(
+            cities=cities,
+            policies=policies,
+            fleet_sizes=args.fleet_sizes,
+            demand_scales=args.demand_scales,
+            seeds=args.seeds,
+            profile=args.profile,
+            cache_dir=cache_dir,
+            max_workers=args.workers,
+            engine=args.engine,
+            matching=args.matching,
+        )
+    except ValueError as exc:
+        print(f"repro dispatch: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            o.scenario.city,
+            o.scenario.policy,
+            o.scenario.fleet_size,
+            f"{o.scenario.demand_scale:g}x",
+            o.scenario.seed,
+            o.metrics.served_orders,
+            o.metrics.total_orders,
+            f"{100 * o.metrics.service_rate:.1f}%",
+            round(o.metrics.total_revenue, 1),
+            round(o.seconds, 3),
+            "hit" if o.from_cache else "miss",
+        ]
+        for o in report.outcomes
+    ]
+    print(
+        format_table(
+            [
+                "city",
+                "policy",
+                "fleet",
+                "demand",
+                "seed",
+                "served",
+                "orders",
+                "rate",
+                "revenue",
+                "seconds",
+                "cache",
+            ],
+            rows,
+            title=f"Dispatch scenario suite ({args.engine} engine, profile={args.profile})",
+        )
+    )
+    print(
+        f"{len(report.outcomes)} scenarios in {report.seconds:.2f}s "
+        f"({report.cache_hits} cache hits, {report.cache_misses} misses)"
+    )
+    if cache_dir is not None:
+        print(f"result cache: {cache_dir}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -316,6 +455,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "dispatch":
+        return _command_dispatch(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

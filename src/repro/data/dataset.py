@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.data.city import CityConfig, CityModel
 from repro.data.events import EventLog
-from repro.utils.rng import RandomState, default_rng
+from repro.utils.rng import RandomState
 
 
 @dataclass(frozen=True)

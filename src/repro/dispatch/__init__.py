@@ -15,26 +15,47 @@ from repro.dispatch.entities import (
     RideRequest,
     Vehicle,
     DispatchMetrics,
+    OrderArrays,
+    FleetArrays,
 )
 from repro.dispatch.travel import TravelModel
 from repro.dispatch.matching import (
     greedy_matching,
     optimal_matching,
     maximum_weight_matching,
+    greedy_pairs_masked,
+    min_cost_pairs,
+    max_weight_pairs,
 )
 from repro.dispatch.demand import (
     PredictedDemandProvider,
     orders_from_events,
+    order_arrays_from_events,
     requests_from_events,
+)
+from repro.dispatch.engine import (
+    ArrayPolicy,
+    VectorizedAssignmentEngine,
+    supports_array_kernels,
 )
 from repro.dispatch.simulator import (
     AssignmentPolicy,
     TaskAssignmentSimulator,
     spawn_drivers,
+    spawn_fleet,
 )
 from repro.dispatch.polar import POLARDispatcher
 from repro.dispatch.ls import LSDispatcher
 from repro.dispatch.daif import DAIFPlanner, spawn_vehicles
+from repro.dispatch.scenarios import (
+    DispatchScenario,
+    ScenarioBundle,
+    build_scenario_bundle,
+    reference_scenario,
+    run_scenario,
+    scenario_grid,
+    stress_scenarios,
+)
 
 __all__ = [
     "Order",
@@ -42,18 +63,35 @@ __all__ = [
     "RideRequest",
     "Vehicle",
     "DispatchMetrics",
+    "OrderArrays",
+    "FleetArrays",
     "TravelModel",
     "greedy_matching",
     "optimal_matching",
     "maximum_weight_matching",
+    "greedy_pairs_masked",
+    "min_cost_pairs",
+    "max_weight_pairs",
     "PredictedDemandProvider",
     "orders_from_events",
+    "order_arrays_from_events",
     "requests_from_events",
+    "ArrayPolicy",
+    "VectorizedAssignmentEngine",
+    "supports_array_kernels",
     "AssignmentPolicy",
     "TaskAssignmentSimulator",
     "spawn_drivers",
+    "spawn_fleet",
     "POLARDispatcher",
     "LSDispatcher",
     "DAIFPlanner",
     "spawn_vehicles",
+    "DispatchScenario",
+    "ScenarioBundle",
+    "build_scenario_bundle",
+    "reference_scenario",
+    "run_scenario",
+    "scenario_grid",
+    "stress_scenarios",
 ]

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.grid import GridLayout
 from repro.core.interfaces import DaySlot
 from repro.data.events import EventLog
-from repro.dispatch.entities import Order, RideRequest
+from repro.dispatch.entities import Order, OrderArrays, RideRequest
 from repro.utils.rng import RandomState, default_rng
 
 
@@ -63,6 +63,46 @@ def orders_from_events(
         )
     orders.sort(key=lambda order: order.arrival_minute)
     return orders
+
+
+def order_arrays_from_events(
+    events: EventLog,
+    day: int = 0,
+    slots: Optional[Sequence[int]] = None,
+    max_wait_minutes: float = 10.0,
+    seed: RandomState = None,
+) -> OrderArrays:
+    """Build :class:`OrderArrays` straight from the event log, no objects.
+
+    The vectorized counterpart of :func:`orders_from_events`: arrival jitter
+    is drawn with one ``rng.uniform`` array call (the same bit-generator
+    stream as the scalar per-order draws), and the columns are stable-sorted
+    by arrival minute, so
+    ``OrderArrays.from_orders(orders_from_events(...))`` and this function
+    produce identical arrays for the same seed.
+    """
+    rng = default_rng(seed)
+    mask = events.day == day
+    if slots is not None:
+        mask &= np.isin(events.slot, np.asarray(list(slots), dtype=int))
+    indices = np.nonzero(mask)[0]
+    minutes_per_slot = events.slots.minutes_per_slot
+    slot = events.slot[indices].astype(np.int64)
+    arrival = slot * minutes_per_slot + rng.uniform(
+        0.0, minutes_per_slot, size=indices.size
+    )
+    order = np.argsort(arrival, kind="stable")
+    return OrderArrays(
+        order_id=np.arange(indices.size, dtype=np.int64)[order],
+        slot=slot[order],
+        arrival_minute=arrival[order],
+        x=events.x[indices][order].astype(float),
+        y=events.y[indices][order].astype(float),
+        dropoff_x=events.dropoff_x[indices][order].astype(float),
+        dropoff_y=events.dropoff_y[indices][order].astype(float),
+        revenue=events.revenue[indices][order].astype(float),
+        max_wait_minutes=np.full(indices.size, float(max_wait_minutes)),
+    )
 
 
 def requests_from_events(

@@ -11,7 +11,9 @@ extent held by :class:`~repro.dispatch.travel.TravelModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, List, Sequence
+
+import numpy as np
 
 
 @dataclass
@@ -127,6 +129,146 @@ class Vehicle:
     def has_capacity(self) -> bool:
         """True if the vehicle can pick up one more rider."""
         return self.onboard < self.capacity
+
+
+@dataclass
+class OrderArrays:
+    """Struct-of-arrays view of an order stream (the vectorized engine's input).
+
+    Each attribute is a 1-D :class:`numpy.ndarray` holding one :class:`Order`
+    field for every order; row ``i`` of every array describes the same order.
+    The arrays are kept sorted by ``arrival_minute`` (stable), matching the
+    global ordering :func:`~repro.dispatch.demand.orders_from_events` produces.
+    """
+
+    order_id: np.ndarray
+    slot: np.ndarray
+    arrival_minute: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    dropoff_x: np.ndarray
+    dropoff_y: np.ndarray
+    revenue: np.ndarray
+    max_wait_minutes: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.order_id = np.asarray(self.order_id, dtype=np.int64)
+        self.slot = np.asarray(self.slot, dtype=np.int64)
+        for name in (
+            "arrival_minute",
+            "x",
+            "y",
+            "dropoff_x",
+            "dropoff_y",
+            "revenue",
+            "max_wait_minutes",
+        ):
+            setattr(self, name, np.asarray(getattr(self, name), dtype=float))
+        sizes = {getattr(self, name).shape for name in self.field_names()}
+        if len(sizes) != 1 or next(iter(sizes)) != (len(self),):
+            raise ValueError("all order arrays must be 1-D and equally sized")
+        if np.any(self.revenue < 0):
+            raise ValueError("order revenue must be non-negative")
+        if np.any(self.max_wait_minutes <= 0):
+            raise ValueError("max_wait_minutes must be positive")
+
+    @staticmethod
+    def field_names() -> tuple:
+        return (
+            "order_id",
+            "slot",
+            "arrival_minute",
+            "x",
+            "y",
+            "dropoff_x",
+            "dropoff_y",
+            "revenue",
+            "max_wait_minutes",
+        )
+
+    def __len__(self) -> int:
+        return int(self.order_id.shape[0])
+
+    @classmethod
+    def from_orders(cls, orders: Iterable[Order]) -> "OrderArrays":
+        """Pack a sequence of :class:`Order` objects into column arrays."""
+        orders = list(orders)
+        return cls(
+            order_id=np.array([o.order_id for o in orders], dtype=np.int64),
+            slot=np.array([o.slot for o in orders], dtype=np.int64),
+            arrival_minute=np.array([o.arrival_minute for o in orders], dtype=float),
+            x=np.array([o.x for o in orders], dtype=float),
+            y=np.array([o.y for o in orders], dtype=float),
+            dropoff_x=np.array([o.dropoff_x for o in orders], dtype=float),
+            dropoff_y=np.array([o.dropoff_y for o in orders], dtype=float),
+            revenue=np.array([o.revenue for o in orders], dtype=float),
+            max_wait_minutes=np.array([o.max_wait_minutes for o in orders], dtype=float),
+        )
+
+    def to_orders(self) -> List[Order]:
+        """Materialise :class:`Order` objects (the scalar engine's input)."""
+        return [
+            Order(
+                order_id=int(self.order_id[i]),
+                slot=int(self.slot[i]),
+                arrival_minute=float(self.arrival_minute[i]),
+                x=float(self.x[i]),
+                y=float(self.y[i]),
+                dropoff_x=float(self.dropoff_x[i]),
+                dropoff_y=float(self.dropoff_y[i]),
+                revenue=float(self.revenue[i]),
+                max_wait_minutes=float(self.max_wait_minutes[i]),
+            )
+            for i in range(len(self))
+        ]
+
+
+@dataclass
+class FleetArrays:
+    """Struct-of-arrays driver state mutated in place by the vectorized engine."""
+
+    driver_id: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    available_at: np.ndarray
+    served_orders: np.ndarray
+    earned_revenue: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.driver_id = np.asarray(self.driver_id, dtype=np.int64)
+        self.served_orders = np.asarray(self.served_orders, dtype=np.int64)
+        for name in ("x", "y", "available_at", "earned_revenue"):
+            setattr(self, name, np.asarray(getattr(self, name), dtype=float))
+
+    def __len__(self) -> int:
+        return int(self.driver_id.shape[0])
+
+    @classmethod
+    def from_drivers(cls, drivers: Sequence[Driver]) -> "FleetArrays":
+        """Pack :class:`Driver` objects into column arrays."""
+        return cls(
+            driver_id=np.array([d.driver_id for d in drivers], dtype=np.int64),
+            x=np.array([d.x for d in drivers], dtype=float),
+            y=np.array([d.y for d in drivers], dtype=float),
+            available_at=np.array([d.available_at for d in drivers], dtype=float),
+            served_orders=np.array([d.served_orders for d in drivers], dtype=np.int64),
+            earned_revenue=np.array([d.earned_revenue for d in drivers], dtype=float),
+        )
+
+    def write_back(self, drivers: Sequence[Driver]) -> None:
+        """Copy the array state back onto the original :class:`Driver` objects."""
+        if len(drivers) != len(self):
+            raise ValueError("driver count mismatch")
+        for i, driver in enumerate(drivers):
+            driver.x = float(self.x[i])
+            driver.y = float(self.y[i])
+            driver.available_at = float(self.available_at[i])
+            driver.served_orders = int(self.served_orders[i])
+            driver.earned_revenue = float(self.earned_revenue[i])
+
+    def idle_indices(self, minute: float) -> np.ndarray:
+        """Indices of drivers free at ``minute`` (in fleet order)."""
+        return np.nonzero(self.available_at <= minute)[0]
 
 
 @dataclass(frozen=True)

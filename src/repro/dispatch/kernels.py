@@ -1,0 +1,69 @@
+"""Array kernels shared by the POLAR and LS repositioning stages.
+
+Both policies bin idle drivers into the predicted-demand lattice and apply
+the same jittered cell-move rule to the drivers they decide to relocate;
+these helpers keep that logic in one place.  Every operation mirrors the
+scalar per-driver loops elementwise (see the draw-order notes in
+:mod:`repro.dispatch.engine`), so the policies stay bit-identical to the
+scalar oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dispatch.entities import FleetArrays
+from repro.dispatch.travel import TravelModel
+
+
+def cell_supply(
+    fleet: FleetArrays, idle: np.ndarray, demand: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bin the idle drivers into ``demand``'s lattice and count them per cell.
+
+    Returns ``(rows, cols, supply)``: each idle driver's cell coordinates (in
+    idle order) and the per-cell head count.  The bincount of the flattened
+    cells equals the scalar loop's per-driver ``+= 1`` counts exactly.
+    """
+    resolution = demand.shape[0]
+    cols = np.minimum((fleet.x[idle] * resolution).astype(int), resolution - 1)
+    rows = np.minimum((fleet.y[idle] * resolution).astype(int), resolution - 1)
+    supply = (
+        np.bincount(rows * resolution + cols, minlength=resolution * resolution)
+        .astype(float)
+        .reshape(demand.shape)
+    )
+    return rows, cols, supply
+
+
+def move_drivers(
+    fleet: FleetArrays,
+    movers: np.ndarray,
+    chosen_cells: np.ndarray,
+    jitter: np.ndarray,
+    resolution: int,
+    travel: TravelModel,
+    minute: float,
+    max_reposition_km: float,
+) -> None:
+    """Apply a repositioning draw to the fleet arrays in place.
+
+    Mirrors the scalar per-driver loop: targets are jittered inside the
+    chosen cells (``jitter`` row ``i`` holds mover ``i``'s (x, y) draws),
+    moves longer than ``max_reposition_km`` are discarded, and movers become
+    busy until they arrive.
+    """
+    rows, cols = np.divmod(chosen_cells.astype(int), resolution)
+    target_x = (cols + jitter[:, 0]) / resolution
+    target_y = (rows + jitter[:, 1]) / resolution
+    distance = travel.distance_km(fleet.x[movers], fleet.y[movers], target_x, target_y)
+    ok = distance <= max_reposition_km
+    moved = movers[ok]
+    if moved.size == 0:
+        return
+    upper = np.nextafter(1.0, 0.0)
+    fleet.x[moved] = np.clip(target_x[ok], 0.0, upper)
+    fleet.y[moved] = np.clip(target_y[ok], 0.0, upper)
+    fleet.available_at[moved] = minute + travel.minutes(distance[ok])

@@ -17,8 +17,9 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.dispatch.entities import Driver, Order
-from repro.dispatch.matching import maximum_weight_matching
+from repro.dispatch.entities import Driver, FleetArrays, Order
+from repro.dispatch.kernels import cell_supply, move_drivers
+from repro.dispatch.matching import max_weight_pairs, maximum_weight_matching
 from repro.dispatch.travel import TravelModel
 
 
@@ -133,3 +134,68 @@ class LSDispatcher:
         weight = revenue[:, None] - self.pickup_cost_per_km * distance
         weight = np.where(feasible, weight, -np.inf)
         return maximum_weight_matching(weight, min_weight=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Array kernels (vectorized engine)
+    # ------------------------------------------------------------------ #
+
+    def reposition_arrays(
+        self,
+        fleet: FleetArrays,
+        predicted_hgrid_demand: Optional[np.ndarray],
+        travel: TravelModel,
+        minute: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Vectorized :meth:`reposition` over struct-of-arrays fleet state.
+
+        RNG draw order matches the scalar method exactly: one ``rng.choice``
+        for the target cells, then one ``rng.random((k, 2))`` of per-mover
+        (x, y) jitters.
+        """
+        if predicted_hgrid_demand is None:
+            return
+        demand = np.asarray(predicted_hgrid_demand, dtype=float)
+        resolution = demand.shape[0]
+        idle = fleet.idle_indices(minute)
+        if idle.size == 0:
+            return
+        rows, cols, supply = cell_supply(fleet, idle, demand)
+        revenue_rate = demand * self.mean_order_revenue / (supply + 1.0)
+        total = revenue_rate.sum()
+        if total <= 0:
+            return
+        move_count = int(round(idle.size * self.reposition_fraction))
+        if move_count == 0:
+            return
+        # Stable sort mirrors the scalar ``sorted(idle, key=cell_rate)``.
+        order = np.argsort(revenue_rate[rows, cols], kind="stable")
+        movable = idle[order[:move_count]]
+        probabilities = (revenue_rate / total).ravel()
+        chosen_cells = rng.choice(probabilities.size, size=movable.size, p=probabilities)
+        jitter = rng.random((movable.size, 2))
+        move_drivers(
+            fleet,
+            movable,
+            chosen_cells,
+            jitter,
+            resolution,
+            travel,
+            minute,
+            self.max_reposition_km,
+        )
+
+    def match_pairs(
+        self,
+        distance: np.ndarray,
+        feasible: np.ndarray,
+        revenue: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`assign` objective on a candidate matrix.
+
+        Maximum net-revenue matching (revenue minus distance-proportional
+        pickup cost) over the feasible pairs, in the scalar assignment dict's
+        iteration order.
+        """
+        weight = revenue[:, None] - self.pickup_cost_per_km * distance
+        return max_weight_pairs(weight, feasible, min_weight=0.0)

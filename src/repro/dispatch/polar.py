@@ -20,8 +20,14 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.dispatch.entities import Driver, Order
-from repro.dispatch.matching import optimal_matching
+from repro.dispatch.entities import Driver, FleetArrays, Order
+from repro.dispatch.kernels import cell_supply, move_drivers
+from repro.dispatch.matching import (
+    greedy_matching,
+    greedy_pairs_masked,
+    min_cost_pairs,
+    optimal_matching,
+)
 from repro.dispatch.travel import TravelModel
 
 
@@ -137,6 +143,70 @@ class POLARDispatcher:
         cost = np.where(feasible, distance, np.inf)
         if self.use_optimal_matching:
             return optimal_matching(cost, max_cost=self.max_reposition_km * 10)
-        from repro.dispatch.matching import greedy_matching
-
         return greedy_matching(cost, max_cost=self.max_reposition_km * 10)
+
+    # ------------------------------------------------------------------ #
+    # Array kernels (vectorized engine)
+    # ------------------------------------------------------------------ #
+
+    def reposition_arrays(
+        self,
+        fleet: FleetArrays,
+        predicted_hgrid_demand: Optional[np.ndarray],
+        travel: TravelModel,
+        minute: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Vectorized :meth:`reposition` over struct-of-arrays fleet state.
+
+        Consumes the RNG in exactly the scalar method's draw order — one
+        ``rng.choice`` for the target cells, then one ``rng.random((k, 2))``
+        whose rows are each mover's (x, y) jitter — so both engines advance a
+        shared seed identically.
+        """
+        if predicted_hgrid_demand is None:
+            return
+        demand = np.asarray(predicted_hgrid_demand, dtype=float)
+        resolution = demand.shape[0]
+        idle = fleet.idle_indices(minute)
+        if idle.size == 0:
+            return
+        rows, cols, supply = cell_supply(fleet, idle, demand)
+        deficit = demand - supply
+        deficit[deficit < 0] = 0.0
+        total_deficit = deficit.sum()
+        if total_deficit <= 0:
+            return
+        surplus = idle[supply[rows, cols] > demand[rows, cols]]
+        move_count = int(round(surplus.size * self.reposition_fraction))
+        if move_count == 0:
+            return
+        probabilities = (deficit / total_deficit).ravel()
+        chosen_cells = rng.choice(probabilities.size, size=move_count, p=probabilities)
+        jitter = rng.random((move_count, 2))
+        move_drivers(
+            fleet,
+            surplus[:move_count],
+            chosen_cells,
+            jitter,
+            resolution,
+            travel,
+            minute,
+            self.max_reposition_km,
+        )
+
+    def match_pairs(
+        self,
+        distance: np.ndarray,
+        feasible: np.ndarray,
+        revenue: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`assign` objective on a candidate matrix.
+
+        Minimum-pickup-distance matching over the feasible pairs; the pairs
+        come back in the scalar assignment dict's iteration order.  POLAR's
+        served-orders objective ignores ``revenue``.
+        """
+        if self.use_optimal_matching:
+            return min_cost_pairs(distance, feasible, max_cost=self.max_reposition_km * 10)
+        return greedy_pairs_masked(distance, feasible, max_cost=self.max_reposition_km * 10)

@@ -1,0 +1,405 @@
+"""Named dispatch scenarios: (city x policy x fleet x demand x seed) points.
+
+A :class:`DispatchScenario` is a frozen, JSON-serialisable description of one
+dispatch simulation — which synthetic city, which policy (POLAR or LS), how
+many drivers, how much demand, and under which seed.  Scenarios are the unit
+the suite runner in :mod:`repro.sweep.dispatch` fans out and caches: two equal
+scenarios always produce byte-identical metrics, so a scenario is also a
+cache key.
+
+Determinism
+-----------
+Every random stream is derived from ``scenario.seed`` through
+:func:`repro.utils.rng.seed_for` with a fixed label per purpose (dataset,
+order jitter, driver spawn, simulator), so adding scenarios to a suite never
+perturbs the streams of the others.  The simulation itself consumes its RNG
+in the documented draw order of :mod:`repro.dispatch.engine`, which is why
+cached scenario results replay byte-stably.
+
+Scenario families
+-----------------
+* :func:`scenario_grid` — cross-product builder over cities, policies, fleet
+  sizes, demand scales and seeds (Figures 6-8 style sweeps).
+* :func:`stress_scenarios` — surge demand and small/large fleet variants of a
+  base scenario.
+* :func:`reference_scenario` — the fixed 200-driver / 1-day scenario used by
+  ``benchmarks/bench_dispatch_engine.py`` and the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.grid import GridLayout
+from repro.core.interfaces import evaluation_targets
+from repro.data.dataset import EventDataset
+from repro.data.presets import CITY_PRESETS, city_preset
+from repro.dispatch.demand import PredictedDemandProvider, order_arrays_from_events
+from repro.dispatch.entities import DispatchMetrics, FleetArrays, OrderArrays
+from repro.dispatch.ls import LSDispatcher
+from repro.dispatch.polar import POLARDispatcher
+from repro.dispatch.simulator import TaskAssignmentSimulator, spawn_fleet
+from repro.dispatch.travel import TravelModel
+from repro.prediction.oracle import PerfectPredictor
+from repro.utils.rng import default_rng, seed_for
+from repro.utils.validation import ensure_perfect_square
+
+#: Bump when the scenario semantics or serialised payload change, so stale
+#: cache entries miss instead of replaying incompatible results.
+SCENARIO_SCHEMA = 1
+
+#: Policies the scenario suite can instantiate.
+SCENARIO_POLICIES = ("polar", "ls")
+
+
+@dataclass(frozen=True)
+class DispatchScenario:
+    """One reproducible dispatch simulation configuration.
+
+    Attributes
+    ----------
+    city:
+        City preset name (see :data:`repro.data.presets.CITY_PRESETS`).
+    policy:
+        ``"polar"`` or ``"ls"``.
+    fleet_size:
+        Number of drivers.
+    demand_scale:
+        Multiplier on the scenario's base city volume ``scale`` — ``2.0``
+        doubles the simulated order stream (surge), ``0.5`` halves it.
+    seed:
+        Base seed every derived stream hangs off.
+    scale, num_days:
+        Synthetic dataset parameters (the test day provides the orders).
+    slots:
+        Simulated slots of the test day; ``None`` replays the whole day.
+    mgrid_side:
+        MGrid resolution of the predicted-demand guidance.
+    hgrid_budget:
+        HGrid budget the guidance is spread over.
+    guidance:
+        ``"oracle"`` feeds the dispatcher the realised demand (the paper's
+        "real order data" series); ``"none"`` disables repositioning.
+    matching:
+        POLAR's assignment solver: ``"optimal"`` (Hungarian) or ``"greedy"``
+        (the city-scale configuration).  Ignored by LS, which always solves
+        the maximum-weight matching.
+    batch_minutes, max_wait_minutes:
+        Matching batch length and order patience.
+    name:
+        Optional label used in reports; defaults to a structural name.
+    """
+
+    city: str
+    policy: str = "polar"
+    fleet_size: int = 200
+    demand_scale: float = 1.0
+    seed: int = 7
+    scale: float = 0.01
+    num_days: int = 8
+    slots: Optional[Tuple[int, ...]] = None
+    mgrid_side: int = 8
+    hgrid_budget: int = 256
+    guidance: str = "oracle"
+    matching: str = "optimal"
+    batch_minutes: float = 2.0
+    max_wait_minutes: float = 10.0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.city not in CITY_PRESETS:
+            raise ValueError(
+                f"unknown city preset {self.city!r}; available: {sorted(CITY_PRESETS)}"
+            )
+        if self.policy not in SCENARIO_POLICIES:
+            raise ValueError(f"policy must be one of {SCENARIO_POLICIES}")
+        if self.fleet_size <= 0:
+            raise ValueError("fleet_size must be positive")
+        if self.demand_scale <= 0:
+            raise ValueError("demand_scale must be positive")
+        if self.guidance not in ("oracle", "none"):
+            raise ValueError("guidance must be 'oracle' or 'none'")
+        if self.matching not in ("optimal", "greedy"):
+            raise ValueError("matching must be 'optimal' or 'greedy'")
+        ensure_perfect_square(self.hgrid_budget, "hgrid_budget")
+
+    @property
+    def label(self) -> str:
+        """Human-readable scenario label."""
+        if self.name:
+            return self.name
+        return (
+            f"{self.city}/{self.policy}/fleet{self.fleet_size}"
+            f"/demand{self.demand_scale:g}/seed{self.seed}"
+        )
+
+    @property
+    def dataset_signature(self) -> Tuple[str, float, int, int]:
+        """Key identifying the synthetic dataset this scenario runs against."""
+        return (self.city, self.effective_scale, self.num_days, self.dataset_seed)
+
+    @property
+    def effective_scale(self) -> float:
+        """City volume scale after applying ``demand_scale``."""
+        return self.scale * self.demand_scale
+
+    @property
+    def dataset_seed(self) -> int:
+        return seed_for(f"dispatch-scenario/{self.city}/dataset", self.seed)
+
+    def cache_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable parameter mapping that keys the result cache.
+
+        ``name`` is a display label, not an input, so it is excluded — equal
+        configurations share a cache entry regardless of how they are named.
+        """
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "city": self.city,
+            "policy": self.policy,
+            "fleet_size": self.fleet_size,
+            "demand_scale": self.demand_scale,
+            "seed": self.seed,
+            "scale": self.scale,
+            "num_days": self.num_days,
+            "slots": list(self.slots) if self.slots is not None else None,
+            "mgrid_side": self.mgrid_side,
+            "hgrid_budget": self.hgrid_budget,
+            "guidance": self.guidance,
+            "matching": self.matching,
+            "batch_minutes": self.batch_minutes,
+            "max_wait_minutes": self.max_wait_minutes,
+        }
+
+    def make_policy(self):
+        """Fresh policy instance for one simulation run."""
+        if self.policy == "polar":
+            return POLARDispatcher(use_optimal_matching=self.matching == "optimal")
+        return LSDispatcher()
+
+
+@dataclass
+class ScenarioBundle:
+    """Materialised inputs of one scenario, ready to simulate.
+
+    Building the bundle (dataset generation, oracle predictions) is the
+    expensive part; running the simulation on it is cheap, which is why the
+    suite runner shares bundles between engines and the benchmark replays the
+    same bundle under both engines.
+    """
+
+    scenario: DispatchScenario
+    orders: OrderArrays
+    travel: TravelModel
+    provider: Optional[PredictedDemandProvider]
+    slots: Tuple[int, ...]
+
+    def spawn_fleet(self) -> FleetArrays:
+        """Fresh driver state drawn from the scenario's spawn stream.
+
+        The stream label is structural (city only), not the display name, so
+        equally configured scenarios draw identical fleets — the property the
+        result cache keys on — and POLAR/LS compare on the same fleet.
+        """
+        rng = default_rng(
+            seed_for(f"dispatch-scenario/{self.scenario.city}/fleet", self.scenario.seed)
+        )
+        initial = None
+        if self.provider is not None and self.provider.has_slot(0, self.slots[0]):
+            initial = self.provider.hgrid_demand(0, self.slots[0])
+        return spawn_fleet(self.scenario.fleet_size, rng, demand_grid=initial)
+
+    def simulator(self, engine: str = "vector") -> TaskAssignmentSimulator:
+        """A simulator for this bundle using the requested engine."""
+        return TaskAssignmentSimulator(
+            policy=self.scenario.make_policy(),
+            travel=self.travel,
+            demand=self.provider,
+            batch_minutes=self.scenario.batch_minutes,
+            seed=seed_for(
+                f"dispatch-scenario/{self.scenario.city}/{self.scenario.policy}/sim",
+                self.scenario.seed,
+            ),
+            engine=engine,
+        )
+
+    def run(self, engine: str = "vector") -> DispatchMetrics:
+        """Spawn a fresh fleet and simulate once."""
+        fleet = self.spawn_fleet()
+        if engine == "scalar":
+            # The scalar oracle consumes entity objects.
+            drivers = [
+                _driver_from_arrays(fleet, i) for i in range(len(fleet))
+            ]
+            return self.simulator(engine).run(
+                self.orders.to_orders(), drivers, day=0, slots=self.slots
+            )
+        return self.simulator(engine).run(self.orders, fleet, day=0, slots=self.slots)
+
+
+def _driver_from_arrays(fleet: FleetArrays, index: int):
+    from repro.dispatch.entities import Driver
+
+    return Driver(
+        driver_id=int(fleet.driver_id[index]),
+        x=float(fleet.x[index]),
+        y=float(fleet.y[index]),
+        available_at=float(fleet.available_at[index]),
+        served_orders=int(fleet.served_orders[index]),
+        earned_revenue=float(fleet.earned_revenue[index]),
+    )
+
+
+def build_scenario_bundle(
+    scenario: DispatchScenario,
+    dataset: Optional[EventDataset] = None,
+) -> ScenarioBundle:
+    """Generate (or reuse) the dataset and derive the scenario's inputs.
+
+    ``dataset`` lets callers (the suite runner, the benchmark) share one
+    generated dataset across scenarios with equal ``dataset_signature``.
+    """
+    if dataset is None:
+        dataset = EventDataset.from_city(
+            city_preset(scenario.city, scale=scenario.effective_scale),
+            num_days=scenario.num_days,
+            seed=scenario.dataset_seed,
+        )
+    travel = TravelModel.for_city(dataset.city)
+    test_events = dataset.test_events()
+    orders = order_arrays_from_events(
+        test_events,
+        day=0,
+        slots=scenario.slots,
+        max_wait_minutes=scenario.max_wait_minutes,
+        seed=seed_for(f"dispatch-scenario/{scenario.city}/orders", scenario.seed),
+    )
+    if scenario.slots is not None:
+        slots = tuple(int(s) for s in scenario.slots)
+    else:
+        slots = tuple(sorted({int(s) for s in orders.slot}))
+    provider = None
+    if scenario.guidance == "oracle" and len(orders):
+        provider = _oracle_provider(dataset, scenario)
+    return ScenarioBundle(
+        scenario=scenario, orders=orders, travel=travel, provider=provider, slots=slots
+    )
+
+
+def _oracle_provider(
+    dataset: EventDataset, scenario: DispatchScenario
+) -> PredictedDemandProvider:
+    """Realised-demand guidance at the scenario's MGrid resolution."""
+    side = scenario.mgrid_side
+    layout = GridLayout.for_ogss(side * side, scenario.hgrid_budget)
+    test_days = list(dataset.split.test_days)
+    targets = evaluation_targets(dataset, test_days)
+    predictor = PerfectPredictor()
+    predictor.fit(dataset, side)
+    predictions = predictor.predict(dataset, side, targets)
+    # The simulator addresses test-day slots relative to day 0.
+    rebased = [(0, slot) for (_, slot) in targets]
+    return PredictedDemandProvider(layout, predictions, rebased)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario simulation."""
+
+    scenario: DispatchScenario
+    metrics: DispatchMetrics
+    total_orders: int
+    seconds: float
+    engine: str
+
+
+def run_scenario(
+    scenario: DispatchScenario,
+    engine: str = "vector",
+    dataset: Optional[EventDataset] = None,
+) -> ScenarioResult:
+    """Build the scenario's inputs and simulate it once."""
+    bundle = build_scenario_bundle(scenario, dataset=dataset)
+    start = time.perf_counter()
+    metrics = bundle.run(engine=engine)
+    return ScenarioResult(
+        scenario=scenario,
+        metrics=metrics,
+        total_orders=len(bundle.orders),
+        seconds=time.perf_counter() - start,
+        engine=engine,
+    )
+
+
+def scenario_grid(
+    cities: Sequence[str],
+    policies: Sequence[str] = ("polar", "ls"),
+    fleet_sizes: Sequence[int] = (200,),
+    demand_scales: Sequence[float] = (1.0,),
+    seeds: Sequence[int] = (7,),
+    **common: Any,
+) -> List[DispatchScenario]:
+    """Cross-product scenario builder over the suite's five axes.
+
+    ``common`` is forwarded to every scenario (e.g. ``scale``, ``slots``,
+    ``guidance``).
+    """
+    if not cities:
+        raise ValueError("at least one city is required")
+    if not policies:
+        raise ValueError("at least one policy is required")
+    if not fleet_sizes or not demand_scales or not seeds:
+        raise ValueError("fleet_sizes, demand_scales and seeds must be non-empty")
+    return [
+        DispatchScenario(
+            city=city,
+            policy=policy,
+            fleet_size=int(fleet),
+            demand_scale=float(demand),
+            seed=int(seed),
+            **common,
+        )
+        for city in cities
+        for policy in policies
+        for fleet in fleet_sizes
+        for demand in demand_scales
+        for seed in seeds
+    ]
+
+
+def stress_scenarios(base: DispatchScenario) -> List[DispatchScenario]:
+    """Stress variants of ``base``: surge demand, small fleet, large fleet."""
+    return [
+        replace(base, name=f"{base.label}/surge", demand_scale=base.demand_scale * 2.0),
+        replace(
+            base,
+            name=f"{base.label}/small-fleet",
+            fleet_size=max(1, base.fleet_size // 2),
+        ),
+        replace(base, name=f"{base.label}/large-fleet", fleet_size=base.fleet_size * 2),
+    ]
+
+
+def reference_scenario(policy: str = "polar", matching: str = "greedy") -> DispatchScenario:
+    """The fixed benchmark scenario: 200 drivers over one full NYC-like day.
+
+    The default uses POLAR's greedy (city-scale) matching — the configuration
+    where the seed's per-object loop is most scalar-bound — and is the profile
+    ``benchmarks/bench_dispatch_engine.py`` times and the CI perf gate
+    compares against ``benchmarks/baseline_dispatch.json``; keep it stable,
+    or regenerate the baseline when changing it.
+    """
+    return DispatchScenario(
+        city="nyc_like",
+        policy=policy,
+        fleet_size=200,
+        demand_scale=1.0,
+        seed=7,
+        scale=0.01,
+        num_days=8,
+        slots=None,
+        matching=matching,
+        name=f"reference-200x1day-{policy}-{matching}",
+    )

@@ -10,17 +10,35 @@ up in time are lost.
 The same engine drives both POLAR and LS; they differ only in their
 :class:`AssignmentPolicy` (how they reposition and which matching objective
 they use).
+
+Two interchangeable engines execute the loop:
+
+* ``engine="vector"`` (default) — the struct-of-arrays engine in
+  :mod:`repro.dispatch.engine`, which runs the per-minute steps as batched
+  array passes.  Used whenever the policy implements the array kernels
+  (POLAR and LS do).
+* ``engine="scalar"`` — the original per-``Driver``/``Order`` object loop,
+  kept verbatim as the reference oracle; the equivalence tests assert the
+  vectorized engine reproduces its :class:`DispatchMetrics` bit for bit under
+  the same seed (see the RNG draw-order notes in :mod:`repro.dispatch.engine`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
 from repro.dispatch.demand import PredictedDemandProvider
-from repro.dispatch.entities import DispatchMetrics, Driver, Order
+from repro.dispatch.engine import VectorizedAssignmentEngine, supports_array_kernels
+from repro.dispatch.entities import (
+    DispatchMetrics,
+    Driver,
+    FleetArrays,
+    Order,
+    OrderArrays,
+)
 from repro.dispatch.travel import TravelModel
 from repro.utils.rng import RandomState, default_rng
 
@@ -80,6 +98,46 @@ def spawn_drivers(
     return [Driver(driver_id=i, x=float(xs[i]), y=float(ys[i])) for i in range(count)]
 
 
+def spawn_fleet(
+    count: int,
+    rng: np.random.Generator,
+    demand_grid: Optional[np.ndarray] = None,
+) -> FleetArrays:
+    """Array-native :func:`spawn_drivers`: same draws, no ``Driver`` objects.
+
+    Consumes the RNG identically to :func:`spawn_drivers` (whose position
+    draws were already array calls), so
+    ``FleetArrays.from_drivers(spawn_drivers(n, rng))`` and
+    ``spawn_fleet(n, rng)`` are bit-identical for equal generator states.
+    """
+    if count <= 0:
+        raise ValueError("driver count must be positive")
+    if demand_grid is None:
+        xs = rng.random(count)
+        ys = rng.random(count)
+    else:
+        demand_grid = np.asarray(demand_grid, dtype=float)
+        resolution = demand_grid.shape[0]
+        probabilities = demand_grid.ravel()
+        total = probabilities.sum()
+        if total <= 0:
+            probabilities = np.full(probabilities.size, 1.0 / probabilities.size)
+        else:
+            probabilities = probabilities / total
+        cells = rng.choice(probabilities.size, size=count, p=probabilities)
+        rows, cols = np.divmod(cells, resolution)
+        xs = (cols + rng.random(count)) / resolution
+        ys = (rows + rng.random(count)) / resolution
+    return FleetArrays(
+        driver_id=np.arange(count, dtype=np.int64),
+        x=xs,
+        y=ys,
+        available_at=np.zeros(count),
+        served_orders=np.zeros(count, dtype=np.int64),
+        earned_revenue=np.zeros(count),
+    )
+
+
 @dataclass
 class TaskAssignmentSimulator:
     """Runs one dispatch policy over a stream of orders.
@@ -98,6 +156,10 @@ class TaskAssignmentSimulator:
         as in the paper's batched online assignment setting.
     unserved_penalty_km:
         Cost added per unserved order in the unified-cost metric.
+    engine:
+        ``"vector"`` (default) runs the struct-of-arrays engine; ``"scalar"``
+        forces the original per-object loop.  Policies without array kernels
+        always fall back to the scalar loop.
     """
 
     policy: AssignmentPolicy
@@ -106,6 +168,7 @@ class TaskAssignmentSimulator:
     batch_minutes: float = 2.0
     unserved_penalty_km: float = 5.0
     seed: RandomState = None
+    engine: str = "vector"
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -113,20 +176,76 @@ class TaskAssignmentSimulator:
             raise ValueError("batch_minutes must be positive")
         if self.unserved_penalty_km < 0:
             raise ValueError("unserved_penalty_km must be non-negative")
+        if self.engine not in ("vector", "scalar"):
+            raise ValueError("engine must be 'vector' or 'scalar'")
         self._rng = default_rng(self.seed)
 
     def run(
         self,
-        orders: Sequence[Order],
-        drivers: Sequence[Driver],
+        orders: Union[Sequence[Order], OrderArrays],
+        drivers: Union[Sequence[Driver], FleetArrays],
         day: int = 0,
         slots: Optional[Sequence[int]] = None,
     ) -> DispatchMetrics:
         """Simulate the assignment of ``orders`` to ``drivers``.
 
         ``slots`` restricts the horizon; by default it is derived from the
-        orders themselves.
+        orders themselves.  ``orders``/``drivers`` may be given either as
+        entity sequences or directly as struct-of-arrays state
+        (:class:`OrderArrays` / :class:`FleetArrays`); array fleets are
+        mutated in place, driver objects receive the final state via
+        write-back.
         """
+        use_vector = self.engine == "vector" and supports_array_kernels(self.policy)
+        if use_vector:
+            return self._run_vector(orders, drivers, day=day, slots=slots)
+        if isinstance(orders, OrderArrays):
+            orders = orders.to_orders()
+        if isinstance(drivers, FleetArrays):
+            raise ValueError(
+                "FleetArrays input requires the vectorized engine and a policy "
+                "with array kernels"
+            )
+        return self._run_scalar(orders, drivers, day=day, slots=slots)
+
+    def _run_vector(
+        self,
+        orders: Union[Sequence[Order], OrderArrays],
+        drivers: Union[Sequence[Driver], FleetArrays],
+        day: int = 0,
+        slots: Optional[Sequence[int]] = None,
+    ) -> DispatchMetrics:
+        if not isinstance(orders, OrderArrays):
+            orders = OrderArrays.from_orders(orders)
+        if len(orders) == 0:
+            return DispatchMetrics(0, 0, 0.0, 0.0, 0.0)
+        driver_objects: Optional[List[Driver]] = None
+        if isinstance(drivers, FleetArrays):
+            fleet = drivers
+        else:
+            driver_objects = list(drivers)
+            if not driver_objects:
+                raise ValueError("at least one driver is required")
+            fleet = FleetArrays.from_drivers(driver_objects)
+        engine = VectorizedAssignmentEngine(
+            policy=self.policy,
+            travel=self.travel,
+            demand=self.demand,
+            batch_minutes=self.batch_minutes,
+            unserved_penalty_km=self.unserved_penalty_km,
+        )
+        metrics = engine.run(orders, fleet, self._rng, day=day, slots=slots)
+        if driver_objects is not None:
+            fleet.write_back(driver_objects)
+        return metrics
+
+    def _run_scalar(
+        self,
+        orders: Sequence[Order],
+        drivers: Sequence[Driver],
+        day: int = 0,
+        slots: Optional[Sequence[int]] = None,
+    ) -> DispatchMetrics:
         if not orders:
             return DispatchMetrics(0, 0, 0.0, 0.0, 0.0)
         drivers = list(drivers)

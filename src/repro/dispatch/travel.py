@@ -61,6 +61,42 @@ class TravelModel:
             return float(result)
         return result
 
+    def pairwise_km(
+        self,
+        origin_x: np.ndarray,
+        origin_y: np.ndarray,
+        dest_x: np.ndarray,
+        dest_y: np.ndarray,
+    ) -> np.ndarray:
+        """Batched candidate distances: an ``(origins, destinations)`` matrix.
+
+        Row ``i`` holds the street distance from origin ``i`` to every
+        destination.  Elementwise this is exactly :meth:`distance_km` applied
+        to each (origin, destination) pair, so the matrix entries are
+        bit-identical to the scalar calls the per-entity loop would make.
+        """
+        origin_x = np.asarray(origin_x, dtype=float)
+        origin_y = np.asarray(origin_y, dtype=float)
+        dest_x = np.asarray(dest_x, dtype=float)
+        dest_y = np.asarray(dest_y, dtype=float)
+        # Inlined distance_km(dest, origin) without the scalar-path checks;
+        # the operand order matches the policies' broadcast calls.
+        dx = (origin_x[:, None] - dest_x[None, :]) * self.width_km
+        dy = (origin_y[:, None] - dest_y[None, :]) * self.height_km
+        if self.metric == "euclidean":
+            return np.sqrt(dx * dx + dy * dy)
+        return np.abs(dx) + np.abs(dy)
+
+    def pairwise_minutes(
+        self,
+        origin_x: np.ndarray,
+        origin_y: np.ndarray,
+        dest_x: np.ndarray,
+        dest_y: np.ndarray,
+    ) -> np.ndarray:
+        """Batched candidate travel times (minutes) as an ``(origins, destinations)`` matrix."""
+        return self.minutes(self.pairwise_km(origin_x, origin_y, dest_x, dest_y))
+
     def travel_minutes(
         self,
         x0: np.ndarray | float,

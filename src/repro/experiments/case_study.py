@@ -12,13 +12,10 @@ affects downstream dispatching:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Optional, Sequence, Tuple
 
 from repro.core.grid import GridLayout
 from repro.core.interfaces import evaluation_targets
-from repro.data.dataset import EventDataset
 from repro.dispatch.daif import DAIFPlanner, spawn_vehicles
 from repro.dispatch.demand import (
     PredictedDemandProvider,

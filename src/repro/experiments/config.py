@@ -12,8 +12,8 @@ here at configurable scale; three named profiles are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.utils.validation import ensure_perfect_square
 

@@ -10,7 +10,7 @@ lifetime of the process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.core.interfaces import DemandPredictor
 from repro.core.tuner import GridTuner

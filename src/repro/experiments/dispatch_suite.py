@@ -1,0 +1,64 @@
+"""Dispatch scenario-suite experiment (Figures 6-8 replay + stress cases).
+
+Binds the :mod:`repro.sweep.dispatch` runner to the experiment configuration
+profiles, the same way :mod:`repro.experiments.multi_city` binds the OGSS
+sweep.  A suite run fans (city x policy x fleet size x demand scale x seed)
+scenario points through worker threads with a persistent result cache, so
+``repro dispatch`` replays Figures 6-8-style dispatch comparisons and the
+stress variants (surge demand, small/large fleets) byte-stably from cache.
+
+Example
+-------
+>>> report = run_dispatch_suite(["nyc"], fleet_sizes=[100], profile="tiny")
+>>> {o.scenario.label: o.metrics.served_orders for o in report.outcomes}
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.config import get_profile
+from repro.experiments.multi_city import resolve_city
+from repro.sweep.dispatch import DispatchSuiteRunner, SuiteReport, suite_scenarios
+
+#: Default fleet sizes swept by the suite (per 200-driver reference fleet).
+DEFAULT_FLEET_SIZES = (100, 200)
+
+#: Default demand multipliers: normal day and surge.
+DEFAULT_DEMAND_SCALES = (1.0, 2.0)
+
+
+def run_dispatch_suite(
+    cities: Sequence[str] = ("nyc",),
+    policies: Sequence[str] = ("polar", "ls"),
+    fleet_sizes: Iterable[int] = DEFAULT_FLEET_SIZES,
+    demand_scales: Iterable[float] = DEFAULT_DEMAND_SCALES,
+    seeds: Iterable[int] = (7,),
+    profile: str = "tiny",
+    cache_dir: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    engine: str = "vector",
+    matching: str = "optimal",
+) -> SuiteReport:
+    """Simulate every (city, policy, fleet, demand, seed) scenario in parallel.
+
+    The dataset scale, history length and case-study slots come from the
+    named experiment ``profile`` so suite results line up with the figure
+    benchmarks run at the same profile.
+    """
+    config = get_profile(profile)
+    scenarios = suite_scenarios(
+        cities=[resolve_city(city) for city in cities],
+        policies=policies,
+        fleet_sizes=fleet_sizes,
+        demand_scales=demand_scales,
+        seeds=seeds,
+        scale=config.city_scale,
+        num_days=config.num_days,
+        slots=tuple(config.case_study_slots),
+        hgrid_budget=config.hgrid_budget,
+        matching=matching,
+    )
+    return DispatchSuiteRunner(
+        scenarios, cache_dir=cache_dir, max_workers=max_workers, engine=engine
+    ).run()

@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.uniformity import UniformityPoint, uniformity_vs_expression_error
 from repro.core.errors import decompose_errors

@@ -21,7 +21,6 @@ from repro.core.search import SearchResult, run_search
 from repro.core.upper_bound import UpperBoundEvaluator
 from repro.experiments.case_study import run_task_assignment
 from repro.experiments.context import ExperimentContext
-from repro.utils.rng import seed_for
 
 
 def _slot_evaluator(

@@ -36,6 +36,12 @@ from repro.sweep.runner import (
     SweepTask,
     sweep_tasks,
 )
+from repro.sweep.dispatch import (
+    DispatchSuiteRunner,
+    ScenarioOutcome,
+    SuiteReport,
+    suite_scenarios,
+)
 
 __all__ = [
     "SingleFlightModelErrorCache",
@@ -44,4 +50,8 @@ __all__ = [
     "SweepRunner",
     "SweepTask",
     "sweep_tasks",
+    "DispatchSuiteRunner",
+    "ScenarioOutcome",
+    "SuiteReport",
+    "suite_scenarios",
 ]

@@ -1,0 +1,239 @@
+"""Parallel, cached dispatch-scenario suite runner.
+
+The dispatch counterpart of :class:`~repro.sweep.runner.SweepRunner`: a suite
+is a batch of :class:`~repro.dispatch.scenarios.DispatchScenario` points
+(city x policy x fleet size x demand scale x seed), each simulated once by
+the vectorized engine.  The runner shares the two expensive resources the
+same way the OGSS sweep does:
+
+1. **Datasets** — each unique ``(city, scale, num_days, seed)`` synthetic
+   dataset is generated once and shared by every scenario that uses it.
+2. **Results** — finished simulations are persisted as canonical JSON through
+   :class:`~repro.utils.cache.ResultCache`.  Scenario simulations are fully
+   deterministic (see the draw-order notes in :mod:`repro.dispatch.engine`),
+   so a rerun with identical parameters is a byte-identical cache replay and
+   does no simulation work at all.
+
+Example
+-------
+>>> scenarios = scenario_grid(["xian_like"], fleet_sizes=[50], seeds=[7])
+>>> report = DispatchSuiteRunner(scenarios, cache_dir="/tmp/suite").run()
+>>> report.outcomes[0].metrics.served_orders
+42
+>>> DispatchSuiteRunner(scenarios, cache_dir="/tmp/suite").run().cache_hits
+2
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.data.dataset import EventDataset
+from repro.data.presets import city_preset
+from repro.dispatch.entities import DispatchMetrics
+from repro.dispatch.scenarios import (
+    DispatchScenario,
+    build_scenario_bundle,
+    scenario_grid,
+)
+from repro.utils.cache import ResultCache
+
+#: Bump when the serialised payload layout changes so stale entries miss.
+_CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Result of one suite scenario, fresh or replayed from the cache."""
+
+    scenario: DispatchScenario
+    metrics: DispatchMetrics
+    total_orders: int
+    seconds: float
+    from_cache: bool
+    engine: str
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """All outcomes of one suite run plus aggregate bookkeeping."""
+
+    outcomes: Tuple[ScenarioOutcome, ...]
+    seconds: float
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    def by_label(self) -> Dict[str, ScenarioOutcome]:
+        """Mapping ``scenario label -> outcome``."""
+        return {outcome.scenario.label: outcome for outcome in self.outcomes}
+
+
+def _serialise(outcome: ScenarioOutcome) -> Dict[str, Any]:
+    metrics = outcome.metrics
+    return {
+        "served_orders": metrics.served_orders,
+        "total_orders": metrics.total_orders,
+        "total_revenue": metrics.total_revenue,
+        "total_travel_km": metrics.total_travel_km,
+        "unified_cost": metrics.unified_cost,
+        "suite_total_orders": outcome.total_orders,
+        "engine": outcome.engine,
+    }
+
+
+def _deserialise(
+    scenario: DispatchScenario, payload: Dict[str, Any], seconds: float
+) -> ScenarioOutcome:
+    metrics = DispatchMetrics(
+        served_orders=int(payload["served_orders"]),
+        total_orders=int(payload["total_orders"]),
+        total_revenue=float(payload["total_revenue"]),
+        total_travel_km=float(payload["total_travel_km"]),
+        unified_cost=float(payload["unified_cost"]),
+    )
+    return ScenarioOutcome(
+        scenario=scenario,
+        metrics=metrics,
+        total_orders=int(payload["suite_total_orders"]),
+        seconds=seconds,
+        from_cache=True,
+        engine=str(payload["engine"]),
+    )
+
+
+class DispatchSuiteRunner:
+    """Run a batch of dispatch scenarios in parallel with persistent caching.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenario points to simulate.
+    cache_dir:
+        Directory for the persistent :class:`~repro.utils.cache.ResultCache`;
+        ``None`` disables on-disk caching (everything is recomputed).
+    max_workers:
+        Thread-pool size; defaults to ``min(len(scenarios), cpu_count)``.
+    engine:
+        ``"vector"`` (default) or ``"scalar"`` — which simulation engine runs
+        cache misses.  Both produce identical metrics; the engine name is
+        recorded per outcome and is part of the cache key only through the
+        metrics being engine-independent (i.e. it is *not* keyed, so a
+        scalar-engine run warms the cache for vector-engine reruns and vice
+        versa).
+    """
+
+    def __init__(
+        self,
+        scenarios: Iterable[DispatchScenario],
+        cache_dir: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        engine: str = "vector",
+    ) -> None:
+        self.scenarios = list(scenarios)
+        if not self.scenarios:
+            raise ValueError("at least one scenario is required")
+        if engine not in ("vector", "scalar"):
+            raise ValueError("engine must be 'vector' or 'scalar'")
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+        self.engine = engine
+        self._datasets: Dict[Tuple[str, float, int, int], EventDataset] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SuiteReport:
+        """Simulate every scenario and return the collected report."""
+        start = time.perf_counter()
+        self._prepare_datasets()
+        workers = self.max_workers or min(len(self.scenarios), os.cpu_count() or 1)
+        if workers <= 1:
+            outcomes = [self._run_scenario(s) for s in self.scenarios]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(self._run_scenario, self.scenarios))
+        return SuiteReport(outcomes=tuple(outcomes), seconds=time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def cache_key(scenario: DispatchScenario) -> str:
+        """Result-cache key of one scenario."""
+        return ResultCache.key_for(
+            {"schema": _CACHE_SCHEMA, "scenario": scenario.cache_payload()}
+        )
+
+    def _prepare_datasets(self) -> None:
+        """Build each unique dataset once, before the workers fan out.
+
+        Scenarios that only hit the cache never need their dataset, so only
+        signatures with at least one cache miss are generated.
+        """
+        for scenario in self.scenarios:
+            if scenario.dataset_signature in self._datasets:
+                continue
+            if self.cache is not None and self.cache_key(scenario) in self.cache:
+                continue
+            self._dataset_for(scenario)
+
+    def _dataset_for(self, scenario: DispatchScenario) -> EventDataset:
+        signature = scenario.dataset_signature
+        if signature not in self._datasets:
+            self._datasets[signature] = EventDataset.from_city(
+                city_preset(scenario.city, scale=scenario.effective_scale),
+                num_days=scenario.num_days,
+                seed=scenario.dataset_seed,
+            )
+        return self._datasets[signature]
+
+    def _run_scenario(self, scenario: DispatchScenario) -> ScenarioOutcome:
+        scenario_start = time.perf_counter()
+        key = None
+        if self.cache is not None:
+            key = self.cache_key(scenario)
+            payload = self.cache.get(key)
+            if payload is not None:
+                return _deserialise(
+                    scenario, payload, seconds=time.perf_counter() - scenario_start
+                )
+        bundle = build_scenario_bundle(scenario, dataset=self._dataset_for(scenario))
+        metrics = bundle.run(engine=self.engine)
+        outcome = ScenarioOutcome(
+            scenario=scenario,
+            metrics=metrics,
+            total_orders=len(bundle.orders),
+            seconds=time.perf_counter() - scenario_start,
+            from_cache=False,
+            engine=self.engine,
+        )
+        if self.cache is not None and key is not None:
+            self.cache.put(key, _serialise(outcome))
+        return outcome
+
+
+def suite_scenarios(
+    cities: Iterable[str],
+    policies: Iterable[str] = ("polar", "ls"),
+    fleet_sizes: Iterable[int] = (200,),
+    demand_scales: Iterable[float] = (1.0,),
+    seeds: Iterable[int] = (7,),
+    **common: Any,
+) -> List[DispatchScenario]:
+    """Cross-product scenario builder (alias of :func:`scenario_grid`)."""
+    return scenario_grid(
+        list(cities),
+        policies=list(policies),
+        fleet_sizes=list(fleet_sizes),
+        demand_scales=list(demand_scales),
+        seeds=list(seeds),
+        **common,
+    )

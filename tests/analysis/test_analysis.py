@@ -1,6 +1,5 @@
 """Tests for repro.analysis (uniformity and distribution summaries)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.distributions import (

@@ -20,7 +20,6 @@ from repro.core.expression import (
     total_expression_error_upper_bound,
 )
 from repro.core.grid import GridLayout
-from repro.utils.poisson import poisson_mean_abs_deviation
 
 alphas = st.floats(min_value=0.0, max_value=15.0)
 rests = st.floats(min_value=0.0, max_value=60.0)

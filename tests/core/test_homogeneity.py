@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.grid import GridLayout, disaggregate_uniform
+from repro.core.grid import disaggregate_uniform
 from repro.core.homogeneity import (
     DAlphaCurve,
     d_alpha,

@@ -1,7 +1,6 @@
 """Edge-case tests for the POLAR and LS dispatch policies."""
 
 import numpy as np
-import pytest
 
 from repro.dispatch.entities import Driver, Order
 from repro.dispatch.ls import LSDispatcher

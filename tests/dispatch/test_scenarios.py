@@ -1,0 +1,145 @@
+"""Tests for the dispatch scenario vocabulary and bundle builder."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.scenarios import (
+    DispatchScenario,
+    build_scenario_bundle,
+    reference_scenario,
+    run_scenario,
+    scenario_grid,
+    stress_scenarios,
+)
+
+SMALL = dict(scale=0.003, num_days=6, slots=(16, 17), fleet_size=20)
+
+
+def small_scenario(**overrides):
+    params = {**SMALL, **overrides}
+    return DispatchScenario(city="xian_like", **params)
+
+
+class TestScenarioValidation:
+    def test_defaults_are_valid(self):
+        scenario = DispatchScenario(city="nyc_like")
+        assert scenario.policy == "polar"
+        assert scenario.effective_scale == scenario.scale
+
+    def test_unknown_city(self):
+        with pytest.raises(ValueError):
+            DispatchScenario(city="atlantis")
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            DispatchScenario(city="nyc_like", policy="magic")
+
+    def test_invalid_fleet(self):
+        with pytest.raises(ValueError):
+            DispatchScenario(city="nyc_like", fleet_size=0)
+
+    def test_invalid_demand_scale(self):
+        with pytest.raises(ValueError):
+            DispatchScenario(city="nyc_like", demand_scale=0.0)
+
+    def test_invalid_matching(self):
+        with pytest.raises(ValueError):
+            DispatchScenario(city="nyc_like", matching="fastest")
+
+    def test_demand_scale_multiplies_city_scale(self):
+        scenario = small_scenario(demand_scale=2.0)
+        assert scenario.effective_scale == pytest.approx(2 * SMALL["scale"])
+
+    def test_label_defaults_to_structural_name(self):
+        scenario = small_scenario(seed=9)
+        assert "xian_like" in scenario.label
+        assert "seed9" in scenario.label
+        named = small_scenario(name="my-case")
+        assert named.label == "my-case"
+
+    def test_cache_payload_excludes_display_name(self):
+        plain = small_scenario()
+        named = small_scenario(name="something-else")
+        assert plain.cache_payload() == named.cache_payload()
+
+
+class TestScenarioGrid:
+    def test_cross_product_size(self):
+        scenarios = scenario_grid(
+            ["xian_like", "nyc_like"],
+            policies=("polar", "ls"),
+            fleet_sizes=(10, 20),
+            demand_scales=(1.0, 2.0),
+            seeds=(1, 2, 3),
+        )
+        assert len(scenarios) == 2 * 2 * 2 * 2 * 3
+
+    def test_requires_non_empty_axes(self):
+        with pytest.raises(ValueError):
+            scenario_grid([])
+        with pytest.raises(ValueError):
+            scenario_grid(["xian_like"], policies=())
+        with pytest.raises(ValueError):
+            scenario_grid(["xian_like"], seeds=())
+
+    def test_stress_variants(self):
+        base = small_scenario()
+        surge, small_fleet, large_fleet = stress_scenarios(base)
+        assert surge.demand_scale == pytest.approx(2 * base.demand_scale)
+        assert small_fleet.fleet_size == base.fleet_size // 2
+        assert large_fleet.fleet_size == base.fleet_size * 2
+        assert all("xian_like" in s.label for s in (surge, small_fleet, large_fleet))
+
+
+class TestScenarioRuns:
+    def test_bundle_engines_agree(self):
+        bundle = build_scenario_bundle(small_scenario())
+        assert bundle.run("vector") == bundle.run("scalar")
+
+    def test_run_scenario_reports_orders_and_seconds(self):
+        result = run_scenario(small_scenario())
+        assert result.total_orders == result.metrics.total_orders
+        assert result.seconds >= 0
+        assert result.engine == "vector"
+
+    def test_runs_are_deterministic(self):
+        scenario = small_scenario()
+        first = run_scenario(scenario).metrics
+        second = run_scenario(scenario).metrics
+        assert first == second
+
+    def test_surge_increases_orders(self):
+        base = run_scenario(small_scenario()).total_orders
+        surge = run_scenario(small_scenario(demand_scale=3.0)).total_orders
+        assert surge > base
+
+    def test_guidance_none_disables_repositioning_provider(self):
+        bundle = build_scenario_bundle(small_scenario(guidance="none"))
+        assert bundle.provider is None
+        metrics = bundle.run("vector")
+        assert metrics.total_orders == len(bundle.orders)
+
+    def test_greedy_matching_scenario(self):
+        scenario = small_scenario(matching="greedy")
+        bundle = build_scenario_bundle(scenario)
+        assert bundle.run("vector") == bundle.run("scalar")
+
+    def test_fleets_identical_across_policies(self):
+        """POLAR and LS compare on the same spawned fleet (structural seeds)."""
+        polar = build_scenario_bundle(small_scenario(policy="polar")).spawn_fleet()
+        ls = build_scenario_bundle(small_scenario(policy="ls")).spawn_fleet()
+        assert np.array_equal(polar.x, ls.x)
+        assert np.array_equal(polar.y, ls.y)
+
+
+class TestReferenceScenario:
+    def test_shape_is_pinned(self):
+        scenario = reference_scenario()
+        assert scenario.fleet_size == 200
+        assert scenario.city == "nyc_like"
+        assert scenario.slots is None
+        assert scenario.matching == "greedy"
+
+    def test_policy_variants(self):
+        assert reference_scenario("ls").policy == "ls"
+        assert reference_scenario("polar", "optimal").matching == "optimal"

@@ -4,7 +4,7 @@ import pytest
 
 from repro.data.dataset import EventDataset
 from repro.experiments.config import PROFILES, ExperimentConfig, get_profile
-from repro.experiments.context import CITIES, MODELS, ExperimentContext
+from repro.experiments.context import CITIES, MODELS
 from repro.prediction.oracle import NoisyOraclePredictor
 
 

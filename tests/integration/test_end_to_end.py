@@ -7,12 +7,10 @@ the dispatch case study.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import GridTuner
 from repro.core.grid import GridLayout
 from repro.core.interfaces import evaluation_targets
-from repro.data import EventDataset, xian_like
 from repro.dispatch import (
     POLARDispatcher,
     PredictedDemandProvider,

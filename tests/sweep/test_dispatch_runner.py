@@ -1,0 +1,101 @@
+"""Tests for the parallel, cached dispatch scenario-suite runner."""
+
+import json
+
+import pytest
+
+from repro.dispatch.scenarios import DispatchScenario
+from repro.sweep.dispatch import DispatchSuiteRunner, suite_scenarios
+
+SMALL = dict(scale=0.003, num_days=6, slots=(16, 17))
+
+
+def small_scenarios(**overrides):
+    params = {**SMALL, **overrides}
+    return suite_scenarios(
+        ["xian_like"],
+        policies=("polar", "ls"),
+        fleet_sizes=(15,),
+        demand_scales=(1.0, 2.0),
+        seeds=(7,),
+        **params,
+    )
+
+
+class TestDispatchSuiteRunner:
+    def test_runs_all_scenarios(self):
+        report = DispatchSuiteRunner(small_scenarios(), max_workers=2).run()
+        assert len(report.outcomes) == 4
+        assert report.cache_hits == 0
+        assert all(o.metrics.total_orders > 0 for o in report.outcomes)
+
+    def test_requires_scenarios(self):
+        with pytest.raises(ValueError):
+            DispatchSuiteRunner([])
+
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError):
+            DispatchSuiteRunner(small_scenarios(), engine="quantum")
+
+    def test_cache_replay_is_byte_identical(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        scenarios = small_scenarios()
+        first = DispatchSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        snapshot = {
+            path.name: path.read_bytes() for path in cache_dir.glob("*.json")
+        }
+        assert len(snapshot) == len(scenarios)
+        second = DispatchSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        assert second.cache_hits == len(scenarios)
+        assert second.cache_misses == 0
+        for path in cache_dir.glob("*.json"):
+            assert path.read_bytes() == snapshot[path.name]
+        for before, after in zip(first.outcomes, second.outcomes):
+            assert before.metrics == after.metrics
+            assert after.from_cache
+
+    def test_cache_entries_are_canonical_json(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        DispatchSuiteRunner(small_scenarios(), cache_dir=str(cache_dir)).run()
+        for path in cache_dir.glob("*.json"):
+            text = path.read_text()
+            payload = json.loads(text)
+            assert text == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def test_scalar_engine_warms_cache_for_vector(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        scenarios = small_scenarios()[:1]
+        scalar = DispatchSuiteRunner(
+            scenarios, cache_dir=str(cache_dir), engine="scalar"
+        ).run()
+        vector = DispatchSuiteRunner(
+            scenarios, cache_dir=str(cache_dir), engine="vector"
+        ).run()
+        assert vector.cache_hits == 1
+        assert scalar.outcomes[0].metrics == vector.outcomes[0].metrics
+
+    def test_datasets_shared_across_scenarios(self):
+        runner = DispatchSuiteRunner(small_scenarios(), max_workers=1)
+        runner.run()
+        # polar/ls and both demand scales share 2 datasets (one per scale).
+        assert len(runner._datasets) == 2
+
+    def test_parallel_equals_serial(self):
+        scenarios = small_scenarios()
+        serial = DispatchSuiteRunner(scenarios, max_workers=1).run()
+        parallel = DispatchSuiteRunner(scenarios, max_workers=4).run()
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert a.metrics == b.metrics
+
+    def test_by_label(self):
+        report = DispatchSuiteRunner(small_scenarios(), max_workers=1).run()
+        labels = report.by_label()
+        assert len(labels) == 4
+        for label, outcome in labels.items():
+            assert outcome.scenario.label == label
+
+    def test_cache_key_is_stable(self):
+        scenario = DispatchScenario(city="xian_like", **SMALL)
+        assert DispatchSuiteRunner.cache_key(scenario) == DispatchSuiteRunner.cache_key(
+            DispatchScenario(city="xian_like", **SMALL)
+        )

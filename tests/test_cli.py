@@ -130,3 +130,68 @@ class TestCommands:
         assert exit_code == 0
         assert "result cache" not in output
         assert not (tmp_path / "none").exists()
+
+
+class TestDispatchCommand:
+    def test_dispatch_defaults_parse(self):
+        args = build_parser().parse_args(["dispatch"])
+        assert args.command == "dispatch"
+        assert args.policies == "polar,ls"
+        assert args.engine == "vector"
+        assert args.matching == "optimal"
+
+    def test_dispatch_command_populates_and_hits_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "dispatch-cache")
+        argv = [
+            "dispatch",
+            "--preset",
+            "xian",
+            "--fleet-sizes",
+            "25",
+            "--demand-scales",
+            "1.0",
+            "--workers",
+            "2",
+            "--cache-dir",
+            cache_dir,
+        ]
+        exit_code = main(argv)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Dispatch scenario suite" in output
+        assert "xian_like" in output
+        assert "0 cache hits, 2 misses" in output
+
+        exit_code = main(argv)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 cache hits, 0 misses" in output
+
+    def test_dispatch_scalar_engine_matches_vector(self, capsys):
+        base = [
+            "dispatch",
+            "--preset",
+            "xian",
+            "--policies",
+            "polar",
+            "--fleet-sizes",
+            "25",
+            "--demand-scales",
+            "1.0",
+            "--cache-dir",
+            "none",
+        ]
+        assert main(base + ["--engine", "vector"]) == 0
+        vector_output = capsys.readouterr().out
+        assert main(base + ["--engine", "scalar"]) == 0
+        scalar_output = capsys.readouterr().out
+        vector_row = next(l for l in vector_output.splitlines() if "xian_like" in l)
+        scalar_row = next(l for l in scalar_output.splitlines() if "xian_like" in l)
+        # served/orders/revenue columns identical across engines
+        assert vector_row.split("|")[5:9] == scalar_row.split("|")[5:9]
+
+    def test_dispatch_command_rejects_unknown_preset_cleanly(self, capsys):
+        exit_code = main(["dispatch", "--preset", "atlantis", "--cache-dir", "none"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown city preset 'atlantis'" in captured.err

@@ -1,6 +1,5 @@
 """Tests for repro.utils.poisson."""
 
-import math
 
 import numpy as np
 import pytest
