@@ -1,10 +1,16 @@
-"""Dispatch engine benchmark: vectorized vs scalar on the reference scenario.
+"""Dispatch engine benchmark: vectorized vs scalar, and sparse vs dense.
 
 Times both engines on the fixed 200-driver / 1-day NYC-like reference
 scenario (see :func:`repro.dispatch.scenarios.reference_scenario`) in three
 configurations (POLAR greedy, POLAR optimal, LS), asserts the vectorized
 engine reproduces the scalar engine's :class:`DispatchMetrics` exactly, and
 also times the batched order-stream builder against the per-object one.
+
+It additionally times the sparse spatial matching pipeline against the dense
+vector engine on the pinned large-fleet stress scenario
+(:func:`repro.dispatch.scenarios.large_fleet_scenario` — 40k drivers, surge
+demand, tight pickup SLA), asserting bit-identical metrics; the CI perf gate
+enforces both the sparse speedup floor and the equality flag.
 
 Run modes
 ---------
@@ -40,7 +46,11 @@ if str(_SRC) not in sys.path:
 
 from repro.dispatch.demand import order_arrays_from_events, orders_from_events  # noqa: E402
 from repro.dispatch.entities import OrderArrays  # noqa: E402
-from repro.dispatch.scenarios import build_scenario_bundle, reference_scenario  # noqa: E402
+from repro.dispatch.scenarios import (  # noqa: E402
+    build_scenario_bundle,
+    large_fleet_scenario,
+    reference_scenario,
+)
 from repro.utils.rng import seed_for  # noqa: E402
 
 #: Benchmarked (policy, matching) configurations of the reference scenario.
@@ -95,14 +105,46 @@ def run_benchmark(repeats: int = REPEATS) -> Dict:
             }
         )
     order_stream = _order_stream_benchmark(repeats)
+    sparse = _sparse_benchmark(repeats)
     return {
-        "schema": 1,
+        "schema": 2,
         "reference": "200 drivers x 1 NYC-like day (48 slots)",
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "engines": results,
         "order_stream": order_stream,
+        "sparse": sparse,
+    }
+
+
+def _sparse_benchmark(repeats: int) -> Dict:
+    """Sparse vs dense vector engine on the large-fleet stress scenario.
+
+    The dense run is timed once — it takes tens of seconds and its absolute
+    time only backs the ratio, which is robust to host speed because both
+    pipelines run in the same process on the same inputs.  The sparse run is
+    the best of ``min(repeats, 2)`` timed runs after a warm run that also
+    checks metric equality.
+    """
+    scenario = large_fleet_scenario()
+    bundle = build_scenario_bundle(scenario)
+    sparse_metrics = bundle.run("vector", sparse="always")  # warm + result
+    start = time.perf_counter()
+    dense_metrics = bundle.run("vector", sparse="never")
+    dense_seconds = time.perf_counter() - start
+    sparse_seconds = _best_of(
+        lambda: bundle.run("vector", sparse="always"), min(repeats, 2)
+    )
+    return {
+        "scenario": scenario.cache_payload(),
+        "orders": len(bundle.orders),
+        "fleet_size": scenario.fleet_size,
+        "dense_seconds": dense_seconds,
+        "sparse_seconds": sparse_seconds,
+        "speedup": dense_seconds / sparse_seconds,
+        "metrics": _metrics_dict(sparse_metrics),
+        "metrics_equal": sparse_metrics == dense_metrics,
     }
 
 
@@ -164,9 +206,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"array {stream['array_seconds'] * 1e3:.1f}ms, "
         f"speedup {stream['speedup']:.1f}x, identical: {stream['streams_identical']}"
     )
+    sparse = payload["sparse"]
+    print(
+        f"sparse large-fleet ({sparse['fleet_size']} drivers, {sparse['orders']} orders): "
+        f"dense {sparse['dense_seconds']:.2f}s, sparse {sparse['sparse_seconds']:.2f}s, "
+        f"speedup {sparse['speedup']:.2f}x, metrics equal: {sparse['metrics_equal']}"
+    )
     print(f"wrote {args.output}")
     failures = [e for e in payload["engines"] if not e["metrics_equal"]]
-    if failures or not stream["streams_identical"]:
+    if failures or not stream["streams_identical"] or not sparse["metrics_equal"]:
         print("ERROR: engine equivalence violated", file=sys.stderr)
         return 1
     return 0
@@ -181,6 +229,19 @@ def test_dispatch_engine_speedup(benchmark):
         assert entry["metrics_equal"], entry
         assert entry["speedup"] > 1.0, entry
     assert payload["order_stream"]["streams_identical"]
+    assert payload["sparse"]["metrics_equal"], payload["sparse"]
+    assert payload["sparse"]["speedup"] > 1.0, payload["sparse"]
+
+
+def test_large_fleet_scenario_is_pinned():
+    """The sparse gate's stress profile stays pinned (baseline depends on it)."""
+    scenario = large_fleet_scenario()
+    assert scenario.fleet_size == 40000
+    assert scenario.demand_scale == 12.0
+    assert scenario.max_wait_minutes == 4.0
+    assert scenario.policy == "polar"
+    assert scenario.matching == "optimal"
+    assert scenario.city == "nyc_like"
 
 
 def test_reference_scenario_is_200_drivers_one_day():

@@ -13,6 +13,10 @@ Compares a freshly emitted ``BENCH_dispatch.json`` (from
   because it is robust to CI hardware differences; an absolute wall-time
   ceiling (``max_vector_seconds_factor`` times the baseline measurement)
   additionally catches pathological slowdowns that hit both engines.
+* **Sparse matching** — on the pinned large-fleet stress scenario the sparse
+  pipeline must report metrics bit-identical to the dense vector engine
+  (``metrics_equal``), metric values matching the baseline within
+  ``metrics_rtol``, and a sparse/dense speedup above ``min_sparse_speedup``.
 
 Usage::
 
@@ -93,6 +97,35 @@ def check(current: Dict, baseline: Dict) -> List[str]:
             f"order stream: speedup {stream.get('speedup', 0.0):.2f}x below "
             f"the {stream_floor:.2f}x floor"
         )
+
+    base_sparse = baseline.get("sparse")
+    if base_sparse is not None:
+        sparse = current.get("sparse")
+        if sparse is None:
+            problems.append("sparse: section missing from benchmark output")
+        else:
+            if not sparse.get("metrics_equal", False):
+                problems.append(
+                    "sparse: metrics no longer identical to the dense vector engine"
+                )
+            problems.extend(
+                f"sparse: {problem}"
+                for problem in _compare_metrics(
+                    sparse.get("metrics", {}), base_sparse["metrics"], rtol
+                )
+            )
+            sparse_floor = float(gates.get("min_sparse_speedup", 5.0))
+            if float(sparse.get("speedup", 0.0)) < sparse_floor:
+                problems.append(
+                    f"sparse: speedup {sparse.get('speedup', 0.0):.2f}x below "
+                    f"the {sparse_floor:.2f}x floor"
+                )
+            ceiling = float(base_sparse["sparse_seconds"]) * time_factor
+            if float(sparse.get("sparse_seconds", float("inf"))) > ceiling:
+                problems.append(
+                    f"sparse: wall-time {sparse['sparse_seconds']:.3f}s exceeds "
+                    f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
+                )
     return problems
 
 
@@ -113,6 +146,13 @@ def main(argv=None) -> int:
             f"{entry['policy']}/{entry['matching']}: speedup {entry['speedup']:.2f}x "
             f"(vector {entry['vector_seconds'] * 1e3:.1f}ms), "
             f"metrics equal: {entry['metrics_equal']}"
+        )
+    sparse = current.get("sparse")
+    if sparse is not None:
+        print(
+            f"sparse large-fleet: speedup {sparse['speedup']:.2f}x "
+            f"(sparse {sparse['sparse_seconds']:.2f}s vs dense "
+            f"{sparse['dense_seconds']:.2f}s), metrics equal: {sparse['metrics_equal']}"
         )
     if problems:
         print("\nPERF GATE FAILED:", file=sys.stderr)

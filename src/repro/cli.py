@@ -200,10 +200,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="POLAR assignment solver (default: optimal)",
     )
     dispatch.add_argument(
+        "--sparse",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help=(
+            "vector-engine matching pipeline: grid-bucketed sparse matching "
+            "on large batches (auto, default), forced (always) or the dense "
+            "candidate matrix (never); metrics are identical in every mode"
+        ),
+    )
+    dispatch.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "worker pool backend; 'process' sidesteps the GIL on "
+            "matching-heavy scenario suites (default: thread)"
+        ),
+    )
+    dispatch.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker threads (default: min(scenarios, CPU count))",
+        help="worker threads/processes (default: min(scenarios, CPU count))",
     )
     dispatch.add_argument(
         "--cache-dir",
@@ -395,6 +414,8 @@ def _command_dispatch(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             engine=args.engine,
             matching=args.matching,
+            executor=args.executor,
+            sparse=args.sparse,
         )
     except ValueError as exc:
         print(f"repro dispatch: {exc}", file=sys.stderr)

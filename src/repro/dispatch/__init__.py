@@ -26,7 +26,12 @@ from repro.dispatch.matching import (
     greedy_pairs_masked,
     min_cost_pairs,
     max_weight_pairs,
+    edge_components,
+    min_cost_pairs_blocked,
+    max_weight_pairs_blocked,
+    greedy_pairs_masked_blocked,
 )
+from repro.dispatch.spatial import GridBucketIndex
 from repro.dispatch.demand import (
     PredictedDemandProvider,
     orders_from_events,
@@ -37,6 +42,7 @@ from repro.dispatch.engine import (
     ArrayPolicy,
     VectorizedAssignmentEngine,
     supports_array_kernels,
+    supports_sparse_matching,
 )
 from repro.dispatch.simulator import (
     AssignmentPolicy,
@@ -51,6 +57,7 @@ from repro.dispatch.scenarios import (
     DispatchScenario,
     ScenarioBundle,
     build_scenario_bundle,
+    large_fleet_scenario,
     reference_scenario,
     run_scenario,
     scenario_grid,
@@ -72,6 +79,11 @@ __all__ = [
     "greedy_pairs_masked",
     "min_cost_pairs",
     "max_weight_pairs",
+    "edge_components",
+    "min_cost_pairs_blocked",
+    "max_weight_pairs_blocked",
+    "greedy_pairs_masked_blocked",
+    "GridBucketIndex",
     "PredictedDemandProvider",
     "orders_from_events",
     "order_arrays_from_events",
@@ -79,6 +91,7 @@ __all__ = [
     "ArrayPolicy",
     "VectorizedAssignmentEngine",
     "supports_array_kernels",
+    "supports_sparse_matching",
     "AssignmentPolicy",
     "TaskAssignmentSimulator",
     "spawn_drivers",
@@ -90,6 +103,7 @@ __all__ = [
     "DispatchScenario",
     "ScenarioBundle",
     "build_scenario_bundle",
+    "large_fleet_scenario",
     "reference_scenario",
     "run_scenario",
     "scenario_grid",

@@ -33,17 +33,55 @@ seed it produces the *identical* :class:`~repro.dispatch.entities.DispatchMetric
 
 These invariants are asserted by ``tests/dispatch/test_engine_equivalence.py``
 which replays both engines across seeds, policies and fleet sizes.
+
+Sparse spatial matching
+-----------------------
+Both engines historically built a dense ``(pending orders x idle drivers)``
+cost matrix per batch and handed it whole to the matching kernel — O(N*M)
+distance work dominated by pairs that can never be feasible (an order only
+reaches drivers within ``remaining_wait / 60 * speed_kmh`` km).  The sparse
+pipeline (``sparse="auto"|"always"|"never"``) replaces that with:
+
+1. **index** — bin the idle drivers into a
+   :class:`~repro.dispatch.spatial.GridBucketIndex` (the paper's grid cell
+   geometry reused as a spatial index);
+2. **prune** — per order, gather only the drivers inside the feasibility
+   radius box and apply the dense path's bit-identical feasibility
+   arithmetic to them;
+3. **decompose** — split the pruned feasibility graph into connected
+   components (:func:`~repro.dispatch.matching.edge_components`, canonical
+   ordering documented there);
+4. **solve** — run the policy's ``match_pairs`` kernel on each small block
+   and merge the pairs back into the dense kernel's emission order
+   (``policy.match_order``: ``"row"`` for the assignment solvers, ``"cost"``
+   for the greedy scan).
+
+The per-batch cost drops from O(N*M) to output-sensitive near-linear work.
+``"auto"`` switches the sparse path on once ``pending * idle`` crosses
+:data:`SPARSE_AUTO_THRESHOLD`; the dense path stays the oracle and the
+equivalence suite asserts sparse and dense produce identical metrics.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from repro.dispatch.demand import PredictedDemandProvider
 from repro.dispatch.entities import DispatchMetrics, FleetArrays, OrderArrays
+from repro.dispatch.matching import edge_components
+from repro.dispatch.spatial import GridBucketIndex
 from repro.dispatch.travel import TravelModel
+
+#: ``sparse="auto"`` switches to the sparse pipeline once the dense candidate
+#: matrix of a batch would hold at least this many cells.  Below it the dense
+#: array passes are already cache-resident and the pruning bookkeeping would
+#: cost more than it saves.
+SPARSE_AUTO_THRESHOLD = 16384
+
+#: Accepted values of the ``sparse`` engine mode.
+SPARSE_MODES = ("auto", "always", "never")
 
 
 class ArrayPolicy(Protocol):
@@ -83,11 +121,30 @@ def supports_array_kernels(policy: object) -> bool:
     return hasattr(policy, "reposition_arrays") and hasattr(policy, "match_pairs")
 
 
+def supports_sparse_matching(policy: object) -> bool:
+    """True if ``policy`` can run the component-decomposed sparse pipeline.
+
+    Beyond the array kernels, the policy must declare its ``match_order``
+    (``"row"`` or ``"cost"``) so the engine can merge per-component pairs
+    back into the dense kernel's emission order.
+    """
+    return supports_array_kernels(policy) and getattr(policy, "match_order", None) in (
+        "row",
+        "cost",
+    )
+
+
 class VectorizedAssignmentEngine:
     """Runs one dispatch policy over array state, slot by slot.
 
     Parameters mirror :class:`~repro.dispatch.simulator.TaskAssignmentSimulator`;
     the simulator instantiates this engine when ``engine="vector"``.
+
+    ``sparse`` selects the matching pipeline: ``"never"`` always builds the
+    dense candidate matrix (the PR 2 behaviour and the oracle), ``"always"``
+    always prunes through the grid index, ``"auto"`` (default) switches per
+    batch on :data:`SPARSE_AUTO_THRESHOLD`.  Policies that do not declare a
+    ``match_order`` fall back to the dense path regardless of the mode.
     """
 
     def __init__(
@@ -97,12 +154,27 @@ class VectorizedAssignmentEngine:
         demand: Optional[PredictedDemandProvider] = None,
         batch_minutes: float = 2.0,
         unserved_penalty_km: float = 5.0,
+        sparse: str = "auto",
+        sparse_threshold: int = SPARSE_AUTO_THRESHOLD,
+        sparse_resolution: Optional[int] = None,
     ) -> None:
+        if sparse not in SPARSE_MODES:
+            raise ValueError(f"sparse must be one of {SPARSE_MODES}")
+        if sparse_threshold < 0:
+            raise ValueError("sparse_threshold must be non-negative")
+        if sparse_resolution is not None and not 1 <= sparse_resolution <= 255:
+            # Fail at construction, not minutes into a run when the first
+            # sparse batch builds a GridBucketIndex.
+            raise ValueError("sparse_resolution must be in [1, 255]")
         self.policy = policy
         self.travel = travel
         self.demand = demand
         self.batch_minutes = batch_minutes
         self.unserved_penalty_km = unserved_penalty_km
+        self.sparse = sparse
+        self.sparse_threshold = int(sparse_threshold)
+        self.sparse_resolution = sparse_resolution
+        self._sparse_capable = supports_sparse_matching(policy)
 
     # ------------------------------------------------------------------ #
 
@@ -135,6 +207,10 @@ class VectorizedAssignmentEngine:
         # each slot is a contiguous index range found by bisection instead of
         # a full-array scan per slot.
         slot_column_sorted = bool(np.all(orders.slot[:-1] <= orders.slot[1:]))
+        # Per-slot order counts collected while walking the slots; summing
+        # the (deduplicated) counts replaces the former O(N*S) ``np.isin``
+        # pass over the whole order stream.
+        slot_counts: Dict[int, int] = {}
         for slot in slots:
             slot_start = slot * minutes_per_slot
             predicted = self._predicted_demand(day, slot)
@@ -147,6 +223,7 @@ class VectorizedAssignmentEngine:
                 in_slot = np.arange(lo, hi, dtype=np.intp)
             else:
                 in_slot = np.nonzero(orders.slot == slot)[0]
+            slot_counts[int(slot)] = int(in_slot.size)
             if in_slot.size:
                 # Stable sort matches the scalar engine's per-slot
                 # ``sorted(..., key=arrival_minute)``.
@@ -159,7 +236,7 @@ class VectorizedAssignmentEngine:
             served += slot_served
             revenue += slot_revenue
             travel_km += slot_km
-        total_orders = int(np.isin(orders.slot, np.asarray(list(slots))).sum())
+        total_orders = sum(slot_counts.values())
         unified_cost = travel_km + self.unserved_penalty_km * (total_orders - served)
         return DispatchMetrics(
             served_orders=served,
@@ -185,6 +262,13 @@ class VectorizedAssignmentEngine:
             return None
         return self.demand.hgrid_demand(day, slot)
 
+    def _use_sparse(self, alive: int, idle: int) -> bool:
+        if not self._sparse_capable or self.sparse == "never":
+            return False
+        if self.sparse == "always":
+            return True
+        return alive * idle >= self.sparse_threshold
+
     def _run_slot(
         self,
         orders: OrderArrays,
@@ -200,7 +284,6 @@ class VectorizedAssignmentEngine:
         travel_km = 0.0
         if slot_indices.size == 0:
             return served, revenue, travel_km
-        policy_match = self.policy.match_pairs
         travel = self.travel
         speed = travel.speed_kmh
         avail = fleet.available_at
@@ -217,14 +300,18 @@ class VectorizedAssignmentEngine:
         sl_revenue = order_revenue[slot_indices]
         sl_x = orders.x[slot_indices]
         sl_y = orders.y[slot_indices]
-        # Python-side copies of the tiny per-order columns: the pending pool
-        # is a handful of orders, so its bookkeeping runs on plain floats
-        # (bit-identical to the float64 array ops) without per-call NumPy
-        # overhead.
+        # Python-side copies of the tiny per-order columns: the matched-pair
+        # walk reads a handful of scalars per pair, so it runs on plain
+        # floats (bit-identical to the float64 array ops) without per-call
+        # NumPy overhead.
         arrival_list = sl_arrival.tolist()
         max_wait_list = sl_max_wait.tolist()
-        # Pending orders: (local index, arrival, patience) triples.
-        pending: list = []
+        # Pending pool: local order indices (ascending), maintained
+        # incrementally — arrivals are appended once, expiries and matches
+        # filter the array in place, and the per-batch wait/patience columns
+        # are O(pending) gathers instead of rebuilt Python list
+        # comprehensions.
+        pending = np.empty(0, dtype=np.intp)
         taken = 0
         batch_start = slot_start
         slot_end = slot_start + minutes_per_slot
@@ -232,59 +319,72 @@ class VectorizedAssignmentEngine:
             minute = min(batch_start + self.batch_minutes, slot_end)
             # Orders with arrival < batch end join the pending pool.
             take = int(sl_arrival.searchsorted(minute, side="left"))
-            while taken < take:
-                pending.append((taken, arrival_list[taken], max_wait_list[taken]))
-                taken += 1
-            if not pending:
+            if take > taken:
+                pending = np.concatenate(
+                    [pending, np.arange(taken, take, dtype=np.intp)]
+                )
+                taken = take
+            if pending.size == 0:
                 batch_start = minute
                 continue
             # Drop orders that have waited past their tolerance.
-            alive = [
-                entry for entry in pending if minute - entry[1] <= entry[2]
-            ]
-            pending = alive
-            if alive:
+            waits = minute - sl_arrival[pending]
+            limits = sl_max_wait[pending]
+            alive_mask = waits <= limits
+            alive_index = pending[alive_mask]
+            pending = alive_index
+            if alive_index.size:
                 idle = np.nonzero(avail <= minute)[0]
                 if idle.size:
-                    alive_index = np.array([entry[0] for entry in alive], dtype=np.intp)
-                    distance = travel.pairwise_km(
-                        sl_x[alive_index],
-                        sl_y[alive_index],
-                        np.take(fleet_x, idle),
-                        np.take(fleet_y, idle),
-                    )
-                    # In-place: pickup minutes then the wait-feasibility sum;
-                    # the scratch matrix is not needed afterwards (the pair
-                    # loop recomputes its scalar pickup from `distance`).
-                    scratch = distance / speed
-                    scratch *= 60.0
-                    scratch += np.array(
-                        [minute - entry[1] for entry in alive], dtype=float
-                    )[:, None]
-                    feasible = scratch <= np.array(
-                        [entry[2] for entry in alive], dtype=float
-                    )[:, None]
-                    rows, cols = policy_match(
-                        distance, feasible, sl_revenue[alive_index]
-                    )
+                    alive_waits = waits[alive_mask]
+                    alive_limits = limits[alive_mask]
+                    if self._use_sparse(alive_index.size, idle.size):
+                        rows, cols, pair_km = self._match_sparse(
+                            sl_x[alive_index],
+                            sl_y[alive_index],
+                            alive_waits,
+                            alive_limits,
+                            sl_revenue[alive_index],
+                            np.take(fleet_x, idle),
+                            np.take(fleet_y, idle),
+                        )
+                    else:
+                        distance = travel.pairwise_km(
+                            sl_x[alive_index],
+                            sl_y[alive_index],
+                            np.take(fleet_x, idle),
+                            np.take(fleet_y, idle),
+                        )
+                        # In-place: pickup minutes then the wait-feasibility
+                        # sum; the scratch matrix is not needed afterwards.
+                        scratch = distance / speed
+                        scratch *= 60.0
+                        scratch += alive_waits[:, None]
+                        feasible = scratch <= alive_limits[:, None]
+                        rows, cols = self.policy.match_pairs(
+                            distance, feasible, sl_revenue[alive_index]
+                        )
+                        pair_km = distance[rows, cols]
                     batch_served = 0
                     batch_revenue = 0.0
                     batch_km = 0.0
                     assigned = []
+                    alive_list = alive_index.tolist()
                     # The walk over matched pairs stays scalar so float
                     # accumulation and driver-state updates happen in the
                     # scalar engine's order; the pair count is bounded by
                     # min(orders, drivers) per batch.
-                    for row, col in zip(rows.tolist(), cols.tolist()):
-                        entry = alive[row]
+                    for row, col, pickup_km in zip(
+                        rows.tolist(), cols.tolist(), pair_km.tolist()
+                    ):
+                        local = alive_list[row]
                         driver = idle[col]
-                        pickup_km = distance[row, col]
                         # Same float ops as TravelModel.minutes on a scalar.
                         pickup_minutes = pickup_km / speed * 60.0
-                        order_arrival = entry[1]
-                        if minute + pickup_minutes - order_arrival > entry[2]:
+                        order_arrival = arrival_list[local]
+                        if minute + pickup_minutes - order_arrival > max_wait_list[local]:
                             continue
-                        index = slot_indices[entry[0]]
+                        index = slot_indices[local]
                         start = avail[driver]
                         if order_arrival > start:
                             start = order_arrival
@@ -301,14 +401,166 @@ class VectorizedAssignmentEngine:
                     revenue += float(batch_revenue)
                     travel_km += float(batch_km)
                     if assigned:
-                        if batch_served == len(alive):
-                            pending = []
+                        if batch_served == alive_index.size:
+                            pending = np.empty(0, dtype=np.intp)
                         else:
-                            taken_rows = set(assigned)
-                            pending = [
-                                entry
-                                for position, entry in enumerate(alive)
-                                if position not in taken_rows
-                            ]
+                            keep = np.ones(alive_index.size, dtype=bool)
+                            keep[assigned] = False
+                            pending = alive_index[keep]
             batch_start = minute
         return served, revenue, travel_km
+
+    # ------------------------------------------------------------------ #
+
+    def _match_sparse(
+        self,
+        alive_x: np.ndarray,
+        alive_y: np.ndarray,
+        alive_waits: np.ndarray,
+        alive_limits: np.ndarray,
+        alive_revenue: np.ndarray,
+        idle_x: np.ndarray,
+        idle_y: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Index -> prune -> decompose -> solve one batch without the dense matrix.
+
+        Returns ``(rows, cols, pickup_km)`` with rows/cols indexing the alive
+        orders / idle drivers of the batch, in the policy's dense emission
+        order; the pickup distances are bit-identical to the dense matrix
+        entries (same elementwise arithmetic on the same operands).
+        """
+        travel = self.travel
+        speed = travel.speed_kmh
+        empty = np.empty(0, dtype=np.intp)
+        index = GridBucketIndex(
+            idle_x, idle_y, travel, resolution=self.sparse_resolution
+        )
+        # Max feasible pickup distance from each order's remaining wait
+        # tolerance: pickup_minutes + wait <= limit <=> km <= slack / 60 *
+        # speed.  The box query is conservative (one-cell safety ring), and
+        # the exact dense-path feasibility test below decides membership, so
+        # float rounding of the radius cannot change results.
+        radii_km = (alive_limits - alive_waits) * speed / 60.0
+        flat_rows, flat_cols = index.candidates_in_boxes(alive_x, alive_y, radii_km)
+        if flat_rows.size == 0:
+            return empty, empty.copy(), np.empty(0, dtype=float)
+        # One flattened pass over every (order, candidate) pair: the
+        # elementwise distance (bit-identical to the dense path's
+        # pairwise_km entries — the sign-flipped delta vanishes under
+        # abs/square) followed by the dense path's exact feasibility
+        # arithmetic, (d / speed) * 60 + wait <= limit.
+        distance = travel.distance_km(
+            alive_x[flat_rows], alive_y[flat_rows], idle_x[flat_cols], idle_y[flat_cols]
+        )
+        scratch = distance / speed
+        scratch *= 60.0
+        scratch += alive_waits[flat_rows]
+        keep = scratch <= alive_limits[flat_rows]
+        edge_rows = flat_rows[keep]
+        edge_cols = flat_cols[keep]
+        edge_km = distance[keep]
+        if edge_rows.size == 0:
+            return empty, empty.copy(), np.empty(0, dtype=float)
+        components = edge_components(
+            edge_rows, edge_cols, int(alive_x.size), int(idle_x.size)
+        )
+        # edge_rows is non-decreasing (candidates were gathered per ascending
+        # order), so each order's edges are one slice.
+        row_starts = edge_rows.searchsorted(
+            np.arange(int(alive_x.size) + 1, dtype=np.intp)
+        )
+        single_order = getattr(self.policy, "match_single_order", None)
+        single_driver = getattr(self.policy, "match_single_driver", None)
+        out_rows: List[np.ndarray] = []
+        out_cols: List[np.ndarray] = []
+        out_km: List[np.ndarray] = []
+        for rows, cols in components:
+            if rows.size == 1 and single_order is not None:
+                # Star component (one order): its columns are exactly its
+                # feasible edges, so the block solve collapses to the
+                # policy's single-row rule.  The edge slice is in cell-major
+                # candidate order; the canonical block has ascending columns,
+                # so sort this (small) slice to keep the first-occurrence
+                # tie-break identical to the dense kernels'.
+                row = int(rows[0])
+                lo, hi = int(row_starts[row]), int(row_starts[row + 1])
+                row_cols = edge_cols[lo:hi]
+                row_km = edge_km[lo:hi]
+                col_order = np.argsort(row_cols, kind="stable")
+                row_cols = row_cols[col_order]
+                row_km = row_km[col_order]
+                local = single_order(row_km, float(alive_revenue[row]))
+                if local < 0:
+                    continue
+                out_rows.append(rows)
+                out_cols.append(row_cols[local : local + 1])
+                out_km.append(row_km[local : local + 1])
+                continue
+            if cols.size == 1 and single_driver is not None:
+                # Star component (one driver): every row is feasible for it.
+                col_km = np.asarray(
+                    travel.distance_km(
+                        alive_x[rows], alive_y[rows], idle_x[cols[0]], idle_y[cols[0]]
+                    )
+                )
+                local = single_driver(col_km, alive_revenue[rows])
+                if local < 0:
+                    continue
+                out_rows.append(rows[local : local + 1])
+                out_cols.append(cols)
+                out_km.append(col_km[local : local + 1])
+                continue
+            if cols.size > 4 * rows.size:
+                # Column reduction: with k rows in a block, a matching only
+                # ever uses each row's k cheapest feasible columns (exchange
+                # argument: a row matched outside its k cheapest always has an
+                # unassigned cheaper column to swap to; the greedy scan can
+                # likewise never be pushed past k-1 taken columns).  The
+                # threshold is tie-inclusive — every column tied with the k-th
+                # cheapest is kept — so the reduced block sees the identical
+                # candidate prefix as the full block in all tie-break orders.
+                # "Cheapest" is smallest pickup distance for both objectives
+                # (LS's net-revenue weight is revenue minus a non-negative
+                # multiple of distance, monotone per row), and the per-row
+                # distances are already in the edge arrays.  This caps a
+                # hotspot mega-block at ~k x k^2 instead of k x fleet.
+                k = rows.size
+                kept: List[np.ndarray] = []
+                for row in rows.tolist():
+                    lo, hi = int(row_starts[row]), int(row_starts[row + 1])
+                    row_km = edge_km[lo:hi]
+                    if row_km.size > k:
+                        kth = np.partition(row_km, k - 1)[k - 1]
+                        kept.append(edge_cols[lo:hi][row_km <= kth])
+                    else:
+                        kept.append(edge_cols[lo:hi])
+                cols = np.unique(np.concatenate(kept))
+            sub_distance = travel.pairwise_km(
+                alive_x[rows], alive_y[rows], idle_x[cols], idle_y[cols]
+            )
+            scratch = sub_distance / speed
+            scratch *= 60.0
+            scratch += alive_waits[rows][:, None]
+            sub_feasible = scratch <= alive_limits[rows][:, None]
+            local_rows, local_cols = self.policy.match_pairs(
+                sub_distance, sub_feasible, alive_revenue[rows]
+            )
+            if local_rows.size == 0:
+                continue
+            out_rows.append(rows[local_rows])
+            out_cols.append(cols[local_cols])
+            out_km.append(sub_distance[local_rows, local_cols])
+        if not out_rows:
+            return empty, empty.copy(), np.empty(0, dtype=float)
+        rows = np.concatenate(out_rows)
+        cols = np.concatenate(out_cols)
+        pair_km = np.concatenate(out_km)
+        # Merge into the dense kernel's emission order (see
+        # merge_pairs_by_row / merge_pairs_by_cost in matching.py): ascending
+        # row for the assignment solvers, ascending (cost, row-major flat
+        # position) for the greedy scan.
+        if self.policy.match_order == "cost":
+            order = np.lexsort((rows * int(idle_x.size) + cols, pair_km))
+        else:
+            order = np.argsort(rows, kind="stable")
+        return rows[order], cols[order], pair_km[order]

@@ -211,8 +211,16 @@ class ScenarioBundle:
             initial = self.provider.hgrid_demand(0, self.slots[0])
         return spawn_fleet(self.scenario.fleet_size, rng, demand_grid=initial)
 
-    def simulator(self, engine: str = "vector") -> TaskAssignmentSimulator:
-        """A simulator for this bundle using the requested engine."""
+    def simulator(
+        self, engine: str = "vector", sparse: str = "auto"
+    ) -> TaskAssignmentSimulator:
+        """A simulator for this bundle using the requested engine.
+
+        ``sparse`` selects the vectorized engine's matching pipeline
+        (``"auto"``/``"always"``/``"never"``); every mode produces identical
+        metrics, so it is an execution detail, not part of the scenario (or
+        its cache key).
+        """
         return TaskAssignmentSimulator(
             policy=self.scenario.make_policy(),
             travel=self.travel,
@@ -223,9 +231,10 @@ class ScenarioBundle:
                 self.scenario.seed,
             ),
             engine=engine,
+            sparse=sparse,
         )
 
-    def run(self, engine: str = "vector") -> DispatchMetrics:
+    def run(self, engine: str = "vector", sparse: str = "auto") -> DispatchMetrics:
         """Spawn a fresh fleet and simulate once."""
         fleet = self.spawn_fleet()
         if engine == "scalar":
@@ -236,7 +245,9 @@ class ScenarioBundle:
             return self.simulator(engine).run(
                 self.orders.to_orders(), drivers, day=0, slots=self.slots
             )
-        return self.simulator(engine).run(self.orders, fleet, day=0, slots=self.slots)
+        return self.simulator(engine, sparse=sparse).run(
+            self.orders, fleet, day=0, slots=self.slots
+        )
 
 
 def _driver_from_arrays(fleet: FleetArrays, index: int):
@@ -319,11 +330,12 @@ def run_scenario(
     scenario: DispatchScenario,
     engine: str = "vector",
     dataset: Optional[EventDataset] = None,
+    sparse: str = "auto",
 ) -> ScenarioResult:
     """Build the scenario's inputs and simulate it once."""
     bundle = build_scenario_bundle(scenario, dataset=dataset)
     start = time.perf_counter()
-    metrics = bundle.run(engine=engine)
+    metrics = bundle.run(engine=engine, sparse=sparse)
     return ScenarioResult(
         scenario=scenario,
         metrics=metrics,
@@ -380,6 +392,41 @@ def stress_scenarios(base: DispatchScenario) -> List[DispatchScenario]:
         ),
         replace(base, name=f"{base.label}/large-fleet", fleet_size=base.fleet_size * 2),
     ]
+
+
+def large_fleet_scenario(
+    policy: str = "polar",
+    matching: str = "optimal",
+    fleet_size: int = 40000,
+    demand_scale: float = 12.0,
+    max_wait_minutes: float = 4.0,
+) -> DispatchScenario:
+    """City-day stress point where dense candidate matrices blow past cache.
+
+    40k drivers (a realistic metropolitan fleet) over a surge NYC-like day
+    with a tight 4-minute pickup SLA: every batch's dense
+    ``(pending x idle)`` matrix holds over a million mostly-infeasible pairs
+    — the tight wait tolerance caps the feasible pickup radius at ~1.6 km —
+    which is exactly the regime the sparse matching pipeline targets.
+    ``benchmarks/bench_dispatch_engine.py`` times the sparse engine against
+    the dense vector engine on this scenario and the CI perf gate enforces
+    both the speedup floor and sparse/dense metric equality (the default
+    POLAR/Hungarian configuration is verified tie-free, so the equality is
+    exact; see the tie caveat in :mod:`repro.dispatch.matching`).
+    """
+    return DispatchScenario(
+        city="nyc_like",
+        policy=policy,
+        fleet_size=fleet_size,
+        demand_scale=demand_scale,
+        seed=7,
+        scale=0.01,
+        num_days=8,
+        slots=None,
+        matching=matching,
+        max_wait_minutes=max_wait_minutes,
+        name=f"stress-largefleet{fleet_size}x{demand_scale:g}-{policy}-{matching}",
+    )
 
 
 def reference_scenario(policy: str = "polar", matching: str = "greedy") -> DispatchScenario:

@@ -160,6 +160,12 @@ class TaskAssignmentSimulator:
         ``"vector"`` (default) runs the struct-of-arrays engine; ``"scalar"``
         forces the original per-object loop.  Policies without array kernels
         always fall back to the scalar loop.
+    sparse:
+        Matching pipeline of the vectorized engine: ``"auto"`` (default)
+        switches to grid-bucketed candidate pruning with component-decomposed
+        matching on large batches, ``"always"`` forces it, ``"never"`` keeps
+        the dense candidate matrix.  All modes produce identical metrics (the
+        dense path is the oracle); ignored by the scalar engine.
     """
 
     policy: AssignmentPolicy
@@ -169,6 +175,7 @@ class TaskAssignmentSimulator:
     unserved_penalty_km: float = 5.0
     seed: RandomState = None
     engine: str = "vector"
+    sparse: str = "auto"
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -178,6 +185,8 @@ class TaskAssignmentSimulator:
             raise ValueError("unserved_penalty_km must be non-negative")
         if self.engine not in ("vector", "scalar"):
             raise ValueError("engine must be 'vector' or 'scalar'")
+        if self.sparse not in ("auto", "always", "never"):
+            raise ValueError("sparse must be 'auto', 'always' or 'never'")
         self._rng = default_rng(self.seed)
 
     def run(
@@ -233,6 +242,7 @@ class TaskAssignmentSimulator:
             demand=self.demand,
             batch_minutes=self.batch_minutes,
             unserved_penalty_km=self.unserved_penalty_km,
+            sparse=self.sparse,
         )
         metrics = engine.run(orders, fleet, self._rng, day=day, slots=slots)
         if driver_objects is not None:

@@ -39,6 +39,8 @@ def run_dispatch_suite(
     max_workers: Optional[int] = None,
     engine: str = "vector",
     matching: str = "optimal",
+    executor: str = "thread",
+    sparse: str = "auto",
 ) -> SuiteReport:
     """Simulate every (city, policy, fleet, demand, seed) scenario in parallel.
 
@@ -60,5 +62,10 @@ def run_dispatch_suite(
         matching=matching,
     )
     return DispatchSuiteRunner(
-        scenarios, cache_dir=cache_dir, max_workers=max_workers, engine=engine
+        scenarios,
+        cache_dir=cache_dir,
+        max_workers=max_workers,
+        engine=engine,
+        executor=executor,
+        sparse=sparse,
     ).run()

@@ -28,9 +28,9 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.data.dataset import EventDataset
 from repro.data.presets import city_preset
@@ -111,6 +111,39 @@ def _deserialise(
     )
 
 
+def _simulate_scenario_group(
+    scenarios: Sequence[DispatchScenario], engine: str, sparse: str
+) -> List[ScenarioOutcome]:
+    """Process-pool worker: simulate scenarios sharing one dataset signature.
+
+    Module-level (picklable) on purpose.  The group shares a single generated
+    dataset, mirroring the thread backend's dataset sharing; outcomes come
+    back in group order and are cached by the parent process so cache writes
+    stay single-writer and byte-identical to a thread-backend run.
+    """
+    dataset = EventDataset.from_city(
+        city_preset(scenarios[0].city, scale=scenarios[0].effective_scale),
+        num_days=scenarios[0].num_days,
+        seed=scenarios[0].dataset_seed,
+    )
+    outcomes: List[ScenarioOutcome] = []
+    for scenario in scenarios:
+        scenario_start = time.perf_counter()
+        bundle = build_scenario_bundle(scenario, dataset=dataset)
+        metrics = bundle.run(engine=engine, sparse=sparse)
+        outcomes.append(
+            ScenarioOutcome(
+                scenario=scenario,
+                metrics=metrics,
+                total_orders=len(bundle.orders),
+                seconds=time.perf_counter() - scenario_start,
+                from_cache=False,
+                engine=engine,
+            )
+        )
+    return outcomes
+
+
 class DispatchSuiteRunner:
     """Run a batch of dispatch scenarios in parallel with persistent caching.
 
@@ -122,7 +155,8 @@ class DispatchSuiteRunner:
         Directory for the persistent :class:`~repro.utils.cache.ResultCache`;
         ``None`` disables on-disk caching (everything is recomputed).
     max_workers:
-        Thread-pool size; defaults to ``min(len(scenarios), cpu_count)``.
+        Worker-pool size; defaults to ``min(len(scenarios), cpu_count)`` for
+        threads and ``min(groups, cpu_count)`` for processes.
     engine:
         ``"vector"`` (default) or ``"scalar"`` — which simulation engine runs
         cache misses.  Both produce identical metrics; the engine name is
@@ -130,6 +164,17 @@ class DispatchSuiteRunner:
         metrics being engine-independent (i.e. it is *not* keyed, so a
         scalar-engine run warms the cache for vector-engine reruns and vice
         versa).
+    executor:
+        ``"thread"`` (default) or ``"process"``.  Matching-heavy scenarios
+        are GIL-bound, so the process backend fans cache misses out to a
+        :class:`~concurrent.futures.ProcessPoolExecutor` — one task per
+        unique dataset signature so each dataset is still generated exactly
+        once.  Cache lookups and writes stay in the parent process, so both
+        backends produce identical cached JSON bytes.
+    sparse:
+        Matching pipeline of the vectorized engine
+        (``"auto"``/``"always"``/``"never"``); an execution detail with no
+        effect on metrics or cache keys.
     """
 
     def __init__(
@@ -138,15 +183,23 @@ class DispatchSuiteRunner:
         cache_dir: Optional[str] = None,
         max_workers: Optional[int] = None,
         engine: str = "vector",
+        executor: str = "thread",
+        sparse: str = "auto",
     ) -> None:
         self.scenarios = list(scenarios)
         if not self.scenarios:
             raise ValueError("at least one scenario is required")
         if engine not in ("vector", "scalar"):
             raise ValueError("engine must be 'vector' or 'scalar'")
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
+        if sparse not in ("auto", "always", "never"):
+            raise ValueError("sparse must be 'auto', 'always' or 'never'")
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
         self.engine = engine
+        self.executor = executor
+        self.sparse = sparse
         self._datasets: Dict[Tuple[str, float, int, int], EventDataset] = {}
 
     # ------------------------------------------------------------------ #
@@ -154,6 +207,11 @@ class DispatchSuiteRunner:
     def run(self) -> SuiteReport:
         """Simulate every scenario and return the collected report."""
         start = time.perf_counter()
+        if self.executor == "process":
+            outcomes = self._run_process_pool()
+            return SuiteReport(
+                outcomes=tuple(outcomes), seconds=time.perf_counter() - start
+            )
         self._prepare_datasets()
         workers = self.max_workers or min(len(self.scenarios), os.cpu_count() or 1)
         if workers <= 1:
@@ -162,6 +220,46 @@ class DispatchSuiteRunner:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(pool.map(self._run_scenario, self.scenarios))
         return SuiteReport(outcomes=tuple(outcomes), seconds=time.perf_counter() - start)
+
+    def _run_process_pool(self) -> List[ScenarioOutcome]:
+        """Fan cache misses out to worker processes, grouped per dataset."""
+        slots: List[Optional[ScenarioOutcome]] = [None] * len(self.scenarios)
+        groups: Dict[Tuple[str, float, int, int], List[int]] = {}
+        for position, scenario in enumerate(self.scenarios):
+            if self.cache is not None:
+                payload = self.cache.get(self.cache_key(scenario))
+                if payload is not None:
+                    slots[position] = _deserialise(scenario, payload, seconds=0.0)
+                    continue
+            groups.setdefault(scenario.dataset_signature, []).append(position)
+        if groups:
+            workers = self.max_workers or min(len(groups), os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (
+                        positions,
+                        pool.submit(
+                            _simulate_scenario_group,
+                            [self.scenarios[p] for p in positions],
+                            self.engine,
+                            self.sparse,
+                        ),
+                    )
+                    for positions in groups.values()
+                ]
+                for positions, future in futures:
+                    for position, outcome in zip(positions, future.result()):
+                        slots[position] = outcome
+            # Single-writer cache updates, in scenario order, so the on-disk
+            # JSON bytes match a thread-backend run of the same suite.
+            if self.cache is not None:
+                for position in sorted(p for ps in groups.values() for p in ps):
+                    outcome = slots[position]
+                    assert outcome is not None
+                    self.cache.put(
+                        self.cache_key(outcome.scenario), _serialise(outcome)
+                    )
+        return [outcome for outcome in slots if outcome is not None]
 
     # ------------------------------------------------------------------ #
 
@@ -206,7 +304,7 @@ class DispatchSuiteRunner:
                     scenario, payload, seconds=time.perf_counter() - scenario_start
                 )
         bundle = build_scenario_bundle(scenario, dataset=self._dataset_for(scenario))
-        metrics = bundle.run(engine=self.engine)
+        metrics = bundle.run(engine=self.engine, sparse=self.sparse)
         outcome = ScenarioOutcome(
             scenario=scenario,
             metrics=metrics,

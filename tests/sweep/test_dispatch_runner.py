@@ -99,3 +99,57 @@ class TestDispatchSuiteRunner:
         assert DispatchSuiteRunner.cache_key(scenario) == DispatchSuiteRunner.cache_key(
             DispatchScenario(city="xian_like", **SMALL)
         )
+
+    def test_invalid_executor_and_sparse(self):
+        with pytest.raises(ValueError):
+            DispatchSuiteRunner(small_scenarios(), executor="fiber")
+        with pytest.raises(ValueError):
+            DispatchSuiteRunner(small_scenarios(), sparse="maybe")
+
+    def test_sparse_modes_share_metrics(self):
+        scenarios = small_scenarios()[:2]
+        dense = DispatchSuiteRunner(scenarios, max_workers=1, sparse="never").run()
+        sparse = DispatchSuiteRunner(scenarios, max_workers=1, sparse="always").run()
+        for a, b in zip(dense.outcomes, sparse.outcomes):
+            assert a.metrics == b.metrics
+
+
+class TestProcessExecutor:
+    """The ProcessPoolExecutor backend (GIL-free matching-heavy suites)."""
+
+    def test_process_equals_thread(self):
+        scenarios = small_scenarios()
+        thread = DispatchSuiteRunner(scenarios, executor="thread", max_workers=2).run()
+        process = DispatchSuiteRunner(scenarios, executor="process", max_workers=2).run()
+        assert len(process.outcomes) == len(scenarios)
+        for a, b in zip(thread.outcomes, process.outcomes):
+            assert a.scenario == b.scenario
+            assert a.metrics == b.metrics
+            assert not b.from_cache
+
+    def test_process_cache_bytes_match_thread(self, tmp_path):
+        scenarios = small_scenarios()
+        thread_dir = tmp_path / "thread"
+        process_dir = tmp_path / "process"
+        DispatchSuiteRunner(scenarios, cache_dir=str(thread_dir), executor="thread").run()
+        DispatchSuiteRunner(
+            scenarios, cache_dir=str(process_dir), executor="process", max_workers=2
+        ).run()
+        thread_files = {p.name: p.read_bytes() for p in thread_dir.glob("*.json")}
+        process_files = {p.name: p.read_bytes() for p in process_dir.glob("*.json")}
+        assert thread_files == process_files
+        assert len(thread_files) == len(scenarios)
+
+    def test_process_replays_from_cache(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        scenarios = small_scenarios()[:2]
+        first = DispatchSuiteRunner(
+            scenarios, cache_dir=str(cache_dir), executor="process", max_workers=2
+        ).run()
+        assert first.cache_hits == 0
+        second = DispatchSuiteRunner(
+            scenarios, cache_dir=str(cache_dir), executor="process"
+        ).run()
+        assert second.cache_hits == len(scenarios)
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert a.metrics == b.metrics

@@ -139,6 +139,38 @@ class TestDispatchCommand:
         assert args.policies == "polar,ls"
         assert args.engine == "vector"
         assert args.matching == "optimal"
+        assert args.sparse == "auto"
+        assert args.executor == "thread"
+
+    def test_dispatch_sparse_and_executor_parse(self):
+        args = build_parser().parse_args(
+            ["dispatch", "--sparse", "always", "--executor", "process"]
+        )
+        assert args.sparse == "always"
+        assert args.executor == "process"
+
+    def test_dispatch_process_executor_runs(self, capsys):
+        argv = [
+            "dispatch",
+            "--preset",
+            "xian",
+            "--policies",
+            "polar",
+            "--fleet-sizes",
+            "20",
+            "--demand-scales",
+            "1.0",
+            "--executor",
+            "process",
+            "--workers",
+            "2",
+            "--cache-dir",
+            "none",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "Dispatch scenario suite" in output
+        assert "xian_like" in output
 
     def test_dispatch_command_populates_and_hits_cache(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "dispatch-cache")
