@@ -24,6 +24,11 @@ Three subcommands cover the common workflows:
     scale x seed) scenario points through the vectorized engine, with the
     same persistent result cache (reruns replay byte-stably).
 
+``predict``
+    Fan predictor trainings across (city x model x resolution x seed)
+    scenario points through the prediction engine, with the same persistent
+    result cache (reruns replay byte-stably).
+
 Examples
 --------
 ::
@@ -33,6 +38,7 @@ Examples
     python -m repro experiment fig3 --profile tiny
     python -m repro sweep --preset nyc,chengdu,xian --slots 16 17 --workers 4
     python -m repro dispatch --preset nyc --fleet-sizes 100 200 --demand-scales 1 2
+    python -m repro predict --preset nyc --models mlp,deepst --resolutions 4 8
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ from repro.experiments.error_curves import (
     real_error_curve,
 )
 from repro.experiments.dispatch_suite import run_dispatch_suite
+from repro.experiments.prediction_suite import run_prediction_suite
 from repro.experiments.multi_city import resolve_city, run_city_sweep
 from repro.experiments.reporting import format_table
 from repro.experiments.search_eval import evaluate_search_algorithms
@@ -225,6 +232,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads/processes (default: min(scenarios, CPU count))",
     )
     dispatch.add_argument(
+        "--guidance",
+        default="oracle",
+        help=(
+            "repositioning demand source: 'oracle' (realised demand), 'none' "
+            "(no repositioning) or any registered prediction model name "
+            "(e.g. mlp, deepst, dmvst_net, historical_average), which trains "
+            "that predictor on the scenario's history and feeds its "
+            "predictions to the dispatcher (default: oracle)"
+        ),
+    )
+    dispatch.add_argument(
+        "--cache-dir",
+        default=".gridtuner_cache",
+        help="persistent result-cache directory; 'none' disables caching",
+    )
+
+    predict = subparsers.add_parser(
+        "predict",
+        help="parallel predictor-training suite (city x model x resolution x seed)",
+    )
+    predict.add_argument(
+        "--preset",
+        default="nyc",
+        help="comma-separated city presets; short aliases allowed (default: nyc)",
+    )
+    predict.add_argument(
+        "--models",
+        default="historical_average,mlp",
+        help=(
+            "comma-separated prediction models "
+            "(default: historical_average,mlp)"
+        ),
+    )
+    predict.add_argument(
+        "--resolutions",
+        type=int,
+        nargs="+",
+        default=[8],
+        help="MGrid resolutions sqrt(n) to train at (default: 8)",
+    )
+    predict.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[7],
+        help="random seeds to sweep (default: 7)",
+    )
+    predict.add_argument(
+        "--profile",
+        choices=("tiny", "small", "paper"),
+        default="tiny",
+        help="experiment scale profile for dataset size (default: tiny)",
+    )
+    predict.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="override training epochs for the neural models",
+    )
+    predict.add_argument(
+        "--max-train-samples",
+        type=int,
+        default=None,
+        help="override the training-sample cap for the neural models",
+    )
+    predict.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool backend (default: thread)",
+    )
+    predict.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads/processes (default: min(scenarios, CPU count))",
+    )
+    predict.add_argument(
         "--cache-dir",
         default=".gridtuner_cache",
         help="persistent result-cache directory; 'none' disables caching",
@@ -416,6 +501,7 @@ def _command_dispatch(args: argparse.Namespace) -> int:
             matching=args.matching,
             executor=args.executor,
             sparse=args.sparse,
+            guidance=args.guidance,
         )
     except ValueError as exc:
         print(f"repro dispatch: {exc}", file=sys.stderr)
@@ -464,6 +550,72 @@ def _command_dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_predict(args: argparse.Namespace) -> int:
+    cities = [name.strip() for name in args.preset.split(",") if name.strip()]
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    cache_dir = None if args.cache_dir.lower() == "none" else args.cache_dir
+    hyper = []
+    if args.epochs is not None:
+        hyper.append(("epochs", args.epochs))
+    if args.max_train_samples is not None:
+        hyper.append(("max_train_samples", args.max_train_samples))
+    try:
+        report = run_prediction_suite(
+            cities=cities,
+            models=models,
+            resolutions=args.resolutions,
+            seeds=args.seeds,
+            profile=args.profile,
+            cache_dir=cache_dir,
+            max_workers=args.workers,
+            executor=args.executor,
+            hyper=tuple(hyper),
+        )
+    except ValueError as exc:
+        print(f"repro predict: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            o.scenario.city,
+            o.scenario.model,
+            f"{o.scenario.resolution}x{o.scenario.resolution}",
+            o.scenario.seed,
+            round(o.mae, 3),
+            round(o.rmse, 3),
+            o.epochs_run,
+            "-" if o.best_epoch is None else o.best_epoch + 1,
+            round(o.seconds, 3),
+            "hit" if o.from_cache else "miss",
+        ]
+        for o in report.outcomes
+    ]
+    print(
+        format_table(
+            [
+                "city",
+                "model",
+                "grid",
+                "seed",
+                "mae",
+                "rmse",
+                "epochs",
+                "best",
+                "seconds",
+                "cache",
+            ],
+            rows,
+            title=f"Predictor suite ({args.executor} executor, profile={args.profile})",
+        )
+    )
+    print(
+        f"{len(report.outcomes)} predictors in {report.seconds:.2f}s "
+        f"({report.cache_hits} cache hits, {report.cache_misses} misses)"
+    )
+    if cache_dir is not None:
+        print(f"result cache: {cache_dir}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -478,6 +630,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "dispatch":
         return _command_dispatch(args)
+    if args.command == "predict":
+        return _command_predict(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

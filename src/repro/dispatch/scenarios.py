@@ -43,6 +43,7 @@ from repro.dispatch.polar import POLARDispatcher
 from repro.dispatch.simulator import TaskAssignmentSimulator, spawn_fleet
 from repro.dispatch.travel import TravelModel
 from repro.prediction.oracle import PerfectPredictor
+from repro.prediction.registry import available_models, create_seeded_model
 from repro.utils.rng import default_rng, seed_for
 from repro.utils.validation import ensure_perfect_square
 
@@ -81,7 +82,12 @@ class DispatchScenario:
         HGrid budget the guidance is spread over.
     guidance:
         ``"oracle"`` feeds the dispatcher the realised demand (the paper's
-        "real order data" series); ``"none"`` disables repositioning.
+        "real order data" series); ``"none"`` disables repositioning; any
+        registered prediction model name (``"mlp"``, ``"deepst"``,
+        ``"dmvst_net"``, ``"historical_average"``, ...) trains that
+        predictor on the scenario's history and feeds its *predicted*
+        demand to the dispatcher — the paper's actual serving pipeline, so
+        prediction quality is exercised at fleet scale.
     matching:
         POLAR's assignment solver: ``"optimal"`` (Hungarian) or ``"greedy"``
         (the city-scale configuration).  Ignored by LS, which always solves
@@ -119,8 +125,11 @@ class DispatchScenario:
             raise ValueError("fleet_size must be positive")
         if self.demand_scale <= 0:
             raise ValueError("demand_scale must be positive")
-        if self.guidance not in ("oracle", "none"):
-            raise ValueError("guidance must be 'oracle' or 'none'")
+        if self.guidance not in ("oracle", "none") and self.guidance not in available_models():
+            raise ValueError(
+                "guidance must be 'oracle', 'none' or a registered prediction "
+                f"model name (available: {available_models()})"
+            )
         if self.matching not in ("optimal", "greedy"):
             raise ValueError("matching must be 'optimal' or 'greedy'")
         ensure_perfect_square(self.hgrid_budget, "hgrid_budget")
@@ -148,6 +157,23 @@ class DispatchScenario:
     @property
     def dataset_seed(self) -> int:
         return seed_for(f"dispatch-scenario/{self.city}/dataset", self.seed)
+
+    @property
+    def guidance_signature(self) -> Tuple:
+        """Key identifying the demand-guidance provider this scenario needs.
+
+        Scenarios that differ only in policy, fleet size or matching share
+        one provider (and therefore one predictor training when guidance is
+        a model name); everything the provider's content depends on is in
+        the key.
+        """
+        return (
+            self.dataset_signature,
+            self.guidance,
+            self.seed,
+            self.mgrid_side,
+            self.hgrid_budget,
+        )
 
     def cache_payload(self) -> Dict[str, Any]:
         """JSON-serialisable parameter mapping that keys the result cache.
@@ -266,11 +292,16 @@ def _driver_from_arrays(fleet: FleetArrays, index: int):
 def build_scenario_bundle(
     scenario: DispatchScenario,
     dataset: Optional[EventDataset] = None,
+    provider_cache: Optional[Dict[Tuple, PredictedDemandProvider]] = None,
 ) -> ScenarioBundle:
     """Generate (or reuse) the dataset and derive the scenario's inputs.
 
     ``dataset`` lets callers (the suite runner, the benchmark) share one
-    generated dataset across scenarios with equal ``dataset_signature``.
+    generated dataset across scenarios with equal ``dataset_signature``;
+    ``provider_cache`` likewise shares the demand-guidance provider across
+    scenarios with equal ``guidance_signature``, so a suite sweeping
+    policies/fleet sizes over predictor guidance trains each predictor once
+    instead of once per scenario.
     """
     if dataset is None:
         dataset = EventDataset.from_city(
@@ -292,22 +323,48 @@ def build_scenario_bundle(
     else:
         slots = tuple(sorted({int(s) for s in orders.slot}))
     provider = None
-    if scenario.guidance == "oracle" and len(orders):
-        provider = _oracle_provider(dataset, scenario)
+    if scenario.guidance != "none" and len(orders):
+        key = scenario.guidance_signature
+        if provider_cache is not None and key in provider_cache:
+            provider = provider_cache[key]
+        else:
+            provider = _guidance_provider(dataset, scenario)
+            if provider_cache is not None:
+                provider_cache[key] = provider
     return ScenarioBundle(
         scenario=scenario, orders=orders, travel=travel, provider=provider, slots=slots
     )
 
 
-def _oracle_provider(
+def _guidance_predictor(scenario: DispatchScenario):
+    """Instantiate the scenario's guidance predictor (oracle or registry model)."""
+    if scenario.guidance == "oracle":
+        return PerfectPredictor()
+    return create_seeded_model(
+        scenario.guidance,
+        seed=seed_for(
+            f"dispatch-scenario/{scenario.city}/guidance/{scenario.guidance}",
+            scenario.seed,
+        ),
+    )
+
+
+def _guidance_provider(
     dataset: EventDataset, scenario: DispatchScenario
 ) -> PredictedDemandProvider:
-    """Realised-demand guidance at the scenario's MGrid resolution."""
+    """Demand guidance at the scenario's MGrid resolution.
+
+    ``"oracle"`` serves the realised demand; a model name trains that
+    predictor on the scenario's train/validation days and serves its
+    test-day predictions — so dispatch metrics directly reflect prediction
+    quality.  Training draws from a structurally labelled stream, keeping
+    scenario results deterministic (and therefore cacheable byte-stably).
+    """
     side = scenario.mgrid_side
     layout = GridLayout.for_ogss(side * side, scenario.hgrid_budget)
     test_days = list(dataset.split.test_days)
     targets = evaluation_targets(dataset, test_days)
-    predictor = PerfectPredictor()
+    predictor = _guidance_predictor(scenario)
     predictor.fit(dataset, side)
     predictions = predictor.predict(dataset, side, targets)
     # The simulator addresses test-day slots relative to day 0.
@@ -391,6 +448,33 @@ def stress_scenarios(base: DispatchScenario) -> List[DispatchScenario]:
             fleet_size=max(1, base.fleet_size // 2),
         ),
         replace(base, name=f"{base.label}/large-fleet", fleet_size=base.fleet_size * 2),
+    ]
+
+
+def predicted_demand_scenarios(
+    base: DispatchScenario,
+    models: Sequence[str] = ("historical_average", "mlp", "deepst", "dmvst_net"),
+    surge: float = 2.0,
+) -> List[DispatchScenario]:
+    """Predictor-driven surge variants of ``base``: one per demand model.
+
+    The predictor-guided counterpart of :func:`stress_scenarios`: each
+    variant replays the surge day with the dispatcher repositioning on the
+    named model's *predicted* demand instead of the oracle's realised
+    demand, so a whole suite run compares how prediction quality translates
+    into fleet-scale dispatch metrics (Figures 6-8's "predicted vs real
+    order data" axis).
+    """
+    if surge <= 0:
+        raise ValueError("surge must be positive")
+    return [
+        replace(
+            base,
+            name=f"{base.label}/surge-{model}",
+            demand_scale=base.demand_scale * surge,
+            guidance=model,
+        )
+        for model in models
     ]
 
 

@@ -41,12 +41,16 @@ def run_dispatch_suite(
     matching: str = "optimal",
     executor: str = "thread",
     sparse: str = "auto",
+    guidance: str = "oracle",
 ) -> SuiteReport:
     """Simulate every (city, policy, fleet, demand, seed) scenario in parallel.
 
     The dataset scale, history length and case-study slots come from the
     named experiment ``profile`` so suite results line up with the figure
-    benchmarks run at the same profile.
+    benchmarks run at the same profile.  ``guidance`` selects the
+    repositioning demand source: the realised-demand oracle, ``"none"``, or
+    a registered prediction model trained per scenario (see
+    :class:`~repro.dispatch.scenarios.DispatchScenario`).
     """
     config = get_profile(profile)
     scenarios = suite_scenarios(
@@ -60,6 +64,7 @@ def run_dispatch_suite(
         slots=tuple(config.case_study_slots),
         hgrid_budget=config.hgrid_budget,
         matching=matching,
+        guidance=guidance,
     )
     return DispatchSuiteRunner(
         scenarios,

@@ -19,7 +19,7 @@ from repro.core.interfaces import DaySlot
 from repro.data.dataset import EventDataset
 from repro.prediction.layers import Layer
 from repro.prediction.network import Inputs, Trainer, TrainingHistory
-from repro.utils.rng import RandomState, default_rng
+from repro.utils.rng import RandomState, default_rng, spawn_rng
 
 
 class NeuralDemandPredictor(ABC):
@@ -33,8 +33,24 @@ class NeuralDemandPredictor(ABC):
     epochs, batch_size, learning_rate, patience:
         Training hyper-parameters.
     max_train_samples:
-        Training samples are subsampled to this cap to keep laptop-scale runs
-        fast; ``None`` uses everything.
+        Training samples are subsampled to this cap; ``None`` uses
+        everything.  The default is generous now that the conv hot path is
+        vectorised — the seed capped at 512 to stay usable on a laptop.
+    train_dtype:
+        Forwarded to :class:`~repro.prediction.network.Trainer`'s ``dtype``;
+        ``None`` (default) trains in float64, ``"float32"`` halves the
+        memory traffic of the conv hot path.
+
+    Determinism
+    -----------
+    Three independent random streams are spawned from ``seed`` at
+    construction: one for training-set subsampling, one for network weight
+    initialisation (``self._rng``, consumed by :meth:`build_network`) and one
+    for the trainer's shuffling.  Splitting them means changing
+    ``max_train_samples`` — or whether subsampling triggers at all — cannot
+    silently shift the weight-init or shuffle streams (in the seed, all three
+    drew from one stream, so any subsampling change perturbed everything
+    downstream).
     """
 
     name = "neural"
@@ -48,8 +64,9 @@ class NeuralDemandPredictor(ABC):
         batch_size: int = 32,
         learning_rate: float = 1e-3,
         patience: Optional[int] = 4,
-        max_train_samples: Optional[int] = 512,
+        max_train_samples: Optional[int] = 4096,
         seed: RandomState = None,
+        train_dtype: Optional[str] = None,
     ) -> None:
         if closeness <= 0:
             raise ValueError("closeness must be >= 1")
@@ -63,8 +80,11 @@ class NeuralDemandPredictor(ABC):
         self.learning_rate = learning_rate
         self.patience = patience
         self.max_train_samples = max_train_samples
+        self.train_dtype = train_dtype
         self._seed = seed
-        self._rng = default_rng(seed)
+        self._subsample_rng, self._rng, self._trainer_rng = spawn_rng(
+            default_rng(seed), 3
+        )
         self._trainer: Optional[Trainer] = None
         self._history: Optional[TrainingHistory] = None
         self._scale: float = 1.0
@@ -119,7 +139,8 @@ class NeuralDemandPredictor(ABC):
             epochs=self.epochs,
             batch_size=self.batch_size,
             patience=self.patience,
-            seed=self._rng,
+            seed=self._trainer_rng,
+            dtype=self.train_dtype,
         )
         val_views, val_targets = self._validation_samples(dataset, resolution)
         inputs = self.arrange_inputs(scaled_views)
@@ -161,7 +182,7 @@ class NeuralDemandPredictor(ABC):
     ) -> tuple[Dict[str, np.ndarray], np.ndarray]:
         if self.max_train_samples is None or len(targets) <= self.max_train_samples:
             return views, targets
-        indices = self._rng.choice(
+        indices = self._subsample_rng.choice(
             len(targets), size=self.max_train_samples, replace=False
         )
         indices.sort()

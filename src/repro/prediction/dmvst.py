@@ -124,8 +124,9 @@ class DMVSTNetPredictor(NeuralDemandPredictor):
         epochs: int = 12,
         batch_size: int = 16,
         learning_rate: float = 2e-3,
-        max_train_samples: int | None = 256,
+        max_train_samples: int | None = 2048,
         seed: RandomState = None,
+        train_dtype: str | None = None,
     ) -> None:
         if filters <= 0:
             raise ValueError("filters must be positive")
@@ -138,6 +139,7 @@ class DMVSTNetPredictor(NeuralDemandPredictor):
             learning_rate=learning_rate,
             max_train_samples=max_train_samples,
             seed=seed,
+            train_dtype=train_dtype,
         )
         self.filters = filters
 

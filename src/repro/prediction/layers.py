@@ -6,15 +6,118 @@ are built from these hand-rolled layers: dense, ReLU, 2-D convolution (im2col)
 and shape utilities, each with explicit forward/backward passes.  The layers
 are deliberately small and dependency-free; gradient correctness is covered by
 finite-difference tests in ``tests/prediction/test_layers.py``.
+
+Convolution hot path
+--------------------
+The seed implementation unfolded images with per-kernel-offset Python loops
+(``for dy / for dx``) and scattered gradients back the same way.  The
+production path now uses :func:`numpy.lib.stride_tricks.sliding_window_view`
+(:func:`_im2col`) with reusable per-layer column/padding buffers, and
+``Conv2D.backward`` computes the input gradient as a *gather* correlation —
+an unfold of ``grad_output`` against the spatially flipped kernel — instead
+of the scatter-add ``col2im``, so the backward pass reuses the same fast
+unfold primitive as the forward pass.
+
+The strided unfold produces a column matrix bit-identical to the loop-based
+one (tested in ``test_layers.py``), so ``columns @ weight`` and therefore
+every forward output is bit-identical to the seed.  The loop-based reference
+implementations are kept (:func:`_im2col_loops`, :func:`_col2im_loops`) and
+can be switched back in through :func:`set_loop_unfold` — used by
+``benchmarks/bench_prediction.py`` to time the old unfold against the new one
+under otherwise identical arithmetic (bit-identical training histories).
+
+All layers preserve ``float32`` inputs instead of up-casting to ``float64``,
+which is what makes the optional ``float32`` training mode of
+:class:`~repro.prediction.network.Trainer` possible; ``float64`` inputs take
+exactly the code paths (and produce exactly the bits) they always did.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from contextlib import contextmanager
+from typing import Dict, List, Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.utils.rng import RandomState, default_rng
+
+#: When True, ``Conv2D`` unfolds through the seed's per-offset loops instead
+#: of the strided path (no buffer reuse).  Benchmark/testing switch only —
+#: see :func:`set_loop_unfold` / :func:`loop_unfold`.
+_LOOP_UNFOLD = False
+
+#: When True, ``Conv2D.backward`` runs the seed's exact arithmetic (einsum
+#: weight reduction + scatter-add col2im) instead of the GEMM/gather path.
+#: Benchmark/testing switch only — see :func:`seed_mode`.
+_LEGACY_BACKWARD = False
+
+
+def set_loop_unfold(enabled: bool) -> bool:
+    """Switch ``Conv2D`` to the loop-based reference unfold; returns the old flag.
+
+    Only intended for benchmarks and equivalence tests: the two unfold
+    implementations produce bit-identical, layout-identical column views, so
+    forward outputs and training histories are unaffected by the switch.
+    """
+    global _LOOP_UNFOLD
+    previous = _LOOP_UNFOLD
+    _LOOP_UNFOLD = bool(enabled)
+    return previous
+
+
+def set_legacy_backward(enabled: bool) -> bool:
+    """Switch ``Conv2D.backward`` to the seed's arithmetic; returns the old flag.
+
+    The legacy backward is mathematically identical to the production
+    GEMM/gather backward (same sums, different floating-point association;
+    they agree to ~1 ulp and both pass the finite-difference checks) but
+    noticeably slower.  Only intended for benchmarks and equivalence tests.
+    """
+    global _LEGACY_BACKWARD
+    previous = _LEGACY_BACKWARD
+    _LEGACY_BACKWARD = bool(enabled)
+    return previous
+
+
+@contextmanager
+def loop_unfold():
+    """Context manager running ``Conv2D`` on the loop-based reference unfold."""
+    previous = set_loop_unfold(True)
+    try:
+        yield
+    finally:
+        set_loop_unfold(previous)
+
+
+@contextmanager
+def seed_mode():
+    """Context manager restoring the seed's full conv pipeline.
+
+    Loop-based unfolds *and* the legacy einsum/col2im backward — the faithful
+    baseline ``benchmarks/bench_prediction.py`` times the production engine
+    against.
+    """
+    previous_unfold = set_loop_unfold(True)
+    previous_backward = set_legacy_backward(True)
+    try:
+        yield
+    finally:
+        set_loop_unfold(previous_unfold)
+        set_legacy_backward(previous_backward)
+
+
+def _ensure_float(inputs: np.ndarray) -> np.ndarray:
+    """View ``inputs`` as a floating array, preserving float32/float64.
+
+    Non-floating inputs are promoted to ``float64`` exactly as the seed's
+    ``np.asarray(inputs, dtype=float)`` did; floating inputs pass through
+    untouched so ``float32`` training never silently up-casts.
+    """
+    inputs = np.asarray(inputs)
+    if not np.issubdtype(inputs.dtype, np.floating):
+        return inputs.astype(float)
+    return inputs
 
 
 class Layer:
@@ -38,6 +141,13 @@ class Layer:
         """Gradients matching :attr:`params` (populated by :meth:`backward`)."""
         return {}
 
+    def release_buffers(self) -> None:
+        """Drop any reusable work buffers (no-op for buffer-less layers).
+
+        Called by the trainer once a fit/predict pass completes so a
+        long-lived fitted model does not pin inference-batch-sized arrays.
+        """
+
 
 class Dense(Layer):
     """Fully connected layer ``y = x W + b``."""
@@ -54,7 +164,7 @@ class Dense(Layer):
         self._inputs: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=float)
+        inputs = _ensure_float(inputs)
         if inputs.ndim != 2 or inputs.shape[1] != self.weight.shape[0]:
             raise ValueError(
                 f"Dense expects input of shape (batch, {self.weight.shape[0]}), "
@@ -87,7 +197,7 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=float)
+        inputs = _ensure_float(inputs)
         mask = inputs > 0
         if training:
             self._mask = mask
@@ -106,7 +216,7 @@ class Flatten(Layer):
         self._input_shape: tuple | None = None
 
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=float)
+        inputs = _ensure_float(inputs)
         if training:
             self._input_shape = inputs.shape
         return inputs.reshape(inputs.shape[0], -1)
@@ -125,7 +235,7 @@ class Reshape(Layer):
         self._input_shape: tuple | None = None
 
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=float)
+        inputs = _ensure_float(inputs)
         if training:
             self._input_shape = inputs.shape
         return inputs.reshape((inputs.shape[0],) + self.target_shape)
@@ -136,13 +246,20 @@ class Reshape(Layer):
         return grad_output.reshape(self._input_shape)
 
 
-def _im2col(inputs: np.ndarray, kernel: int, pad: int) -> np.ndarray:
-    """Unfold (batch, channels, H, W) into (batch, H*W, channels*kernel*kernel)."""
+def _im2col_loops(inputs: np.ndarray, kernel: int, pad: int) -> np.ndarray:
+    """Loop-based reference unfold (the seed implementation).
+
+    Kept for the old-vs-new equality tests and as the baseline timed by
+    ``benchmarks/bench_prediction.py``; :func:`_im2col` produces a
+    bit-identical column matrix through ``sliding_window_view``.
+    """
     batch, channels, height, width = inputs.shape
     padded = np.pad(
         inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
     )
-    columns = np.empty((batch, channels, kernel, kernel, height, width))
+    columns = np.empty(
+        (batch, channels, kernel, kernel, height, width), dtype=inputs.dtype
+    )
     for dy in range(kernel):
         for dx in range(kernel):
             columns[:, :, dy, dx] = padded[:, :, dy : dy + height, dx : dx + width]
@@ -151,15 +268,71 @@ def _im2col(inputs: np.ndarray, kernel: int, pad: int) -> np.ndarray:
     )
 
 
-def _col2im(
+def _im2col(
+    inputs: np.ndarray,
+    kernel: int,
+    pad: int,
+    out: Optional[np.ndarray] = None,
+    pad_buffer: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Unfold (batch, channels, H, W) into (batch, H*W, channels*kernel*kernel).
+
+    Strided production path: the padded image is viewed through
+    ``sliding_window_view`` and copied in one vectorised pass into a
+    ``(batch, channels, kernel, kernel, H, W)`` buffer — the exact memory
+    layout the seed's per-offset loop produced — then returned as the same
+    merged ``(batch, H*W, fan_in)`` *view* of that buffer the seed's
+    reshape yielded.  Matching the layout, not just the values, matters:
+    BLAS kernels select different accumulation paths for different operand
+    strides, so only a layout-identical column view keeps the downstream
+    ``columns @ weight`` bit-identical to :func:`_im2col_loops`.
+
+    ``out`` (the 6-D buffer) and ``pad_buffer`` let callers reuse
+    allocations across training steps; allocation and page-fault churn is
+    the dominant cost of the loop path.
+    """
+    batch, channels, height, width = inputs.shape
+    if pad:
+        if pad_buffer is None:
+            pad_buffer = np.zeros(
+                (batch, channels, height + 2 * pad, width + 2 * pad),
+                dtype=inputs.dtype,
+            )
+        else:
+            # Only the border needs zeroing; the centre is overwritten below.
+            pad_buffer[:, :, :pad, :] = 0.0
+            pad_buffer[:, :, -pad:, :] = 0.0
+            pad_buffer[:, :, :, :pad] = 0.0
+            pad_buffer[:, :, :, -pad:] = 0.0
+        pad_buffer[:, :, pad : pad + height, pad : pad + width] = inputs
+        padded = pad_buffer
+    else:
+        padded = inputs
+    windows = sliding_window_view(padded, (kernel, kernel), axis=(2, 3))
+    if out is None:
+        out = np.empty(
+            (batch, channels, kernel, kernel, height, width), dtype=inputs.dtype
+        )
+    # windows: (batch, channels, H, W, ky, kx) -> buffer (batch, channels,
+    # ky, kx, H, W); for each (ky, kx) plane the reads scan contiguous rows
+    # of the padded image, exactly like the reference loop's slice writes.
+    np.copyto(out, windows.transpose(0, 1, 4, 5, 2, 3))
+    return out.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch, height * width, channels * kernel * kernel
+    )
+
+
+def _col2im_loops(
     columns: np.ndarray, input_shape: tuple, kernel: int, pad: int
 ) -> np.ndarray:
-    """Inverse of :func:`_im2col`: scatter-add columns back into an image."""
+    """Loop-based reference scatter (the seed's ``_col2im``)."""
     batch, channels, height, width = input_shape
     columns = columns.reshape(batch, height, width, channels, kernel, kernel).transpose(
         0, 3, 4, 5, 1, 2
     )
-    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad))
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad, width + 2 * pad), dtype=columns.dtype
+    )
     for dy in range(kernel):
         for dx in range(kernel):
             padded[:, :, dy : dy + height, dx : dx + width] += columns[:, :, dy, dx]
@@ -168,8 +341,52 @@ def _col2im(
     return padded[:, :, pad:-pad, pad:-pad]
 
 
+def _col2im(
+    columns: np.ndarray, input_shape: tuple, kernel: int, pad: int
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`: scatter-add columns back into an image.
+
+    Vectorised scatter-add through ``np.add.at`` on flat pixel indices,
+    ordered (dy, dx)-major exactly like the reference loop so the result is
+    bit-identical to :func:`_col2im_loops` (``ufunc.at`` applies updates
+    sequentially in index order).  ``Conv2D.backward`` no longer calls this —
+    it computes the input gradient as a gather correlation — but the function
+    remains the exact adjoint of :func:`_im2col` and is used by the layer
+    equivalence tests.
+    """
+    batch, channels, height, width = input_shape
+    padded_h, padded_w = height + 2 * pad, width + 2 * pad
+    # (batch, channels, kernel*kernel, H*W) view, (dy, dx)-major like the loop.
+    source = columns.reshape(
+        batch, height * width, channels, kernel * kernel
+    ).transpose(0, 2, 3, 1)
+    offsets_y, offsets_x = np.divmod(np.arange(kernel * kernel), kernel)
+    rows = offsets_y[:, None] + np.arange(height)[None, :]
+    cols = offsets_x[:, None] + np.arange(width)[None, :]
+    # Flat padded-image index of each (offset, pixel) contribution.
+    flat = (
+        rows[:, :, None] * padded_w + cols[:, None, :]
+    ).reshape(kernel * kernel, height * width)
+    padded = np.zeros((batch, channels, padded_h * padded_w), dtype=columns.dtype)
+    np.add.at(padded, (slice(None), slice(None), flat.ravel()), source.reshape(batch, channels, -1))
+    padded = padded.reshape(batch, channels, padded_h, padded_w)
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
 class Conv2D(Layer):
-    """Same-padding 2-D convolution over (batch, channels, H, W) inputs."""
+    """Same-padding 2-D convolution over (batch, channels, H, W) inputs.
+
+    The forward pass unfolds the input into a column matrix and multiplies by
+    the ``(fan_in, out_channels)`` weight.  The backward pass reduces the
+    weight gradient with a single GEMM over the stored columns and computes
+    the input gradient as a *gather*: the padded ``grad_output`` is unfolded
+    with the same strided primitive and correlated against the spatially
+    flipped kernel (mathematically identical to the scatter-add ``col2im``,
+    verified by the finite-difference and adjoint tests).  Column and padding
+    buffers are reused across calls while shapes/dtypes match.
+    """
 
     def __init__(
         self,
@@ -194,21 +411,46 @@ class Conv2D(Layer):
         self._grad_bias = np.zeros_like(self.bias)
         self._columns: np.ndarray | None = None
         self._input_shape: tuple | None = None
+        # Reusable (columns, padding) buffer pairs, one per role: "train"
+        # columns survive until the matching backward, "grad" holds the
+        # unfolded grad_output, "infer" keeps inference passes (e.g. the
+        # per-epoch validation forward) from clobbering pending columns.
+        self._buffers: Dict[str, list] = {}
+
+    def _unfold(self, images: np.ndarray, role: str) -> np.ndarray:
+        """Buffered strided unfold (or the loop reference under the switch)."""
+        pad = self.kernel // 2
+        if _LOOP_UNFOLD:
+            return _im2col_loops(images, self.kernel, pad)
+        batch, channels, height, width = images.shape
+        col_shape = (batch, channels, self.kernel, self.kernel, height, width)
+        pair = self._buffers.setdefault(role, [None, None])
+        if pair[0] is None or pair[0].shape != col_shape or pair[0].dtype != images.dtype:
+            pair[0] = np.empty(col_shape, dtype=images.dtype)
+        if pad:
+            pad_shape = (batch, channels, height + 2 * pad, width + 2 * pad)
+            if (
+                pair[1] is None
+                or pair[1].shape != pad_shape
+                or pair[1].dtype != images.dtype
+            ):
+                pair[1] = np.empty(pad_shape, dtype=images.dtype)
+        return _im2col(images, self.kernel, pad, out=pair[0], pad_buffer=pair[1])
 
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=float)
+        inputs = _ensure_float(inputs)
         if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2D expects input of shape (batch, {self.in_channels}, H, W), "
                 f"got {inputs.shape}"
             )
-        pad = self.kernel // 2
-        columns = _im2col(inputs, self.kernel, pad)
+        columns = self._unfold(inputs, role="train" if training else "infer")
         if training:
             self._columns = columns
             self._input_shape = inputs.shape
         batch, _, height, width = inputs.shape
-        output = columns @ self.weight + self.bias
+        output = columns @ self.weight
+        output += self.bias
         return output.reshape(batch, height, width, self.out_channels).transpose(
             0, 3, 1, 2
         )
@@ -220,11 +462,37 @@ class Conv2D(Layer):
         grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(
             batch, height * width, self.out_channels
         )
-        self._grad_weight = np.einsum("bpc,bpo->co", self._columns, grad_flat)
         self._grad_bias = grad_flat.sum(axis=(0, 1))
-        grad_columns = grad_flat @ self.weight.T
-        pad = self.kernel // 2
-        return _col2im(grad_columns, self._input_shape, self.kernel, pad)
+        if _LEGACY_BACKWARD:
+            # Seed-exact backward: einsum weight reduction plus scatter-add
+            # col2im of the expanded column gradient.
+            self._grad_weight = np.einsum("bpc,bpo->co", self._columns, grad_flat)
+            grad_columns = grad_flat @ self.weight.T
+            return _col2im_loops(
+                grad_columns, self._input_shape, self.kernel, self.kernel // 2
+            )
+        # Production backward.  The transposed column view (batch, fan_in,
+        # H*W) is contiguous (it is the unfold buffer's natural layout), so
+        # the weight gradient reduces through one batched GEMM instead of a
+        # naive einsum.
+        self._grad_weight = np.matmul(
+            self._columns.transpose(0, 2, 1), grad_flat
+        ).sum(axis=0)
+        # Input gradient as a gather: unfold grad_output with the same
+        # strided primitive and correlate against the spatially flipped
+        # kernel (same-padding makes the adjoint another same-padding
+        # correlation); emitting (batch, in_channels, H*W) avoids a final
+        # layout transpose.
+        flipped_t = (
+            self.weight.reshape(
+                self.in_channels, self.kernel, self.kernel, self.out_channels
+            )[:, ::-1, ::-1, :]
+            .transpose(0, 3, 1, 2)
+            .reshape(self.in_channels, self.out_channels * self.kernel * self.kernel)
+        )
+        grad_columns = self._unfold(np.asarray(grad_output), role="grad")
+        grad_input = np.matmul(flipped_t, grad_columns.transpose(0, 2, 1))
+        return grad_input.reshape(batch, self.in_channels, height, width)
 
     @property
     def params(self) -> Dict[str, np.ndarray]:
@@ -233,6 +501,12 @@ class Conv2D(Layer):
     @property
     def grads(self) -> Dict[str, np.ndarray]:
         return {"weight": self._grad_weight, "bias": self._grad_bias}
+
+    def release_buffers(self) -> None:
+        """Free the unfold buffers (and the column view referencing them)."""
+        self._buffers = {}
+        self._columns = None
+        self._input_shape = None
 
 
 class Sequential(Layer):

@@ -10,12 +10,24 @@ from repro.prediction.layers import Layer
 
 
 class Optimizer:
-    """Base optimiser updating a list of parameterised layers in place."""
+    """Base optimiser updating a list of parameterised layers in place.
+
+    Layers are deduplicated by identity: a network that shares one sub-layer
+    across branches (so parameter discovery reports it twice) still steps the
+    shared parameters exactly once per :meth:`step`, instead of applying the
+    update — and advancing the moment estimates — twice.
+    """
 
     def __init__(self, layers: List[Layer], learning_rate: float) -> None:
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
-        self.layers = [layer for layer in layers if layer.params]
+        unique: List[Layer] = []
+        seen: set[int] = set()
+        for layer in layers:
+            if layer.params and id(layer) not in seen:
+                seen.add(id(layer))
+                unique.append(layer)
+        self.layers = unique
         self.learning_rate = learning_rate
 
     def step(self) -> None:

@@ -8,7 +8,8 @@ factories so new models can be plugged in without touching the harness.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import inspect
+from typing import Callable, Dict, Optional
 
 from repro.core.interfaces import DemandPredictor
 from repro.prediction.deepst import DeepSTPredictor
@@ -63,6 +64,46 @@ def create_model(name: str, **kwargs) -> DemandPredictor:
             f"unknown model {name!r}; available: {available_models()}"
         ) from exc
     return factory(**kwargs)
+
+
+def filter_model_kwargs(name: str, kwargs: Dict) -> Dict:
+    """Subset of ``kwargs`` the model's factory actually accepts.
+
+    Factories accepting ``**kwargs`` keep everything.  Used both to
+    instantiate models uniformly (:func:`create_seeded_model`) and to build
+    cache keys that ignore hyper-parameters a model cannot consume (so a
+    baseline's cached result survives a neural hyper-parameter change).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from exc
+    parameters = inspect.signature(factory).parameters
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return dict(kwargs)
+    return {key: value for key, value in kwargs.items() if key in parameters}
+
+
+def create_seeded_model(
+    name: str, seed: Optional[int] = None, **hyper
+) -> DemandPredictor:
+    """Instantiate a model, forwarding ``seed``/``hyper`` only where accepted.
+
+    The deterministic baselines (``historical_average``, ``real_data``, ...)
+    take no seed or training hyper-parameters, while the neural models do;
+    this helper filters the keyword arguments against the factory's
+    signature so callers (the predictor suite, predictor-guided dispatch)
+    can treat every registered model uniformly.
+    """
+    kwargs = filter_model_kwargs(name, hyper)
+    if seed is not None and "seed" not in kwargs:
+        kwargs = {**kwargs, **filter_model_kwargs(name, {"seed": seed})}
+    return _REGISTRY[name](**kwargs)
 
 
 def model_factory(name: str, **kwargs) -> Callable[[], DemandPredictor]:

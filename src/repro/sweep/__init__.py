@@ -42,6 +42,13 @@ from repro.sweep.dispatch import (
     SuiteReport,
     suite_scenarios,
 )
+from repro.sweep.prediction import (
+    PredictionSuiteReport,
+    PredictionSuiteRunner,
+    PredictorOutcome,
+    PredictorScenario,
+    predictor_scenarios,
+)
 
 __all__ = [
     "SingleFlightModelErrorCache",
@@ -54,4 +61,9 @@ __all__ = [
     "ScenarioOutcome",
     "SuiteReport",
     "suite_scenarios",
+    "PredictionSuiteReport",
+    "PredictionSuiteRunner",
+    "PredictorOutcome",
+    "PredictorScenario",
+    "predictor_scenarios",
 ]

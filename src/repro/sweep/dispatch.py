@@ -126,10 +126,13 @@ def _simulate_scenario_group(
         num_days=scenarios[0].num_days,
         seed=scenarios[0].dataset_seed,
     )
+    provider_cache: Dict[Tuple, Any] = {}
     outcomes: List[ScenarioOutcome] = []
     for scenario in scenarios:
         scenario_start = time.perf_counter()
-        bundle = build_scenario_bundle(scenario, dataset=dataset)
+        bundle = build_scenario_bundle(
+            scenario, dataset=dataset, provider_cache=provider_cache
+        )
         metrics = bundle.run(engine=engine, sparse=sparse)
         outcomes.append(
             ScenarioOutcome(
@@ -201,6 +204,11 @@ class DispatchSuiteRunner:
         self.executor = executor
         self.sparse = sparse
         self._datasets: Dict[Tuple[str, float, int, int], EventDataset] = {}
+        # Demand-guidance providers shared across scenarios with equal
+        # guidance_signature (one predictor training per signature, not per
+        # scenario).  Dict reads/writes are GIL-atomic; a rare concurrent
+        # double-train produces the identical (deterministic) provider.
+        self._providers: Dict[Tuple, Any] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -303,7 +311,11 @@ class DispatchSuiteRunner:
                 return _deserialise(
                     scenario, payload, seconds=time.perf_counter() - scenario_start
                 )
-        bundle = build_scenario_bundle(scenario, dataset=self._dataset_for(scenario))
+        bundle = build_scenario_bundle(
+            scenario,
+            dataset=self._dataset_for(scenario),
+            provider_cache=self._providers,
+        )
         metrics = bundle.run(engine=self.engine, sparse=self.sparse)
         outcome = ScenarioOutcome(
             scenario=scenario,

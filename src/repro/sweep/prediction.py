@@ -1,0 +1,492 @@
+"""Parallel, cached predictor-sweep runner.
+
+The prediction counterpart of :class:`~repro.sweep.dispatch.DispatchSuiteRunner`:
+a suite is a batch of :class:`PredictorScenario` points
+(city x model x resolution x seed), each of which trains one demand predictor
+on its synthetic city and evaluates it on the held-out test day.  The runner
+shares the two expensive resources the same way the dispatch suite does:
+
+1. **Datasets** — each unique ``(city, scale, num_days, seed)`` synthetic
+   dataset is generated once and shared by every scenario that uses it.
+2. **Results** — finished evaluations are persisted as canonical JSON through
+   :class:`~repro.utils.cache.ResultCache`.  Training is fully deterministic
+   (split random streams per purpose, see
+   :class:`~repro.prediction.base.NeuralDemandPredictor`), so a rerun with
+   identical parameters is a byte-identical cache replay and trains nothing.
+
+Both a ``ThreadPoolExecutor`` and a ``ProcessPoolExecutor`` backend are
+available; training is NumPy-bound and releases the GIL for its heavy
+lifting, but suites dominated by many small models still benefit from
+process-level parallelism.  Cache lookups and writes always stay in the
+parent process, so both backends produce identical cached JSON bytes.
+
+Example
+-------
+>>> scenarios = predictor_scenarios(["xian_like"], models=["mlp"], seeds=[7])
+>>> report = PredictionSuiteRunner(scenarios, cache_dir="/tmp/pred").run()
+>>> report.outcomes[0].mae
+4.2
+>>> PredictionSuiteRunner(scenarios, cache_dir="/tmp/pred").run().cache_hits
+1
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.interfaces import actual_counts_for_targets, evaluation_targets
+from repro.data.dataset import EventDataset
+from repro.data.presets import CITY_PRESETS, city_preset
+from repro.prediction.registry import (
+    available_models,
+    create_seeded_model,
+    filter_model_kwargs,
+)
+from repro.utils.cache import ResultCache
+from repro.utils.rng import seed_for
+
+#: Bump when the serialised payload layout changes so stale entries miss.
+_CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PredictorScenario:
+    """One reproducible predictor training/evaluation configuration.
+
+    Attributes
+    ----------
+    city:
+        City preset name (see :data:`repro.data.presets.CITY_PRESETS`).
+    model:
+        Registry name of the predictor (``"mlp"``, ``"deepst"``,
+        ``"dmvst_net"``, ``"historical_average"``, ...).
+    resolution:
+        MGrid resolution ``sqrt(n)`` the model is trained at.
+    seed:
+        Base seed every derived stream (dataset, training) hangs off.
+    scale, num_days:
+        Synthetic dataset parameters; the last day is the evaluation split.
+    hyper:
+        Extra model keyword arguments as a sorted tuple of ``(name, value)``
+        pairs so the scenario stays hashable and cache-keyable.
+    name:
+        Optional label used in reports; defaults to a structural name.
+    """
+
+    city: str
+    model: str = "mlp"
+    resolution: int = 8
+    seed: int = 7
+    scale: float = 0.01
+    num_days: int = 10
+    hyper: Tuple[Tuple[str, Any], ...] = ()
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.city not in CITY_PRESETS:
+            raise ValueError(
+                f"unknown city preset {self.city!r}; available: {sorted(CITY_PRESETS)}"
+            )
+        if self.model not in available_models():
+            raise ValueError(
+                f"unknown prediction model {self.model!r}; "
+                f"available: {available_models()}"
+            )
+        if self.resolution <= 0:
+            raise ValueError("resolution must be positive")
+        if self.num_days < 4:
+            raise ValueError("num_days must be at least 4")
+
+    @property
+    def label(self) -> str:
+        """Human-readable scenario label."""
+        if self.name:
+            return self.name
+        return f"{self.city}/{self.model}/n{self.resolution}/seed{self.seed}"
+
+    @property
+    def dataset_seed(self) -> int:
+        return seed_for(f"predictor-scenario/{self.city}/dataset", self.seed)
+
+    @property
+    def model_seed(self) -> int:
+        return seed_for(
+            f"predictor-scenario/{self.city}/{self.model}/train", self.seed
+        )
+
+    @property
+    def dataset_signature(self) -> Tuple[str, float, int, int]:
+        """Key identifying the synthetic dataset this scenario runs against."""
+        return (self.city, self.scale, self.num_days, self.dataset_seed)
+
+    def cache_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable parameter mapping that keys the result cache.
+
+        ``name`` is a display label, not an input, so it is excluded, and
+        ``hyper`` entries the model's factory cannot consume are filtered
+        out — equal *effective* configurations share a cache entry (e.g. a
+        ``historical_average`` result survives a change to the neural
+        models' ``epochs``).
+        """
+        applied = filter_model_kwargs(self.model, dict(self.hyper))
+        return {
+            "schema": _CACHE_SCHEMA,
+            "city": self.city,
+            "model": self.model,
+            "resolution": self.resolution,
+            "seed": self.seed,
+            "scale": self.scale,
+            "num_days": self.num_days,
+            "hyper": sorted([str(name), value] for name, value in applied.items()),
+        }
+
+    def make_model(self):
+        """Fresh predictor instance for one training run.
+
+        ``hyper`` entries (and the derived training seed) are forwarded only
+        to models whose factory accepts them, so a suite can sweep neural
+        training hyper-parameters while sharing the grid with baselines like
+        ``historical_average`` that take none.
+        """
+        return create_seeded_model(self.model, seed=self.model_seed, **dict(self.hyper))
+
+
+@dataclass(frozen=True)
+class PredictorOutcome:
+    """Result of one suite scenario, fresh or replayed from the cache."""
+
+    scenario: PredictorScenario
+    mae: float
+    rmse: float
+    epochs_run: int
+    best_epoch: Optional[int]
+    best_val_mae: Optional[float]
+    seconds: float
+    from_cache: bool
+
+
+@dataclass(frozen=True)
+class PredictionSuiteReport:
+    """All outcomes of one suite run plus aggregate bookkeeping."""
+
+    outcomes: Tuple[PredictorOutcome, ...]
+    seconds: float
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    def by_label(self) -> Dict[str, PredictorOutcome]:
+        """Mapping ``scenario label -> outcome``."""
+        return {outcome.scenario.label: outcome for outcome in self.outcomes}
+
+    def best_models(self) -> Dict[Tuple[str, int, int], str]:
+        """Mapping ``(city, resolution, seed) -> model with the lowest MAE``."""
+        best: Dict[Tuple[str, int, int], PredictorOutcome] = {}
+        for outcome in self.outcomes:
+            key = (
+                outcome.scenario.city,
+                outcome.scenario.resolution,
+                outcome.scenario.seed,
+            )
+            if key not in best or outcome.mae < best[key].mae:
+                best[key] = outcome
+        return {key: outcome.scenario.model for key, outcome in best.items()}
+
+
+def evaluate_predictor_scenario(
+    scenario: PredictorScenario, dataset: EventDataset
+) -> Dict[str, Any]:
+    """Train the scenario's predictor and evaluate it on the test split.
+
+    Returns the JSON-serialisable payload stored in the result cache; every
+    value is a deterministic function of the scenario parameters.
+    """
+    model = scenario.make_model()
+    model.fit(dataset, scenario.resolution)
+    targets = evaluation_targets(dataset, dataset.split.test_days)
+    predictions = model.predict(dataset, scenario.resolution, targets)
+    actual = actual_counts_for_targets(dataset, scenario.resolution, targets)
+    errors = np.asarray(predictions, dtype=float) - actual
+    history = getattr(model, "training_history", None)
+    return {
+        "mae": float(np.mean(np.abs(errors))),
+        "rmse": float(np.sqrt(np.mean(errors**2))),
+        "epochs_run": 0 if history is None else int(history.epochs_run),
+        "best_epoch": None
+        if history is None or history.best_epoch is None
+        else int(history.best_epoch),
+        "best_val_mae": None
+        if history is None or history.best_val_mae is None
+        else float(history.best_val_mae),
+    }
+
+
+def _outcome_from_payload(
+    scenario: PredictorScenario,
+    payload: Dict[str, Any],
+    seconds: float,
+    from_cache: bool,
+) -> PredictorOutcome:
+    return PredictorOutcome(
+        scenario=scenario,
+        mae=float(payload["mae"]),
+        rmse=float(payload["rmse"]),
+        epochs_run=int(payload["epochs_run"]),
+        best_epoch=None if payload["best_epoch"] is None else int(payload["best_epoch"]),
+        best_val_mae=None
+        if payload["best_val_mae"] is None
+        else float(payload["best_val_mae"]),
+        seconds=seconds,
+        from_cache=from_cache,
+    )
+
+
+#: Per-worker-process dataset memo.  ProcessPoolExecutor workers are
+#: long-lived, so each process generates a dataset signature at most once no
+#: matter how many scenarios it evaluates; capped to stay small.
+_WORKER_DATASETS: Dict[Tuple[str, float, int, int], EventDataset] = {}
+_WORKER_DATASET_CAP = 8
+
+
+def _worker_dataset(scenario: PredictorScenario) -> EventDataset:
+    signature = scenario.dataset_signature
+    dataset = _WORKER_DATASETS.get(signature)
+    if dataset is None:
+        dataset = EventDataset.from_city(
+            city_preset(scenario.city, scale=scenario.scale),
+            num_days=scenario.num_days,
+            seed=scenario.dataset_seed,
+        )
+        if len(_WORKER_DATASETS) >= _WORKER_DATASET_CAP:
+            _WORKER_DATASETS.pop(next(iter(_WORKER_DATASETS)))
+        _WORKER_DATASETS[signature] = dataset
+    return dataset
+
+
+def _evaluate_scenario_task(
+    scenario: PredictorScenario,
+) -> Tuple[Dict[str, Any], float]:
+    """Process-pool worker: evaluate one scenario (timed inside the worker).
+
+    Module-level (picklable) on purpose.  Unlike the dispatch suite — where
+    dataset generation dominates and grouping by dataset is the right unit —
+    predictor scenarios are training-dominated, so the pool fans out per
+    scenario for real parallelism and relies on the per-process dataset memo
+    to avoid regenerating datasets.  Results are cached by the parent
+    process so cache writes stay single-writer and byte-identical to a
+    thread-backend run.
+    """
+    start = time.perf_counter()
+    payload = evaluate_predictor_scenario(scenario, _worker_dataset(scenario))
+    return payload, time.perf_counter() - start
+
+
+class PredictionSuiteRunner:
+    """Run a batch of predictor scenarios in parallel with persistent caching.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenario points to train and evaluate.
+    cache_dir:
+        Directory for the persistent :class:`~repro.utils.cache.ResultCache`;
+        ``None`` disables on-disk caching (everything is recomputed).
+    max_workers:
+        Worker-pool size; defaults to ``min(len(scenarios), cpu_count)`` for
+        threads and ``min(groups, cpu_count)`` for processes.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  The process backend fans
+        cache misses out one task per scenario (training dominates, so the
+        scenario is the parallel unit) with a per-worker dataset memo;
+        cache reads/writes stay in the parent process, keeping cached JSON
+        bytes identical across backends.
+    """
+
+    def __init__(
+        self,
+        scenarios: Iterable[PredictorScenario],
+        cache_dir: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
+    ) -> None:
+        self.scenarios = list(scenarios)
+        if not self.scenarios:
+            raise ValueError("at least one scenario is required")
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+        self.executor = executor
+        self._datasets: Dict[Tuple[str, float, int, int], EventDataset] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> PredictionSuiteReport:
+        """Evaluate every scenario and return the collected report."""
+        start = time.perf_counter()
+        if self.executor == "process":
+            outcomes = self._run_process_pool()
+        else:
+            self._prepare_datasets()
+            workers = self.max_workers or min(len(self.scenarios), os.cpu_count() or 1)
+            if workers <= 1:
+                outcomes = [self._run_scenario(s) for s in self.scenarios]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(self._run_scenario, self.scenarios))
+        return PredictionSuiteReport(
+            outcomes=tuple(outcomes), seconds=time.perf_counter() - start
+        )
+
+    def _run_process_pool(self) -> List[PredictorOutcome]:
+        """Fan cache misses out to worker processes, one task per scenario."""
+        slots: List[Optional[PredictorOutcome]] = [None] * len(self.scenarios)
+        misses: List[int] = []
+        for position, scenario in enumerate(self.scenarios):
+            if self.cache is not None:
+                payload = self.cache.get(self.cache_key(scenario))
+                if payload is not None:
+                    slots[position] = _outcome_from_payload(
+                        scenario, payload, seconds=0.0, from_cache=True
+                    )
+                    continue
+            misses.append(position)
+        if misses:
+            workers = self.max_workers or min(len(misses), os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (position, pool.submit(_evaluate_scenario_task, self.scenarios[position]))
+                    for position in misses
+                ]
+                for position, future in futures:
+                    payload, seconds = future.result()
+                    slots[position] = _outcome_from_payload(
+                        self.scenarios[position],
+                        payload,
+                        seconds=seconds,
+                        from_cache=False,
+                    )
+            # Single-writer cache updates, in scenario order, so the on-disk
+            # JSON bytes match a thread-backend run of the same suite.
+            if self.cache is not None:
+                for position in misses:
+                    outcome = slots[position]
+                    assert outcome is not None
+                    self.cache.put(
+                        self.cache_key(outcome.scenario), self._serialise(outcome)
+                    )
+        return [outcome for outcome in slots if outcome is not None]
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def cache_key(scenario: PredictorScenario) -> str:
+        """Result-cache key of one scenario."""
+        return ResultCache.key_for(
+            {"schema": _CACHE_SCHEMA, "scenario": scenario.cache_payload()}
+        )
+
+    @staticmethod
+    def _serialise(outcome: PredictorOutcome) -> Dict[str, Any]:
+        return {
+            "mae": outcome.mae,
+            "rmse": outcome.rmse,
+            "epochs_run": outcome.epochs_run,
+            "best_epoch": outcome.best_epoch,
+            "best_val_mae": outcome.best_val_mae,
+        }
+
+    def _prepare_datasets(self) -> None:
+        """Build each unique dataset once, before the workers fan out.
+
+        Scenarios that only hit the cache never need their dataset, so only
+        signatures with at least one cache miss are generated.
+        """
+        for scenario in self.scenarios:
+            if scenario.dataset_signature in self._datasets:
+                continue
+            if self.cache is not None and self.cache_key(scenario) in self.cache:
+                continue
+            self._dataset_for(scenario)
+
+    def _dataset_for(self, scenario: PredictorScenario) -> EventDataset:
+        signature = scenario.dataset_signature
+        if signature not in self._datasets:
+            self._datasets[signature] = EventDataset.from_city(
+                city_preset(scenario.city, scale=scenario.scale),
+                num_days=scenario.num_days,
+                seed=scenario.dataset_seed,
+            )
+        return self._datasets[signature]
+
+    def _run_scenario(self, scenario: PredictorScenario) -> PredictorOutcome:
+        scenario_start = time.perf_counter()
+        key = None
+        if self.cache is not None:
+            key = self.cache_key(scenario)
+            payload = self.cache.get(key)
+            if payload is not None:
+                return _outcome_from_payload(
+                    scenario,
+                    payload,
+                    seconds=time.perf_counter() - scenario_start,
+                    from_cache=True,
+                )
+        payload = evaluate_predictor_scenario(scenario, self._dataset_for(scenario))
+        outcome = _outcome_from_payload(
+            scenario,
+            payload,
+            seconds=time.perf_counter() - scenario_start,
+            from_cache=False,
+        )
+        if self.cache is not None and key is not None:
+            self.cache.put(key, self._serialise(outcome))
+        return outcome
+
+
+def predictor_scenarios(
+    cities: Iterable[str],
+    models: Iterable[str] = ("mlp",),
+    resolutions: Iterable[int] = (8,),
+    seeds: Iterable[int] = (7,),
+    **common: Any,
+) -> List[PredictorScenario]:
+    """Cross-product scenario builder over the suite's four axes.
+
+    ``common`` is forwarded to every scenario (e.g. ``scale``, ``num_days``,
+    ``hyper``).
+    """
+    cities = list(cities)
+    models = list(models)
+    resolutions = list(resolutions)
+    seeds = list(seeds)
+    if not cities:
+        raise ValueError("at least one city is required")
+    if not models:
+        raise ValueError("at least one model is required")
+    if not resolutions or not seeds:
+        raise ValueError("resolutions and seeds must be non-empty")
+    return [
+        PredictorScenario(
+            city=city,
+            model=model,
+            resolution=int(resolution),
+            seed=int(seed),
+            **common,
+        )
+        for city in cities
+        for model in models
+        for resolution in resolutions
+        for seed in seeds
+    ]

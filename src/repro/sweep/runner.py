@@ -50,8 +50,11 @@ from repro.prediction.registry import available_models, model_factory
 from repro.utils.cache import ResultCache
 from repro.utils.validation import ensure_perfect_square
 
-#: Bump when the serialised payload layout changes so stale entries miss.
-_CACHE_SCHEMA = 1
+#: Bump when the serialised payload layout changes — or when result semantics
+#: change — so stale entries miss.  2: the neural trainer now restores
+#: best-validation weights, splits its RNG streams and defaults to larger
+#: training caps, so model errors cached under schema 1 are not comparable.
+_CACHE_SCHEMA = 2
 
 
 class SingleFlightModelErrorCache(Dict[int, Tuple[float, float]]):

@@ -6,6 +6,7 @@ import pytest
 from repro.dispatch.scenarios import (
     DispatchScenario,
     build_scenario_bundle,
+    predicted_demand_scenarios,
     reference_scenario,
     run_scenario,
     scenario_grid,
@@ -90,6 +91,17 @@ class TestScenarioGrid:
         assert large_fleet.fleet_size == base.fleet_size * 2
         assert all("xian_like" in s.label for s in (surge, small_fleet, large_fleet))
 
+    def test_predicted_demand_variants(self):
+        base = small_scenario()
+        variants = predicted_demand_scenarios(
+            base, models=("historical_average", "mlp")
+        )
+        assert [v.guidance for v in variants] == ["historical_average", "mlp"]
+        assert all(v.demand_scale == pytest.approx(2.0) for v in variants)
+        assert variants[0].label.endswith("surge-historical_average")
+        with pytest.raises(ValueError):
+            predicted_demand_scenarios(base, surge=0.0)
+
 
 class TestScenarioRuns:
     def test_bundle_engines_agree(self):
@@ -123,6 +135,36 @@ class TestScenarioRuns:
         scenario = small_scenario(matching="greedy")
         bundle = build_scenario_bundle(scenario)
         assert bundle.run("vector") == bundle.run("scalar")
+
+    def test_invalid_guidance_rejected(self):
+        with pytest.raises(ValueError):
+            small_scenario(guidance="crystal_ball")
+
+    def test_predictor_guidance_builds_trained_provider(self):
+        bundle = build_scenario_bundle(small_scenario(guidance="historical_average"))
+        assert bundle.provider is not None
+        grid = bundle.provider.mgrid_demand(0, bundle.slots[0])
+        assert grid.shape == (8, 8)
+        assert np.all(np.isfinite(grid))
+
+    def test_predictor_guidance_differs_from_oracle_but_stays_deterministic(self):
+        oracle = build_scenario_bundle(small_scenario())
+        predicted = build_scenario_bundle(small_scenario(guidance="historical_average"))
+        slot = oracle.slots[0]
+        assert not np.array_equal(
+            oracle.provider.mgrid_demand(0, slot),
+            predicted.provider.mgrid_demand(0, slot),
+        )
+        # The predictor-guided run is as deterministic as the oracle one.
+        first = run_scenario(small_scenario(guidance="historical_average")).metrics
+        second = run_scenario(small_scenario(guidance="historical_average")).metrics
+        assert first == second
+
+    def test_guidance_keys_the_cache_payload(self):
+        oracle = small_scenario().cache_payload()
+        predicted = small_scenario(guidance="historical_average").cache_payload()
+        assert oracle != predicted
+        assert predicted["guidance"] == "historical_average"
 
     def test_fleets_identical_across_policies(self):
         """POLAR and LS compare on the same spawned fleet (structural seeds)."""

@@ -1,0 +1,83 @@
+"""Tests for the NeuralDemandPredictor scaffolding (stream splitting)."""
+
+import numpy as np
+
+from repro.prediction.mlp import MLPPredictor
+
+
+def _weights(network):
+    from repro.prediction.network import collect_parameter_layers
+
+    return [layer.params["weight"].copy() for layer in collect_parameter_layers(network)]
+
+
+class TestSplitRandomStreams:
+    """Subsampling must not perturb the weight-init or shuffle streams.
+
+    In the seed, ``_subsample`` drew from the same generator that later
+    seeded the weight initialisation and the trainer shuffle, so changing
+    ``max_train_samples`` (or whether subsampling triggered at all) silently
+    shifted every downstream stream.
+    """
+
+    def _subsample_inputs(self, samples=50):
+        views = {"closeness": np.zeros((samples, 8, 4, 4))}
+        targets = np.zeros((samples, 4, 4))
+        return views, targets
+
+    def test_subsampling_does_not_shift_weight_init(self):
+        capped = MLPPredictor(seed=5, max_train_samples=10)
+        uncapped = MLPPredictor(seed=5, max_train_samples=None)
+        views, targets = self._subsample_inputs()
+        capped._subsample(views, targets)  # draws from the subsample stream
+        uncapped._subsample(views, targets)  # no draw (no cap)
+        for a, b in zip(
+            _weights(capped.build_network(4)), _weights(uncapped.build_network(4))
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_subsampling_does_not_shift_trainer_stream(self):
+        capped = MLPPredictor(seed=5, max_train_samples=10)
+        uncapped = MLPPredictor(seed=5, max_train_samples=None)
+        views, targets = self._subsample_inputs()
+        capped._subsample(views, targets)
+        np.testing.assert_array_equal(
+            capped._trainer_rng.integers(0, 2**31, size=8),
+            uncapped._trainer_rng.integers(0, 2**31, size=8),
+        )
+
+    def test_different_caps_draw_identical_subsample_stream(self):
+        first = MLPPredictor(seed=5, max_train_samples=10)
+        second = MLPPredictor(seed=5, max_train_samples=10)
+        views, targets = self._subsample_inputs()
+        _, kept_first = first._subsample(views, targets)
+        _, kept_second = second._subsample(views, targets)
+        np.testing.assert_array_equal(kept_first, kept_second)
+
+    def test_streams_are_mutually_independent_but_seed_determined(self):
+        a = MLPPredictor(seed=11)
+        b = MLPPredictor(seed=11)
+        np.testing.assert_array_equal(
+            a._subsample_rng.integers(0, 2**31, size=4),
+            b._subsample_rng.integers(0, 2**31, size=4),
+        )
+        np.testing.assert_array_equal(
+            a._trainer_rng.integers(0, 2**31, size=4),
+            b._trainer_rng.integers(0, 2**31, size=4),
+        )
+
+    def test_end_to_end_fit_unaffected_by_subsample_trigger(self, tiny_dataset):
+        """Raising the cap above the sample count equals disabling it."""
+        huge_cap = MLPPredictor(
+            seed=3, epochs=2, max_train_samples=10**6, hidden_sizes=(16,)
+        )
+        no_cap = MLPPredictor(
+            seed=3, epochs=2, max_train_samples=None, hidden_sizes=(16,)
+        )
+        huge_cap.fit(tiny_dataset, 4)
+        no_cap.fit(tiny_dataset, 4)
+        targets = [(9, 10), (9, 20)]
+        np.testing.assert_array_equal(
+            huge_cap.predict(tiny_dataset, 4, targets),
+            no_cap.predict(tiny_dataset, 4, targets),
+        )

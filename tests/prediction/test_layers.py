@@ -10,6 +10,12 @@ from repro.prediction.layers import (
     ReLU,
     Reshape,
     Sequential,
+    _col2im,
+    _col2im_loops,
+    _im2col,
+    _im2col_loops,
+    loop_unfold,
+    seed_mode,
 )
 
 
@@ -149,6 +155,158 @@ class TestConv2D:
         )
         np.testing.assert_allclose(
             layer.grads["bias"], numerical_gradient(loss, layer.bias), atol=1e-4
+        )
+        np.testing.assert_allclose(grad_in, numerical_gradient(loss, inputs), atol=1e-4)
+
+
+class TestUnfoldEquivalence:
+    """The strided unfold must reproduce the seed's loop unfold bit-for-bit."""
+
+    SHAPES = [
+        (2, 3, 5, 7, 3),
+        (1, 1, 4, 4, 1),
+        (3, 5, 8, 8, 5),
+        (2, 2, 6, 5, 3),
+        (4, 10, 16, 16, 3),
+    ]
+
+    def test_im2col_bit_identical_on_random_shapes(self):
+        rng = np.random.default_rng(0)
+        for batch, channels, height, width, kernel in self.SHAPES:
+            inputs = rng.normal(size=(batch, channels, height, width))
+            pad = kernel // 2
+            loops = _im2col_loops(inputs, kernel, pad)
+            strided = _im2col(inputs, kernel, pad)
+            assert (loops == strided).all(), (batch, channels, height, width, kernel)
+            # Layout-identical too: the downstream matmul must hit the same
+            # BLAS code path, or "same values" stops implying "same bits".
+            assert loops.strides == strided.strides
+
+    def test_im2col_reuses_caller_buffers(self):
+        rng = np.random.default_rng(1)
+        inputs = rng.normal(size=(2, 3, 6, 6))
+        out = np.empty((2, 3, 3, 3, 6, 6))
+        pad_buffer = np.empty((2, 3, 8, 8))
+        first = _im2col(inputs, 3, 1, out=out, pad_buffer=pad_buffer)
+        assert first.base is not None  # a view over the caller's buffer
+        assert (first == _im2col_loops(inputs, 3, 1)).all()
+        # A second call overwrites the same storage with the new unfold.
+        other = rng.normal(size=(2, 3, 6, 6))
+        second = _im2col(other, 3, 1, out=out, pad_buffer=pad_buffer)
+        assert (second == _im2col_loops(other, 3, 1)).all()
+
+    def test_col2im_bit_identical_to_loops(self):
+        rng = np.random.default_rng(2)
+        for batch, channels, height, width, kernel in self.SHAPES:
+            pad = kernel // 2
+            columns = rng.normal(
+                size=(batch, height * width, channels * kernel * kernel)
+            )
+            loops = _col2im_loops(columns, (batch, channels, height, width), kernel, pad)
+            scatter = _col2im(columns, (batch, channels, height, width), kernel, pad)
+            assert (loops == scatter).all(), (batch, channels, height, width, kernel)
+
+    def test_col2im_is_the_adjoint_of_im2col(self):
+        """<col2im(c), x> == <c, im2col(x)> for random operands."""
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(2, 3, 5, 5))
+        columns = rng.normal(size=(2, 25, 27))
+        lhs = np.sum(_col2im(columns, inputs.shape, 3, 1) * inputs)
+        rhs = np.sum(columns * _im2col(inputs, 3, 1))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_conv_forward_identical_across_unfold_modes(self):
+        rng = np.random.default_rng(4)
+        layer = Conv2D(3, 5, kernel=3, seed=7)
+        inputs = rng.normal(size=(4, 3, 8, 8))
+        production = layer.forward(inputs, training=False)
+        with loop_unfold():
+            loops = layer.forward(inputs, training=False)
+        assert (production == loops).all()
+
+    def test_conv_forward_identical_to_seed_mode(self):
+        rng = np.random.default_rng(5)
+        layer = Conv2D(2, 4, kernel=3, seed=8)
+        inputs = rng.normal(size=(3, 2, 7, 6))
+        production = layer.forward(inputs, training=False)
+        with seed_mode():
+            seed = layer.forward(inputs, training=False)
+        assert (production == seed).all()
+
+    def test_backward_modes_agree_to_float_precision(self):
+        """The GEMM/gather backward computes the same sums as the seed's."""
+        rng = np.random.default_rng(6)
+        inputs = rng.normal(size=(3, 4, 6, 6))
+        grad = rng.normal(size=(3, 5, 6, 6))
+
+        def run(context):
+            layer = Conv2D(4, 5, kernel=3, seed=9)
+            with context():
+                layer.forward(inputs)
+                grad_in = layer.backward(grad)
+            return grad_in, layer.grads["weight"].copy(), layer.grads["bias"].copy()
+
+        from contextlib import nullcontext
+
+        production = run(nullcontext)
+        seed = run(seed_mode)
+        np.testing.assert_allclose(production[0], seed[0], rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(production[1], seed[1], rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(production[2], seed[2], rtol=1e-10, atol=1e-12)
+
+    def test_inference_forward_does_not_clobber_pending_backward(self):
+        """A training=False pass between forward and backward is harmless."""
+        rng = np.random.default_rng(7)
+        inputs = rng.normal(size=(2, 3, 5, 5))
+        other = rng.normal(size=(4, 3, 5, 5))
+        grad = rng.normal(size=(2, 2, 5, 5))
+
+        reference = Conv2D(3, 2, kernel=3, seed=11)
+        reference.forward(inputs)
+        reference.backward(grad)
+
+        layer = Conv2D(3, 2, kernel=3, seed=11)
+        layer.forward(inputs)
+        layer.forward(other, training=False)  # e.g. a validation pass
+        layer.backward(grad)
+        assert (layer.grads["weight"] == reference.grads["weight"]).all()
+
+    def test_buffers_track_shape_changes(self):
+        rng = np.random.default_rng(8)
+        layer = Conv2D(2, 3, kernel=3, seed=12)
+        small = rng.normal(size=(2, 2, 4, 4))
+        large = rng.normal(size=(5, 2, 6, 6))
+        with loop_unfold():
+            expected_small = layer.forward(small, training=False)
+            expected_large = layer.forward(large, training=False)
+        assert (layer.forward(small, training=False) == expected_small).all()
+        assert (layer.forward(large, training=False) == expected_large).all()
+        assert (layer.forward(small, training=False) == expected_small).all()
+
+    def test_float32_inputs_are_preserved(self):
+        layer = Conv2D(1, 2, kernel=3, seed=13)
+        layer.weight = layer.weight.astype(np.float32)
+        layer.bias = layer.bias.astype(np.float32)
+        inputs = np.random.default_rng(9).normal(size=(1, 1, 4, 4)).astype(np.float32)
+        output = layer.forward(inputs)
+        assert output.dtype == np.float32
+        grad_in = layer.backward(output)
+        assert grad_in.dtype == np.float32
+        assert layer.grads["weight"].dtype == np.float32
+
+    def test_gradient_check_kernel_one(self):
+        rng = np.random.default_rng(10)
+        layer = Conv2D(3, 2, kernel=1, seed=14)
+        inputs = rng.normal(size=(2, 3, 4, 4))
+        target = rng.normal(size=(2, 2, 4, 4))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(inputs) - target) ** 2)
+
+        output = layer.forward(inputs)
+        grad_in = layer.backward(output - target)
+        np.testing.assert_allclose(
+            layer.grads["weight"], numerical_gradient(loss, layer.weight), atol=1e-4
         )
         np.testing.assert_allclose(grad_in, numerical_gradient(loss, inputs), atol=1e-4)
 

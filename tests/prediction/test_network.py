@@ -119,3 +119,128 @@ class TestTrainer:
         trainer = Trainer(network, epochs=1)
         with pytest.raises(ValueError):
             trainer.fit(np.zeros((0, 2)), np.zeros((0, 1)))
+
+    def test_epoch_loss_is_sample_weighted(self):
+        """A partial final batch must not be over-weighted in the epoch mean."""
+        rng = np.random.default_rng(7)
+        inputs = rng.normal(size=(10, 2))
+        targets = rng.normal(size=(10, 1))
+        network = Sequential([Dense(2, 1, seed=0)])
+        # batch_size 8 -> batches of 8 and 2 samples.
+        trainer = Trainer(
+            network, learning_rate=1e-12, epochs=1, batch_size=8, seed=0
+        )
+        # A vanishing learning rate freezes the weights, so the epoch loss
+        # must equal the loss of the (fixed) network over the whole set.
+        history = trainer.fit(inputs, targets)
+        from repro.prediction.network import mse_loss
+
+        expected, _ = mse_loss(network.forward(inputs, training=False), targets)
+        assert history.train_loss[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_float32_training(self):
+        inputs, targets = self._make_data(64)
+        network = Sequential([Dense(3, 8, seed=1), ReLU(), Dense(8, 1, seed=2)])
+        trainer = Trainer(
+            network, epochs=10, batch_size=16, seed=0, dtype="float32"
+        )
+        history = trainer.fit(inputs, targets)
+        assert history.train_loss[-1] < history.train_loss[0]
+        for layer in trainer.optimizer.layers:
+            for value in layer.params.values():
+                assert value.dtype == np.float32
+        assert trainer.predict(inputs.astype(np.float32)).dtype == np.float32
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            Trainer(Sequential([Dense(2, 1)]), dtype="float16")
+
+
+class TestEarlyStoppingBestWeights:
+    """Regression tests: the trainer must return the best-validation weights.
+
+    The seed early-stopped on validation MAE but kept the *last* epoch's
+    weights, so every early-stopped predictor was silently worse than its
+    reported best.
+    """
+
+    def _overfitting_run(self, patience):
+        # Tiny training set, large capacity and learning rate: validation
+        # MAE on a differently-distributed holdout deteriorates after the
+        # first epochs, so the last epoch is reliably worse than the best.
+        rng = np.random.default_rng(0)
+        train_inputs = rng.normal(size=(24, 4))
+        train_targets = rng.normal(size=(24, 1))
+        val_inputs = rng.normal(size=(32, 4)) + 1.5
+        val_targets = rng.normal(size=(32, 1)) - 1.5
+        network = Sequential([Dense(4, 32, seed=1), ReLU(), Dense(32, 1, seed=2)])
+        trainer = Trainer(
+            network,
+            learning_rate=5e-2,
+            epochs=40,
+            batch_size=8,
+            patience=patience,
+            seed=0,
+        )
+        history = trainer.fit(train_inputs, train_targets, val_inputs, val_targets)
+        from repro.prediction.network import mae_metric
+
+        returned_mae = mae_metric(
+            network.forward(val_inputs, training=False), val_targets
+        )
+        return history, returned_mae
+
+    def test_early_stop_restores_best_epoch_weights(self):
+        history, returned_mae = self._overfitting_run(patience=3)
+        assert history.epochs_run < 40  # early stopping actually triggered
+        assert history.val_mae[-1] > min(history.val_mae)  # last epoch is worse
+        assert returned_mae == min(history.val_mae)
+        assert history.best_epoch == int(np.argmin(history.val_mae))
+        assert history.best_val_mae == min(history.val_mae)
+
+    def test_exhausted_epochs_also_restore_best(self):
+        """Without early stopping, a worse final epoch must still be discarded."""
+        history, returned_mae = self._overfitting_run(patience=None)
+        assert history.epochs_run == 40
+        assert history.val_mae[-1] > min(history.val_mae)
+        assert returned_mae == min(history.val_mae)
+
+    def test_best_final_epoch_keeps_last_weights(self):
+        """When the last epoch is the best, nothing is restored."""
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(64, 3))
+        targets = inputs @ np.array([[1.0], [-1.0], [0.5]])
+        network = Sequential([Dense(3, 8, seed=1), ReLU(), Dense(8, 1, seed=2)])
+        trainer = Trainer(
+            network, learning_rate=1e-3, epochs=5, batch_size=16, seed=0
+        )
+        history = trainer.fit(inputs, targets, inputs, targets)
+        from repro.prediction.network import mae_metric
+
+        returned = mae_metric(network.forward(inputs, training=False), targets)
+        assert history.best_epoch == history.epochs_run - 1
+        assert returned == history.val_mae[-1]
+
+    def test_no_validation_keeps_last_weights_and_no_best_epoch(self):
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(32, 2))
+        targets = rng.normal(size=(32, 1))
+        network = Sequential([Dense(2, 1, seed=0)])
+        trainer = Trainer(network, epochs=3, batch_size=8, seed=0)
+        history = trainer.fit(inputs, targets)
+        assert history.best_epoch is None
+        assert history.best_val_mae is None
+
+
+class TestBufferLifecycle:
+    def test_fit_and_predict_release_conv_buffers(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2D(2, 2, kernel=3, seed=0)
+        network = Sequential([conv])
+        trainer = Trainer(network, epochs=1, batch_size=4, seed=0)
+        inputs = rng.normal(size=(8, 2, 5, 5))
+        targets = rng.normal(size=(8, 2, 5, 5))
+        trainer.fit(inputs, targets)
+        assert conv._buffers == {}
+        trainer.predict(inputs, batch_size=4)
+        assert conv._buffers == {}

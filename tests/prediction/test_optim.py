@@ -67,3 +67,37 @@ class TestAdam:
     def test_invalid_epsilon(self):
         with pytest.raises(ValueError):
             Adam([Dense(2, 1)], epsilon=0.0)
+
+
+class TestSharedLayerDeduplication:
+    """A layer reachable through two branches must be stepped exactly once."""
+
+    def test_duplicates_are_dropped_by_identity(self):
+        shared = Dense(2, 2, seed=0)
+        optimizer = Adam([shared, shared], learning_rate=1e-3)
+        assert optimizer.layers == [shared]
+
+    def test_shared_layer_steps_once(self):
+        def make_pair():
+            shared = Dense(2, 2, seed=3)
+            solo = Dense(2, 2, seed=3)
+            return shared, solo
+
+        shared, solo = make_pair()
+        deduped = Adam([shared, shared], learning_rate=1e-2)
+        reference = Adam([solo], learning_rate=1e-2)
+        grad = np.ones((4, 2))
+        for layer in (shared, solo):
+            layer.forward(np.ones((4, 2)))
+            layer.backward(grad)
+        deduped.step()
+        reference.step()
+        # With the duplicate dropped, the shared layer receives exactly the
+        # same single Adam update as an unshared layer would.
+        np.testing.assert_array_equal(shared.weight, solo.weight)
+        np.testing.assert_array_equal(shared.bias, solo.bias)
+
+    def test_sgd_also_dedupes(self):
+        shared = Dense(2, 1, seed=1)
+        optimizer = SGD([shared, shared], learning_rate=0.1)
+        assert optimizer.layers == [shared]

@@ -153,3 +153,21 @@ class TestProcessExecutor:
         assert second.cache_hits == len(scenarios)
         for a, b in zip(first.outcomes, second.outcomes):
             assert a.metrics == b.metrics
+
+
+class TestPredictorGuidanceSharing:
+    def test_guided_suite_trains_one_provider_per_signature(self):
+        scenarios = small_scenarios(guidance="historical_average")
+        runner = DispatchSuiteRunner(scenarios, max_workers=1)
+        runner.run()
+        # 4 scenarios = (polar, ls) x (1.0, 2.0 demand); policies share a
+        # provider, demand scales do not (different datasets).
+        assert len(runner._providers) == 2
+
+    def test_guided_suite_matches_unshared_bundles(self):
+        from repro.dispatch.scenarios import build_scenario_bundle
+
+        scenarios = small_scenarios(guidance="historical_average")[:2]
+        shared = DispatchSuiteRunner(scenarios, max_workers=1).run()
+        for scenario, outcome in zip(scenarios, shared.outcomes):
+            assert build_scenario_bundle(scenario).run("vector") == outcome.metrics

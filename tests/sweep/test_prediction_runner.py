@@ -1,0 +1,221 @@
+"""Tests for the parallel, cached predictor-suite runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sweep.prediction import (
+    PredictionSuiteRunner,
+    PredictorScenario,
+    predictor_scenarios,
+)
+
+SMALL = dict(scale=0.003, num_days=6)
+
+#: Fast training hyper-parameters applied to the neural models only.
+FAST_HYPER = (("epochs", 3), ("max_train_samples", 64))
+
+
+def small_scenarios(**overrides):
+    params = {**SMALL, **overrides}
+    return predictor_scenarios(
+        ["xian_like"],
+        models=("historical_average", "mlp"),
+        resolutions=(4,),
+        seeds=(7,),
+        hyper=FAST_HYPER,
+        **params,
+    )
+
+
+class TestPredictorScenario:
+    def test_defaults_are_valid(self):
+        scenario = PredictorScenario(city="nyc_like")
+        assert scenario.model == "mlp"
+        assert "nyc_like" in scenario.label
+
+    def test_unknown_city_and_model(self):
+        with pytest.raises(ValueError):
+            PredictorScenario(city="atlantis")
+        with pytest.raises(ValueError):
+            PredictorScenario(city="nyc_like", model="crystal_ball")
+
+    def test_invalid_resolution_and_days(self):
+        with pytest.raises(ValueError):
+            PredictorScenario(city="nyc_like", resolution=0)
+        with pytest.raises(ValueError):
+            PredictorScenario(city="nyc_like", num_days=2)
+
+    def test_cache_payload_excludes_display_name(self):
+        plain = PredictorScenario(city="xian_like", **SMALL)
+        named = PredictorScenario(city="xian_like", name="something", **SMALL)
+        assert plain.cache_payload() == named.cache_payload()
+
+    def test_hyper_applies_only_where_accepted(self):
+        neural = PredictorScenario(
+            city="xian_like", model="mlp", hyper=FAST_HYPER, **SMALL
+        )
+        baseline = PredictorScenario(
+            city="xian_like", model="historical_average", hyper=FAST_HYPER, **SMALL
+        )
+        assert neural.make_model().epochs == 3
+        baseline.make_model()  # must not raise on unsupported kwargs
+
+    def test_grid_cross_product(self):
+        scenarios = predictor_scenarios(
+            ["xian_like", "nyc_like"],
+            models=("mlp", "historical_average"),
+            resolutions=(4, 8),
+            seeds=(1, 2),
+        )
+        assert len(scenarios) == 2 * 2 * 2 * 2
+
+    def test_grid_requires_non_empty_axes(self):
+        with pytest.raises(ValueError):
+            predictor_scenarios([])
+        with pytest.raises(ValueError):
+            predictor_scenarios(["xian_like"], models=())
+        with pytest.raises(ValueError):
+            predictor_scenarios(["xian_like"], seeds=())
+
+
+class TestPredictionSuiteRunner:
+    def test_runs_all_scenarios(self):
+        report = PredictionSuiteRunner(small_scenarios(), max_workers=2).run()
+        assert len(report.outcomes) == 2
+        assert report.cache_hits == 0
+        assert all(np.isfinite(o.mae) and o.mae >= 0 for o in report.outcomes)
+        assert all(o.rmse >= o.mae * 0 for o in report.outcomes)
+
+    def test_requires_scenarios(self):
+        with pytest.raises(ValueError):
+            PredictionSuiteRunner([])
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError):
+            PredictionSuiteRunner(small_scenarios(), executor="fiber")
+
+    def test_neural_outcomes_record_history(self):
+        report = PredictionSuiteRunner(small_scenarios(), max_workers=1).run()
+        by_model = {o.scenario.model: o for o in report.outcomes}
+        assert by_model["mlp"].epochs_run >= 1
+        assert by_model["historical_average"].epochs_run == 0
+        assert by_model["historical_average"].best_epoch is None
+
+    def test_cache_replay_is_byte_identical(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        scenarios = small_scenarios()
+        first = PredictionSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        snapshot = {path.name: path.read_bytes() for path in cache_dir.glob("*.json")}
+        assert len(snapshot) == len(scenarios)
+        second = PredictionSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        assert second.cache_hits == len(scenarios)
+        assert second.cache_misses == 0
+        for path in cache_dir.glob("*.json"):
+            assert path.read_bytes() == snapshot[path.name]
+        for before, after in zip(first.outcomes, second.outcomes):
+            assert before.mae == after.mae
+            assert before.epochs_run == after.epochs_run
+            assert after.from_cache
+
+    def test_cache_entries_are_canonical_json(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        PredictionSuiteRunner(small_scenarios(), cache_dir=str(cache_dir)).run()
+        for path in cache_dir.glob("*.json"):
+            text = path.read_text()
+            payload = json.loads(text)
+            assert text == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def test_datasets_shared_across_scenarios(self):
+        runner = PredictionSuiteRunner(small_scenarios(), max_workers=1)
+        runner.run()
+        # Both models train against the same generated city.
+        assert len(runner._datasets) == 1
+
+    def test_parallel_equals_serial(self):
+        scenarios = small_scenarios()
+        serial = PredictionSuiteRunner(scenarios, max_workers=1).run()
+        parallel = PredictionSuiteRunner(scenarios, max_workers=4).run()
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert a.mae == b.mae
+            assert a.rmse == b.rmse
+
+    def test_by_label_and_best_models(self):
+        report = PredictionSuiteRunner(small_scenarios(), max_workers=1).run()
+        labels = report.by_label()
+        assert len(labels) == 2
+        best = report.best_models()
+        assert set(best) == {("xian_like", 4, 7)}
+        assert best[("xian_like", 4, 7)] in ("historical_average", "mlp")
+
+    def test_cache_key_is_stable(self):
+        scenario = PredictorScenario(city="xian_like", **SMALL)
+        assert PredictionSuiteRunner.cache_key(scenario) == (
+            PredictionSuiteRunner.cache_key(PredictorScenario(city="xian_like", **SMALL))
+        )
+
+
+class TestProcessExecutor:
+    """The ProcessPoolExecutor backend."""
+
+    def test_process_equals_thread(self):
+        scenarios = small_scenarios()
+        thread = PredictionSuiteRunner(scenarios, executor="thread", max_workers=2).run()
+        process = PredictionSuiteRunner(
+            scenarios, executor="process", max_workers=2
+        ).run()
+        assert len(process.outcomes) == len(scenarios)
+        for a, b in zip(thread.outcomes, process.outcomes):
+            assert a.scenario == b.scenario
+            assert a.mae == b.mae
+            assert a.rmse == b.rmse
+            assert not b.from_cache
+
+    def test_process_cache_bytes_match_thread(self, tmp_path):
+        scenarios = small_scenarios()
+        thread_dir = tmp_path / "thread"
+        process_dir = tmp_path / "process"
+        PredictionSuiteRunner(scenarios, cache_dir=str(thread_dir)).run()
+        PredictionSuiteRunner(
+            scenarios, cache_dir=str(process_dir), executor="process", max_workers=2
+        ).run()
+        thread_files = {p.name: p.read_bytes() for p in thread_dir.glob("*.json")}
+        process_files = {p.name: p.read_bytes() for p in process_dir.glob("*.json")}
+        assert thread_files == process_files
+        assert len(thread_files) == len(scenarios)
+
+    def test_process_replays_from_cache(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        scenarios = small_scenarios()
+        first = PredictionSuiteRunner(
+            scenarios, cache_dir=str(cache_dir), executor="process", max_workers=2
+        ).run()
+        assert first.cache_hits == 0
+        second = PredictionSuiteRunner(
+            scenarios, cache_dir=str(cache_dir), executor="process"
+        ).run()
+        assert second.cache_hits == len(scenarios)
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert a.mae == b.mae
+
+
+class TestHyperCacheKeys:
+    def test_ignored_hyper_does_not_change_cache_key(self):
+        """A baseline's cache entry survives neural hyper-parameter changes."""
+        base = PredictorScenario(
+            city="xian_like", model="historical_average", hyper=(("epochs", 3),), **SMALL
+        )
+        other = PredictorScenario(
+            city="xian_like", model="historical_average", hyper=(("epochs", 5),), **SMALL
+        )
+        assert PredictionSuiteRunner.cache_key(base) == PredictionSuiteRunner.cache_key(other)
+
+    def test_applied_hyper_still_keys_the_cache(self):
+        base = PredictorScenario(
+            city="xian_like", model="mlp", hyper=(("epochs", 3),), **SMALL
+        )
+        other = PredictorScenario(
+            city="xian_like", model="mlp", hyper=(("epochs", 5),), **SMALL
+        )
+        assert PredictionSuiteRunner.cache_key(base) != PredictionSuiteRunner.cache_key(other)

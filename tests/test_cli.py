@@ -227,3 +227,84 @@ class TestDispatchCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unknown city preset 'atlantis'" in captured.err
+
+
+class TestPredictCommand:
+    def test_predict_defaults_parse(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.command == "predict"
+        assert args.models == "historical_average,mlp"
+        assert args.resolutions == [8]
+        assert args.executor == "thread"
+
+    def test_predict_command_populates_and_hits_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "predict-cache")
+        argv = [
+            "predict",
+            "--preset",
+            "xian",
+            "--models",
+            "historical_average,mlp",
+            "--resolutions",
+            "4",
+            "--epochs",
+            "3",
+            "--max-train-samples",
+            "64",
+            "--cache-dir",
+            cache_dir,
+        ]
+        exit_code = main(argv)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Predictor suite" in output
+        assert "xian_like" in output
+        assert "0 cache hits, 2 misses" in output
+
+        exit_code = main(argv)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 cache hits, 0 misses" in output
+
+    def test_predict_rejects_unknown_model(self, capsys):
+        argv = ["predict", "--models", "crystal_ball", "--cache-dir", "none"]
+        assert main(argv) == 2
+        assert "repro predict" in capsys.readouterr().err
+
+    def test_predict_process_executor_runs(self, capsys):
+        argv = [
+            "predict",
+            "--preset",
+            "xian",
+            "--models",
+            "historical_average",
+            "--resolutions",
+            "4",
+            "--executor",
+            "process",
+            "--workers",
+            "2",
+            "--cache-dir",
+            "none",
+        ]
+        assert main(argv) == 0
+        assert "Predictor suite" in capsys.readouterr().out
+
+    def test_dispatch_guidance_option(self, capsys):
+        argv = [
+            "dispatch",
+            "--preset",
+            "xian",
+            "--policies",
+            "polar",
+            "--fleet-sizes",
+            "20",
+            "--demand-scales",
+            "1.0",
+            "--guidance",
+            "historical_average",
+            "--cache-dir",
+            "none",
+        ]
+        assert main(argv) == 0
+        assert "Dispatch scenario suite" in capsys.readouterr().out
