@@ -49,6 +49,7 @@ from repro.dispatch.entities import OrderArrays  # noqa: E402
 from repro.dispatch.scenarios import (  # noqa: E402
     build_scenario_bundle,
     large_fleet_scenario,
+    lifecycle_stress_scenario,
     reference_scenario,
 )
 from repro.utils.rng import seed_for  # noqa: E402
@@ -72,6 +73,7 @@ def _best_of(callable_, repeats: int = REPEATS) -> float:
 def _metrics_dict(metrics) -> Dict[str, float]:
     return {
         "served_orders": metrics.served_orders,
+        "cancelled_orders": metrics.cancelled_orders,
         "total_orders": metrics.total_orders,
         "total_revenue": metrics.total_revenue,
         "total_travel_km": metrics.total_travel_km,
@@ -106,8 +108,9 @@ def run_benchmark(repeats: int = REPEATS) -> Dict:
         )
     order_stream = _order_stream_benchmark(repeats)
     sparse = _sparse_benchmark(repeats)
+    lifecycle = _lifecycle_benchmark(repeats)
     return {
-        "schema": 2,
+        "schema": 3,
         "reference": "200 drivers x 1 NYC-like day (48 slots)",
         "repeats": repeats,
         "python": platform.python_version(),
@@ -115,6 +118,35 @@ def run_benchmark(repeats: int = REPEATS) -> Dict:
         "engines": results,
         "order_stream": order_stream,
         "sparse": sparse,
+        "lifecycle": lifecycle,
+    }
+
+
+def _lifecycle_benchmark(repeats: int) -> Dict:
+    """Vector vs scalar on the pinned lifecycle stress scenario.
+
+    Two surge test days on a 2000-driver two-shift fleet under a 6-minute
+    rider patience (:func:`repro.dispatch.scenarios.lifecycle_stress_scenario`):
+    the shift mask, cancellation accounting and cross-midnight state
+    carry-over all run on every batch, and the engines must agree bit-for-bit
+    — including the ``cancelled_orders`` count.
+    """
+    scenario = lifecycle_stress_scenario()
+    bundle = build_scenario_bundle(scenario)
+    vector_metrics = bundle.run("vector")  # warm
+    scalar_metrics = bundle.run("scalar")
+    vector_seconds = _best_of(lambda: bundle.run("vector"), repeats)
+    scalar_seconds = _best_of(lambda: bundle.run("scalar"), min(repeats, 2))
+    return {
+        "scenario": scenario.cache_payload(),
+        "orders": bundle.total_order_count,
+        "fleet_size": scenario.fleet_size,
+        "test_days": scenario.test_days,
+        "scalar_seconds": scalar_seconds,
+        "vector_seconds": vector_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+        "metrics": _metrics_dict(vector_metrics),
+        "metrics_equal": vector_metrics == scalar_metrics,
     }
 
 
@@ -212,9 +244,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"dense {sparse['dense_seconds']:.2f}s, sparse {sparse['sparse_seconds']:.2f}s, "
         f"speedup {sparse['speedup']:.2f}x, metrics equal: {sparse['metrics_equal']}"
     )
+    lifecycle = payload["lifecycle"]
+    print(
+        f"lifecycle stress ({lifecycle['fleet_size']} two-shift drivers, "
+        f"{lifecycle['orders']} orders over {lifecycle['test_days']} days, "
+        f"{lifecycle['metrics']['cancelled_orders']} cancellations): "
+        f"scalar {lifecycle['scalar_seconds']:.2f}s, "
+        f"vector {lifecycle['vector_seconds']:.2f}s, "
+        f"speedup {lifecycle['speedup']:.2f}x, metrics equal: {lifecycle['metrics_equal']}"
+    )
     print(f"wrote {args.output}")
     failures = [e for e in payload["engines"] if not e["metrics_equal"]]
-    if failures or not stream["streams_identical"] or not sparse["metrics_equal"]:
+    if (
+        failures
+        or not stream["streams_identical"]
+        or not sparse["metrics_equal"]
+        or not lifecycle["metrics_equal"]
+    ):
         print("ERROR: engine equivalence violated", file=sys.stderr)
         return 1
     return 0
@@ -231,6 +277,20 @@ def test_dispatch_engine_speedup(benchmark):
     assert payload["order_stream"]["streams_identical"]
     assert payload["sparse"]["metrics_equal"], payload["sparse"]
     assert payload["sparse"]["speedup"] > 1.0, payload["sparse"]
+    assert payload["lifecycle"]["metrics_equal"], payload["lifecycle"]
+    assert payload["lifecycle"]["speedup"] > 1.0, payload["lifecycle"]
+    assert payload["lifecycle"]["metrics"]["cancelled_orders"] > 0
+
+
+def test_lifecycle_stress_scenario_is_pinned():
+    """The lifecycle gate's stress profile stays pinned (baseline depends on it)."""
+    scenario = lifecycle_stress_scenario()
+    assert scenario.fleet_size == 2000
+    assert scenario.test_days == 2
+    assert scenario.fleet_profile == "two_shift"
+    assert scenario.demand_scale == 6.0
+    assert scenario.max_wait_minutes == 6.0
+    assert scenario.city == "nyc_like"
 
 
 def test_large_fleet_scenario_is_pinned():

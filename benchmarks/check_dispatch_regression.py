@@ -17,6 +17,12 @@ Compares a freshly emitted ``BENCH_dispatch.json`` (from
   pipeline must report metrics bit-identical to the dense vector engine
   (``metrics_equal``), metric values matching the baseline within
   ``metrics_rtol``, and a sparse/dense speedup above ``min_sparse_speedup``.
+* **Fleet lifecycle** — on the pinned lifecycle stress scenario (two-shift
+  2000-driver fleet, 2 surge test days, 6-minute rider patience) the
+  vectorized engine must report metrics — including ``cancelled_orders`` —
+  bit-identical to the scalar oracle, matching the baseline within
+  ``metrics_rtol``, with a speedup above ``min_lifecycle_speedup`` and a
+  wall-time ceiling like the engine configurations.
 
 Usage::
 
@@ -126,6 +132,35 @@ def check(current: Dict, baseline: Dict) -> List[str]:
                     f"sparse: wall-time {sparse['sparse_seconds']:.3f}s exceeds "
                     f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
                 )
+
+    base_lifecycle = baseline.get("lifecycle")
+    if base_lifecycle is not None:
+        lifecycle = current.get("lifecycle")
+        if lifecycle is None:
+            problems.append("lifecycle: section missing from benchmark output")
+        else:
+            if not lifecycle.get("metrics_equal", False):
+                problems.append(
+                    "lifecycle: vectorized metrics no longer equal the scalar oracle"
+                )
+            problems.extend(
+                f"lifecycle: {problem}"
+                for problem in _compare_metrics(
+                    lifecycle.get("metrics", {}), base_lifecycle["metrics"], rtol
+                )
+            )
+            lifecycle_floor = float(gates.get("min_lifecycle_speedup", 2.0))
+            if float(lifecycle.get("speedup", 0.0)) < lifecycle_floor:
+                problems.append(
+                    f"lifecycle: speedup {lifecycle.get('speedup', 0.0):.2f}x below "
+                    f"the {lifecycle_floor:.2f}x floor"
+                )
+            ceiling = float(base_lifecycle["vector_seconds"]) * time_factor
+            if float(lifecycle.get("vector_seconds", float("inf"))) > ceiling:
+                problems.append(
+                    f"lifecycle: wall-time {lifecycle['vector_seconds']:.3f}s exceeds "
+                    f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
+                )
     return problems
 
 
@@ -153,6 +188,15 @@ def main(argv=None) -> int:
             f"sparse large-fleet: speedup {sparse['speedup']:.2f}x "
             f"(sparse {sparse['sparse_seconds']:.2f}s vs dense "
             f"{sparse['dense_seconds']:.2f}s), metrics equal: {sparse['metrics_equal']}"
+        )
+    lifecycle = current.get("lifecycle")
+    if lifecycle is not None:
+        print(
+            f"lifecycle stress: speedup {lifecycle['speedup']:.2f}x "
+            f"(vector {lifecycle['vector_seconds']:.2f}s vs scalar "
+            f"{lifecycle['scalar_seconds']:.2f}s), "
+            f"cancelled {lifecycle['metrics'].get('cancelled_orders')}, "
+            f"metrics equal: {lifecycle['metrics_equal']}"
         )
     if problems:
         print("\nPERF GATE FAILED:", file=sys.stderr)

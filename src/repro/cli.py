@@ -243,6 +243,48 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     dispatch.add_argument(
+        "--scenario",
+        choices=("grid", "lifecycle"),
+        default="grid",
+        help=(
+            "scenario family: the plain cross-product grid (default) or its "
+            "lifecycle/churn variants — rush-hour shift change, overnight "
+            "skeleton fleet, high-cancellation surge and a 2-day carry-over "
+            "replay per grid point; each variant overrides the one knob it "
+            "stresses (--fleet-profile, --max-wait capped at 3, --test-days "
+            "raised to >= 2 for the churn variant)"
+        ),
+    )
+    dispatch.add_argument(
+        "--test-days",
+        type=int,
+        default=1,
+        help=(
+            "consecutive test days replayed per scenario; fleet state "
+            "(positions, availability, earnings) carries across the day "
+            "boundaries (default: 1)"
+        ),
+    )
+    dispatch.add_argument(
+        "--fleet-profile",
+        choices=("full_day", "two_shift", "skeleton"),
+        default="full_day",
+        help=(
+            "driver shift roster: full_day (static fleet, default), "
+            "two_shift (day/overnight shifts with an evening-rush change-"
+            "over) or skeleton (overnight skeleton fleet)"
+        ),
+    )
+    dispatch.add_argument(
+        "--max-wait",
+        type=float,
+        default=10.0,
+        help=(
+            "rider patience in minutes; orders waiting longer are cancelled "
+            "and counted in the cancelled metric (default: 10)"
+        ),
+    )
+    dispatch.add_argument(
         "--cache-dir",
         default=".gridtuner_cache",
         help="persistent result-cache directory; 'none' disables caching",
@@ -502,6 +544,10 @@ def _command_dispatch(args: argparse.Namespace) -> int:
             executor=args.executor,
             sparse=args.sparse,
             guidance=args.guidance,
+            scenario_family=args.scenario,
+            test_days=args.test_days,
+            fleet_profile=args.fleet_profile,
+            max_wait_minutes=args.max_wait,
         )
     except ValueError as exc:
         print(f"repro dispatch: {exc}", file=sys.stderr)
@@ -513,7 +559,10 @@ def _command_dispatch(args: argparse.Namespace) -> int:
             o.scenario.fleet_size,
             f"{o.scenario.demand_scale:g}x",
             o.scenario.seed,
+            o.scenario.fleet_profile,
+            o.scenario.test_days,
             o.metrics.served_orders,
+            o.metrics.cancelled_orders,
             o.metrics.total_orders,
             f"{100 * o.metrics.service_rate:.1f}%",
             round(o.metrics.total_revenue, 1),
@@ -530,7 +579,10 @@ def _command_dispatch(args: argparse.Namespace) -> int:
                 "fleet",
                 "demand",
                 "seed",
+                "roster",
+                "days",
                 "served",
+                "cancelled",
                 "orders",
                 "rate",
                 "revenue",

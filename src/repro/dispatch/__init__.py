@@ -10,6 +10,7 @@ dispatch quality tracks the real error of the prediction.
 """
 
 from repro.dispatch.entities import (
+    DAY_MINUTES,
     Order,
     Driver,
     RideRequest,
@@ -17,6 +18,7 @@ from repro.dispatch.entities import (
     DispatchMetrics,
     OrderArrays,
     FleetArrays,
+    online_mask,
 )
 from repro.dispatch.travel import TravelModel
 from repro.dispatch.matching import (
@@ -57,14 +59,20 @@ from repro.dispatch.scenarios import (
     DispatchScenario,
     ScenarioBundle,
     build_scenario_bundle,
+    build_scenario_dataset,
     large_fleet_scenario,
+    lifecycle_scenarios,
+    lifecycle_stress_scenario,
     reference_scenario,
     run_scenario,
     scenario_grid,
+    shift_windows,
     stress_scenarios,
 )
 
 __all__ = [
+    "DAY_MINUTES",
+    "online_mask",
     "Order",
     "Driver",
     "RideRequest",
@@ -103,9 +111,13 @@ __all__ = [
     "DispatchScenario",
     "ScenarioBundle",
     "build_scenario_bundle",
+    "build_scenario_dataset",
     "large_fleet_scenario",
+    "lifecycle_scenarios",
+    "lifecycle_stress_scenario",
     "reference_scenario",
     "run_scenario",
     "scenario_grid",
+    "shift_windows",
     "stress_scenarios",
 ]

@@ -60,19 +60,58 @@ The per-batch cost drops from O(N*M) to output-sensitive near-linear work.
 ``"auto"`` switches the sparse path on once ``pending * idle`` crosses
 :data:`SPARSE_AUTO_THRESHOLD`; the dense path stays the oracle and the
 equivalence suite asserts sparse and dense produce identical metrics.
+
+Fleet & order lifecycle
+-----------------------
+Per-driver shift windows (``FleetArrays.online_from``/``online_until``,
+recurring minutes of day) are masked out of the idle set — and therefore out
+of the sparse index, which is built over the idle subset — in both engines;
+rider cancellations (pending orders whose wait exceeds their patience) are
+counted once per drop in ``DispatchMetrics.cancelled_orders``; and
+:meth:`VectorizedAssignmentEngine.run` accepts one :class:`OrderArrays` per
+test day for multi-day replay, carrying fleet state across the
+``DAY_MINUTES`` day boundary.  The scalar simulator implements the identical
+semantics, so the bit-identity contract extends to lifecycle scenarios (see
+``tests/dispatch/test_lifecycle.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dispatch.demand import PredictedDemandProvider
-from repro.dispatch.entities import DispatchMetrics, FleetArrays, OrderArrays
+from repro.dispatch.entities import (
+    DAY_MINUTES,
+    DispatchMetrics,
+    FleetArrays,
+    OrderArrays,
+    online_mask,
+)
 from repro.dispatch.matching import edge_components
 from repro.dispatch.spatial import GridBucketIndex
 from repro.dispatch.travel import TravelModel
+
+
+def infer_minutes_per_slot(arrival_minute: np.ndarray, slot: np.ndarray) -> float:
+    """Best-effort slot length (minutes) from an order stream.
+
+    Every order satisfies ``slot * mps <= arrival < (slot + 1) * mps``, so
+    each order yields the lower bound ``arrival / (slot + 1)`` on the slot
+    length; the tightest bound across the stream, floored at the paper's
+    30-minute default, is returned.  Unlike the historical
+    ``latest_arrival / (max_slot + 1)`` heuristic this cannot be skewed by an
+    early arrival in the last slot, but it is still inference — callers that
+    know the dataset's :class:`~repro.data.events.TimeSlotConfig` should pass
+    ``minutes_per_slot`` explicitly (scenario bundles do), which is exact for
+    every slot window, offset or not.
+    """
+    arrival = np.asarray(arrival_minute, dtype=float)
+    slots = np.asarray(slot, dtype=float)
+    if arrival.size == 0:
+        return 30.0
+    return max(30.0, float(np.max(arrival / (slots + 1.0))))
 
 #: ``sparse="auto"`` switches to the sparse pipeline once the dense candidate
 #: matrix of a batch would hold at least this many cells.  Below it the dense
@@ -157,6 +196,7 @@ class VectorizedAssignmentEngine:
         sparse: str = "auto",
         sparse_threshold: int = SPARSE_AUTO_THRESHOLD,
         sparse_resolution: Optional[int] = None,
+        minutes_per_slot: Optional[float] = None,
     ) -> None:
         if sparse not in SPARSE_MODES:
             raise ValueError(f"sparse must be one of {SPARSE_MODES}")
@@ -166,6 +206,8 @@ class VectorizedAssignmentEngine:
             # Fail at construction, not minutes into a run when the first
             # sparse batch builds a GridBucketIndex.
             raise ValueError("sparse_resolution must be in [1, 255]")
+        if minutes_per_slot is not None and minutes_per_slot <= 0:
+            raise ValueError("minutes_per_slot must be positive")
         self.policy = policy
         self.travel = travel
         self.demand = demand
@@ -174,26 +216,88 @@ class VectorizedAssignmentEngine:
         self.sparse = sparse
         self.sparse_threshold = int(sparse_threshold)
         self.sparse_resolution = sparse_resolution
+        self.minutes_per_slot = minutes_per_slot
         self._sparse_capable = supports_sparse_matching(policy)
 
     # ------------------------------------------------------------------ #
 
     def run(
         self,
-        orders: OrderArrays,
+        orders: Union[OrderArrays, Sequence[OrderArrays]],
         fleet: FleetArrays,
         rng: np.random.Generator,
         day: int = 0,
         slots: Optional[Sequence[int]] = None,
+        days: Optional[int] = None,
     ) -> DispatchMetrics:
-        """Simulate the assignment of ``orders`` to the ``fleet`` in place."""
-        if len(orders) == 0:
-            return DispatchMetrics(0, 0, 0.0, 0.0, 0.0)
+        """Simulate the assignment of ``orders`` to the ``fleet`` in place.
+
+        ``orders`` is one :class:`OrderArrays` (single-day replay, the
+        default) or a sequence of per-day streams (multi-day replay);
+        ``days`` optionally asserts the expected replay length.  Day ``d`` of
+        a multi-day replay runs ``d * DAY_MINUTES`` later on the absolute
+        clock and asks the demand provider for day ``day + d``; fleet state
+        — positions, ``available_at``, per-driver stats — carries across the
+        day boundary, so an overnight trip keeps its driver busy into the
+        next morning and shift windows (which recur daily) re-open.
+        """
+        if isinstance(orders, OrderArrays):
+            orders_per_day: List[OrderArrays] = [orders]
+        else:
+            orders_per_day = list(orders)
+        if days is not None and days != len(orders_per_day):
+            raise ValueError(
+                f"days={days} but {len(orders_per_day)} per-day order stream(s) given"
+            )
+        if sum(len(day_orders) for day_orders in orders_per_day) == 0:
+            return DispatchMetrics(0, 0, 0.0, 0.0, 0.0, 0)
         if len(fleet) == 0:
             raise ValueError("at least one driver is required")
+        served = 0
+        cancelled = 0
+        total_orders = 0
+        revenue = 0.0
+        travel_km = 0.0
+        for offset, day_orders in enumerate(orders_per_day):
+            # A day with no orders is skipped entirely (no repositioning
+            # draws), matching the scalar engine's empty-day early return.
+            if len(day_orders) == 0:
+                continue
+            day_result = self._run_day(
+                day_orders, fleet, rng, day + offset, offset * DAY_MINUTES, slots
+            )
+            served += day_result[0]
+            cancelled += day_result[1]
+            revenue += day_result[2]
+            travel_km += day_result[3]
+            total_orders += day_result[4]
+        unified_cost = travel_km + self.unserved_penalty_km * (total_orders - served)
+        return DispatchMetrics(
+            served_orders=served,
+            total_orders=total_orders,
+            total_revenue=float(revenue),
+            total_travel_km=float(travel_km),
+            unified_cost=float(unified_cost),
+            cancelled_orders=cancelled,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _run_day(
+        self,
+        orders: OrderArrays,
+        fleet: FleetArrays,
+        rng: np.random.Generator,
+        day: int,
+        day_offset: float,
+        slots: Optional[Sequence[int]],
+    ) -> Tuple[int, int, float, float, int]:
+        """One day of the replay; returns (served, cancelled, revenue, km, total)."""
         if slots is None:
-            slots = [int(s) for s in np.unique(orders.slot)]
-        minutes_per_slot = self._minutes_per_slot(orders, slots)
+            day_slots = [int(s) for s in np.unique(orders.slot)]
+        else:
+            day_slots = [int(s) for s in slots]
+        minutes_per_slot = self._resolve_minutes_per_slot(orders)
         # Trip legs depend only on the order, so they are precomputed for the
         # whole stream in two array passes.
         trip_km = self.travel.distance_km(
@@ -201,6 +305,7 @@ class VectorizedAssignmentEngine:
         )
         trip_minutes = self.travel.minutes(trip_km)
         served = 0
+        cancelled = 0
         revenue = 0.0
         travel_km = 0.0
         # When the slot column is non-decreasing (the OrderArrays invariant),
@@ -211,8 +316,8 @@ class VectorizedAssignmentEngine:
         # the (deduplicated) counts replaces the former O(N*S) ``np.isin``
         # pass over the whole order stream.
         slot_counts: Dict[int, int] = {}
-        for slot in slots:
-            slot_start = slot * minutes_per_slot
+        for slot in day_slots:
+            slot_start = day_offset + slot * minutes_per_slot
             predicted = self._predicted_demand(day, slot)
             self.policy.reposition_arrays(
                 fleet, predicted, self.travel, slot_start, rng
@@ -230,30 +335,28 @@ class VectorizedAssignmentEngine:
                 in_slot = in_slot[
                     np.argsort(orders.arrival_minute[in_slot], kind="stable")
                 ]
-            slot_served, slot_revenue, slot_km = self._run_slot(
-                orders, in_slot, fleet, slot_start, minutes_per_slot, trip_km, trip_minutes
+            slot_served, slot_cancelled, slot_revenue, slot_km = self._run_slot(
+                orders,
+                in_slot,
+                fleet,
+                slot_start,
+                minutes_per_slot,
+                trip_km,
+                trip_minutes,
+                day_offset,
             )
             served += slot_served
+            cancelled += slot_cancelled
             revenue += slot_revenue
             travel_km += slot_km
-        total_orders = sum(slot_counts.values())
-        unified_cost = travel_km + self.unserved_penalty_km * (total_orders - served)
-        return DispatchMetrics(
-            served_orders=served,
-            total_orders=total_orders,
-            total_revenue=float(revenue),
-            total_travel_km=float(travel_km),
-            unified_cost=float(unified_cost),
-        )
+        return served, cancelled, revenue, travel_km, sum(slot_counts.values())
 
     # ------------------------------------------------------------------ #
 
-    def _minutes_per_slot(self, orders: OrderArrays, slots: Sequence[int]) -> float:
-        max_slot = max(slots)
-        latest = float(orders.arrival_minute.max())
-        if max_slot <= 0:
-            return max(latest, 30.0)
-        return max(30.0, latest / (max_slot + 1))
+    def _resolve_minutes_per_slot(self, orders: OrderArrays) -> float:
+        if self.minutes_per_slot is not None:
+            return float(self.minutes_per_slot)
+        return infer_minutes_per_slot(orders.arrival_minute, orders.slot)
 
     def _predicted_demand(self, day: int, slot: int) -> Optional[np.ndarray]:
         if self.demand is None:
@@ -278,12 +381,14 @@ class VectorizedAssignmentEngine:
         minutes_per_slot: float,
         trip_km: np.ndarray,
         trip_minutes: np.ndarray,
-    ) -> Tuple[int, float, float]:
+        day_offset: float = 0.0,
+    ) -> Tuple[int, int, float, float]:
         served = 0
+        cancelled = 0
         revenue = 0.0
         travel_km = 0.0
         if slot_indices.size == 0:
-            return served, revenue, travel_km
+            return served, cancelled, revenue, travel_km
         travel = self.travel
         speed = travel.speed_kmh
         avail = fleet.available_at
@@ -291,11 +396,20 @@ class VectorizedAssignmentEngine:
         fleet_y = fleet.y
         fleet_served = fleet.served_orders
         fleet_earned = fleet.earned_revenue
+        # Shift windows: drivers off shift are masked out of the idle set
+        # (and therefore out of the sparse index, which is built over the
+        # idle subset only).  The mask is skipped entirely for always-online
+        # fleets so the fixed-fleet hot path stays a single comparison.
+        has_shifts = fleet.has_shifts
+        online_from = fleet.online_from
+        online_until = fleet.online_until
         dropoff_x = orders.dropoff_x
         dropoff_y = orders.dropoff_y
         order_revenue = orders.revenue
         # Per-slot order columns, sorted by arrival (the slot_indices order).
-        sl_arrival = orders.arrival_minute[slot_indices]
+        # Arrivals are day-relative; the day offset lifts them onto the
+        # absolute replay clock (a no-op bitwise for day 0).
+        sl_arrival = orders.arrival_minute[slot_indices] + day_offset
         sl_max_wait = orders.max_wait_minutes[slot_indices]
         sl_revenue = order_revenue[slot_indices]
         sl_x = orders.x[slot_indices]
@@ -327,14 +441,22 @@ class VectorizedAssignmentEngine:
             if pending.size == 0:
                 batch_start = minute
                 continue
-            # Drop orders that have waited past their tolerance.
+            # Drop orders that have waited past their tolerance; each drop is
+            # a rider cancellation, counted once.
             waits = minute - sl_arrival[pending]
             limits = sl_max_wait[pending]
             alive_mask = waits <= limits
             alive_index = pending[alive_mask]
+            cancelled += int(pending.size - alive_index.size)
             pending = alive_index
             if alive_index.size:
-                idle = np.nonzero(avail <= minute)[0]
+                if has_shifts:
+                    idle = np.nonzero(
+                        (avail <= minute)
+                        & online_mask(online_from, online_until, minute)
+                    )[0]
+                else:
+                    idle = np.nonzero(avail <= minute)[0]
                 if idle.size:
                     alive_waits = waits[alive_mask]
                     alive_limits = limits[alive_mask]
@@ -408,7 +530,7 @@ class VectorizedAssignmentEngine:
                             keep[assigned] = False
                             pending = alive_index[keep]
             batch_start = minute
-        return served, revenue, travel_km
+        return served, cancelled, revenue, travel_km
 
     # ------------------------------------------------------------------ #
 

@@ -11,9 +11,32 @@ extent held by :class:`~repro.dispatch.travel.TravelModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
+
+#: Length of one simulated day in minutes; shift windows recur on this period.
+DAY_MINUTES = 1440.0
+
+
+def online_mask(
+    online_from: np.ndarray, online_until: np.ndarray, minute: float
+) -> np.ndarray:
+    """Boolean per-driver mask: who is on shift at ``minute``.
+
+    Shift windows are expressed in *minutes of day* and recur daily: a driver
+    is online iff ``online_from <= m < online_until`` where
+    ``m = minute % DAY_MINUTES``.  A window with ``online_from > online_until``
+    wraps past midnight (overnight shift): online iff ``m >= online_from or
+    m < online_until``.  The boundary semantics are pinned to match
+    ``available_at``'s idle rule — closed at the shift start (a driver whose
+    shift opens exactly at the batch minute is dispatchable) and open at the
+    shift end.  The default window ``(0, DAY_MINUTES)`` is always online.
+    """
+    m = minute % DAY_MINUTES
+    straight = (online_from <= m) & (m < online_until)
+    wrapped = (m >= online_from) | (m < online_until)
+    return np.where(online_from <= online_until, straight, wrapped)
 
 
 @dataclass
@@ -60,7 +83,10 @@ class Driver:
     """A driver (worker) that serves orders.
 
     ``available_at`` is the minute at which the driver finishes the current
-    trip and becomes idle at ``(x, y)``.
+    trip and becomes idle at ``(x, y)``.  ``online_from``/``online_until``
+    bound the driver's daily shift in minutes of day (recurring, see
+    :func:`online_mask`); the defaults keep the driver online around the
+    clock, which reproduces the pre-lifecycle fixed-fleet behaviour exactly.
     """
 
     driver_id: int
@@ -69,10 +95,25 @@ class Driver:
     available_at: float = 0.0
     served_orders: int = 0
     earned_revenue: float = 0.0
+    online_from: float = 0.0
+    online_until: float = DAY_MINUTES
+
+    def is_online(self, minute: float) -> bool:
+        """True if the driver's shift covers ``minute`` (see :func:`online_mask`)."""
+        m = minute % DAY_MINUTES
+        if self.online_from <= self.online_until:
+            return self.online_from <= m < self.online_until
+        return m >= self.online_from or m < self.online_until
 
     def is_idle(self, minute: float) -> bool:
-        """True if the driver is free at ``minute``."""
-        return self.available_at <= minute
+        """True if the driver is free *and on shift* at ``minute``.
+
+        The availability boundary is pinned closed: a driver whose trip ends
+        exactly at the batch minute (``available_at == minute``) is idle, in
+        both the scalar and the vectorized engine
+        (:meth:`FleetArrays.idle_indices` uses the same ``<=``).
+        """
+        return self.available_at <= minute and self.is_online(minute)
 
     def assign(self, order: Order, pickup_minutes: float, trip_minutes: float) -> None:
         """Record serving ``order``: move to the drop-off and accumulate stats."""
@@ -225,7 +266,13 @@ class OrderArrays:
 
 @dataclass
 class FleetArrays:
-    """Struct-of-arrays driver state mutated in place by the vectorized engine."""
+    """Struct-of-arrays driver state mutated in place by the vectorized engine.
+
+    ``online_from``/``online_until`` hold each driver's recurring daily shift
+    window (see :func:`online_mask`); when omitted they default to the
+    always-online window, so fleets built without lifecycle information
+    behave exactly like the pre-lifecycle fixed fleet.
+    """
 
     driver_id: np.ndarray
     x: np.ndarray
@@ -233,12 +280,21 @@ class FleetArrays:
     available_at: np.ndarray
     served_orders: np.ndarray
     earned_revenue: np.ndarray
+    online_from: Optional[np.ndarray] = None
+    online_until: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.driver_id = np.asarray(self.driver_id, dtype=np.int64)
         self.served_orders = np.asarray(self.served_orders, dtype=np.int64)
         for name in ("x", "y", "available_at", "earned_revenue"):
             setattr(self, name, np.asarray(getattr(self, name), dtype=float))
+        count = len(self)
+        if self.online_from is None:
+            self.online_from = np.zeros(count)
+        if self.online_until is None:
+            self.online_until = np.full(count, DAY_MINUTES)
+        self.online_from = np.asarray(self.online_from, dtype=float)
+        self.online_until = np.asarray(self.online_until, dtype=float)
 
     def __len__(self) -> int:
         return int(self.driver_id.shape[0])
@@ -253,6 +309,8 @@ class FleetArrays:
             available_at=np.array([d.available_at for d in drivers], dtype=float),
             served_orders=np.array([d.served_orders for d in drivers], dtype=np.int64),
             earned_revenue=np.array([d.earned_revenue for d in drivers], dtype=float),
+            online_from=np.array([d.online_from for d in drivers], dtype=float),
+            online_until=np.array([d.online_until for d in drivers], dtype=float),
         )
 
     def write_back(self, drivers: Sequence[Driver]) -> None:
@@ -265,21 +323,50 @@ class FleetArrays:
             driver.available_at = float(self.available_at[i])
             driver.served_orders = int(self.served_orders[i])
             driver.earned_revenue = float(self.earned_revenue[i])
+            driver.online_from = float(self.online_from[i])
+            driver.online_until = float(self.online_until[i])
+
+    @property
+    def has_shifts(self) -> bool:
+        """True if any driver's shift window differs from always-online."""
+        return bool(
+            np.any(self.online_from != 0.0) or np.any(self.online_until != DAY_MINUTES)
+        )
+
+    def online_indices(self, minute: float) -> np.ndarray:
+        """Indices of drivers on shift at ``minute`` (in fleet order)."""
+        return np.nonzero(online_mask(self.online_from, self.online_until, minute))[0]
 
     def idle_indices(self, minute: float) -> np.ndarray:
-        """Indices of drivers free at ``minute`` (in fleet order)."""
-        return np.nonzero(self.available_at <= minute)[0]
+        """Indices of drivers free *and on shift* at ``minute`` (in fleet order).
+
+        Uses ``available_at <= minute`` (closed boundary) combined with the
+        recurring shift mask — the same semantics as :meth:`Driver.is_idle`,
+        so the scalar and vectorized engines select identical idle sets.
+        """
+        idle = self.available_at <= minute
+        if self.has_shifts:
+            idle &= online_mask(self.online_from, self.online_until, minute)
+        return np.nonzero(idle)[0]
 
 
 @dataclass(frozen=True)
 class DispatchMetrics:
-    """Aggregate outcome of one dispatch simulation."""
+    """Aggregate outcome of one dispatch simulation.
+
+    ``cancelled_orders`` counts rider cancellations: orders dropped from the
+    pending pool because their wait exceeded the rider's patience
+    (``max_wait_minutes``) at a batch boundary.  Cancelled orders are a
+    subset of the unserved ones (``total_orders - served_orders``); orders
+    still pending when their slot closes are unserved but not cancelled.
+    """
 
     served_orders: int
     total_orders: int
     total_revenue: float
     total_travel_km: float
     unified_cost: float
+    cancelled_orders: int = 0
 
     @property
     def service_rate(self) -> float:
@@ -287,3 +374,10 @@ class DispatchMetrics:
         if self.total_orders == 0:
             return 0.0
         return self.served_orders / self.total_orders
+
+    @property
+    def cancellation_rate(self) -> float:
+        """Fraction of orders cancelled by rider patience expiry."""
+        if self.total_orders == 0:
+            return 0.0
+        return self.cancelled_orders / self.total_orders

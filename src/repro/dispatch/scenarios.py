@@ -32,12 +32,14 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.grid import GridLayout
 from repro.core.interfaces import evaluation_targets
 from repro.data.dataset import EventDataset
 from repro.data.presets import CITY_PRESETS, city_preset
 from repro.dispatch.demand import PredictedDemandProvider, order_arrays_from_events
-from repro.dispatch.entities import DispatchMetrics, FleetArrays, OrderArrays
+from repro.dispatch.entities import DAY_MINUTES, DispatchMetrics, FleetArrays, OrderArrays
 from repro.dispatch.ls import LSDispatcher
 from repro.dispatch.polar import POLARDispatcher
 from repro.dispatch.simulator import TaskAssignmentSimulator, spawn_fleet
@@ -49,10 +51,52 @@ from repro.utils.validation import ensure_perfect_square
 
 #: Bump when the scenario semantics or serialised payload change, so stale
 #: cache entries miss instead of replaying incompatible results.
-SCENARIO_SCHEMA = 1
+#: Schema 2: fleet & order lifecycle — per-driver shift windows
+#: (``fleet_profile``), rider-cancellation accounting and multi-day replay
+#: (``test_days``) joined the scenario vocabulary.
+SCENARIO_SCHEMA = 2
 
 #: Policies the scenario suite can instantiate.
 SCENARIO_POLICIES = ("polar", "ls")
+
+#: Fleet lifecycle profiles a scenario can spawn (see :func:`shift_windows`).
+FLEET_PROFILES = ("full_day", "two_shift", "skeleton")
+
+
+def shift_windows(
+    profile: str, count: int
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Per-driver recurring shift windows ``(online_from, online_until)``.
+
+    Windows are minutes of day (see
+    :func:`~repro.dispatch.entities.online_mask`), assigned deterministically
+    by driver index so fleet spawning consumes no extra RNG draws and every
+    engine sees the identical roster.
+
+    * ``"full_day"`` — everyone online around the clock (the pre-lifecycle
+      fixed fleet); returns ``(None, None)`` so the fleet keeps the default
+      windows.
+    * ``"two_shift"`` — even-indexed drivers work the day shift
+      (05:00-17:30), odd-indexed the overnight shift (17:00-05:00, wrapping
+      midnight); the 17:00-17:30 overlap is the evening-rush shift change.
+    * ``"skeleton"`` — every fourth driver is online around the clock, the
+      rest only 06:00-22:00: overnight the city runs on a quarter of the
+      fleet.
+    """
+    if profile not in FLEET_PROFILES:
+        raise ValueError(f"fleet_profile must be one of {FLEET_PROFILES}")
+    if profile == "full_day":
+        return None, None
+    index = np.arange(count)
+    if profile == "two_shift":
+        day_shift = index % 2 == 0
+        online_from = np.where(day_shift, 300.0, 1020.0)
+        online_until = np.where(day_shift, 1050.0, 300.0)
+        return online_from, online_until
+    skeleton = index % 4 == 0
+    online_from = np.where(skeleton, 0.0, 360.0)
+    online_until = np.where(skeleton, DAY_MINUTES, 1320.0)
+    return online_from, online_until
 
 
 @dataclass(frozen=True)
@@ -93,7 +137,18 @@ class DispatchScenario:
         (the city-scale configuration).  Ignored by LS, which always solves
         the maximum-weight matching.
     batch_minutes, max_wait_minutes:
-        Matching batch length and order patience.
+        Matching batch length and rider patience: an order waiting longer
+        than ``max_wait_minutes`` is cancelled by its rider (counted in
+        ``DispatchMetrics.cancelled_orders``).
+    test_days:
+        Number of consecutive test days replayed.  Fleet state — positions,
+        ``available_at``, per-driver statistics — carries across the day
+        boundaries, and shift windows recur daily.
+    fleet_profile:
+        Driver shift roster (see :func:`shift_windows`): ``"full_day"``
+        (static fleet, the default), ``"two_shift"`` (day/overnight shifts
+        with an evening-rush change-over) or ``"skeleton"`` (overnight
+        skeleton fleet).
     name:
         Optional label used in reports; defaults to a structural name.
     """
@@ -112,6 +167,8 @@ class DispatchScenario:
     matching: str = "optimal"
     batch_minutes: float = 2.0
     max_wait_minutes: float = 10.0
+    test_days: int = 1
+    fleet_profile: str = "full_day"
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -132,6 +189,18 @@ class DispatchScenario:
             )
         if self.matching not in ("optimal", "greedy"):
             raise ValueError("matching must be 'optimal' or 'greedy'")
+        if self.test_days < 1:
+            raise ValueError("test_days must be at least 1")
+        if self.num_days < self.test_days + 3:
+            # The chronological split needs >= 1 train + 2 val days ahead of
+            # the test window; fail here with scenario context instead of
+            # deep inside dataset generation.
+            raise ValueError(
+                f"num_days={self.num_days} too small for test_days="
+                f"{self.test_days} (need at least test_days + 3)"
+            )
+        if self.fleet_profile not in FLEET_PROFILES:
+            raise ValueError(f"fleet_profile must be one of {FLEET_PROFILES}")
         ensure_perfect_square(self.hgrid_budget, "hgrid_budget")
 
     @property
@@ -145,9 +214,20 @@ class DispatchScenario:
         )
 
     @property
-    def dataset_signature(self) -> Tuple[str, float, int, int]:
-        """Key identifying the synthetic dataset this scenario runs against."""
-        return (self.city, self.effective_scale, self.num_days, self.dataset_seed)
+    def dataset_signature(self) -> Tuple[str, float, int, int, int]:
+        """Key identifying the synthetic dataset this scenario runs against.
+
+        ``test_days`` is part of the key because it changes the dataset's
+        chronological split (which days are test days), even though the
+        generated events are identical.
+        """
+        return (
+            self.city,
+            self.effective_scale,
+            self.num_days,
+            self.test_days,
+            self.dataset_seed,
+        )
 
     @property
     def effective_scale(self) -> float:
@@ -197,6 +277,8 @@ class DispatchScenario:
             "matching": self.matching,
             "batch_minutes": self.batch_minutes,
             "max_wait_minutes": self.max_wait_minutes,
+            "test_days": self.test_days,
+            "fleet_profile": self.fleet_profile,
         }
 
     def make_policy(self):
@@ -214,6 +296,12 @@ class ScenarioBundle:
     expensive part; running the simulation on it is cheap, which is why the
     suite runner shares bundles between engines and the benchmark replays the
     same bundle under both engines.
+
+    ``orders`` is the first test day's stream (the single-day view every
+    pre-lifecycle caller used); ``orders_per_day`` holds one stream per
+    replayed test day, and ``minutes_per_slot`` is the dataset's exact slot
+    length, passed to the simulator so offset slot windows are sized
+    correctly instead of inferred.
     """
 
     scenario: DispatchScenario
@@ -221,13 +309,26 @@ class ScenarioBundle:
     travel: TravelModel
     provider: Optional[PredictedDemandProvider]
     slots: Tuple[int, ...]
+    orders_per_day: Tuple[OrderArrays, ...] = ()
+    minutes_per_slot: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.orders_per_day:
+            self.orders_per_day = (self.orders,)
+
+    @property
+    def total_order_count(self) -> int:
+        """Orders across every replayed day (``len(orders)`` is day 0 only)."""
+        return sum(len(day_orders) for day_orders in self.orders_per_day)
 
     def spawn_fleet(self) -> FleetArrays:
         """Fresh driver state drawn from the scenario's spawn stream.
 
         The stream label is structural (city only), not the display name, so
         equally configured scenarios draw identical fleets — the property the
-        result cache keys on — and POLAR/LS compare on the same fleet.
+        result cache keys on — and POLAR/LS compare on the same fleet.  The
+        scenario's ``fleet_profile`` assigns shift windows deterministically
+        by driver index, consuming no RNG draws.
         """
         rng = default_rng(
             seed_for(f"dispatch-scenario/{self.scenario.city}/fleet", self.scenario.seed)
@@ -235,7 +336,14 @@ class ScenarioBundle:
         initial = None
         if self.provider is not None and self.provider.has_slot(0, self.slots[0]):
             initial = self.provider.hgrid_demand(0, self.slots[0])
-        return spawn_fleet(self.scenario.fleet_size, rng, demand_grid=initial)
+        fleet = spawn_fleet(self.scenario.fleet_size, rng, demand_grid=initial)
+        online_from, online_until = shift_windows(
+            self.scenario.fleet_profile, self.scenario.fleet_size
+        )
+        if online_from is not None:
+            fleet.online_from = online_from
+            fleet.online_until = online_until
+        return fleet
 
     def simulator(
         self, engine: str = "vector", sparse: str = "auto"
@@ -258,21 +366,26 @@ class ScenarioBundle:
             ),
             engine=engine,
             sparse=sparse,
+            minutes_per_slot=self.minutes_per_slot,
         )
 
     def run(self, engine: str = "vector", sparse: str = "auto") -> DispatchMetrics:
-        """Spawn a fresh fleet and simulate once."""
+        """Spawn a fresh fleet and simulate once (all replayed days)."""
         fleet = self.spawn_fleet()
+        multi_day = len(self.orders_per_day) > 1
         if engine == "scalar":
             # The scalar oracle consumes entity objects.
             drivers = [
                 _driver_from_arrays(fleet, i) for i in range(len(fleet))
             ]
-            return self.simulator(engine).run(
-                self.orders.to_orders(), drivers, day=0, slots=self.slots
-            )
+            if multi_day:
+                orders = [day_orders.to_orders() for day_orders in self.orders_per_day]
+            else:
+                orders = self.orders.to_orders()
+            return self.simulator(engine).run(orders, drivers, day=0, slots=self.slots)
+        orders = list(self.orders_per_day) if multi_day else self.orders
         return self.simulator(engine, sparse=sparse).run(
-            self.orders, fleet, day=0, slots=self.slots
+            orders, fleet, day=0, slots=self.slots
         )
 
 
@@ -286,6 +399,18 @@ def _driver_from_arrays(fleet: FleetArrays, index: int):
         available_at=float(fleet.available_at[index]),
         served_orders=int(fleet.served_orders[index]),
         earned_revenue=float(fleet.earned_revenue[index]),
+        online_from=float(fleet.online_from[index]),
+        online_until=float(fleet.online_until[index]),
+    )
+
+
+def build_scenario_dataset(scenario: DispatchScenario) -> EventDataset:
+    """Generate the scenario's synthetic dataset (the ``dataset_signature`` key)."""
+    return EventDataset.from_city(
+        city_preset(scenario.city, scale=scenario.effective_scale),
+        num_days=scenario.num_days,
+        test_days=scenario.test_days,
+        seed=scenario.dataset_seed,
     )
 
 
@@ -304,26 +429,44 @@ def build_scenario_bundle(
     instead of once per scenario.
     """
     if dataset is None:
-        dataset = EventDataset.from_city(
-            city_preset(scenario.city, scale=scenario.effective_scale),
-            num_days=scenario.num_days,
-            seed=scenario.dataset_seed,
+        dataset = build_scenario_dataset(scenario)
+    elif len(dataset.split.test_days) < scenario.test_days:
+        # A shorter test split would silently replay empty days (both
+        # engines skip them), under-reporting the scenario; fail loudly.
+        raise ValueError(
+            f"dataset has {len(dataset.split.test_days)} test day(s) but the "
+            f"scenario replays test_days={scenario.test_days}; build it with "
+            "build_scenario_dataset(scenario)"
         )
     travel = TravelModel.for_city(dataset.city)
     test_events = dataset.test_events()
-    orders = order_arrays_from_events(
-        test_events,
-        day=0,
-        slots=scenario.slots,
-        max_wait_minutes=scenario.max_wait_minutes,
-        seed=seed_for(f"dispatch-scenario/{scenario.city}/orders", scenario.seed),
-    )
+    # One order stream per replayed test day.  Day 0 keeps the historical
+    # stream label so pre-lifecycle scenario results replay unchanged; later
+    # days hang off their own structural labels, so extending a scenario to
+    # more days never perturbs the earlier days' draws.
+    orders_per_day = []
+    for day in range(scenario.test_days):
+        label = f"dispatch-scenario/{scenario.city}/orders"
+        if day > 0:
+            label = f"{label}/day{day}"
+        orders_per_day.append(
+            order_arrays_from_events(
+                test_events,
+                day=day,
+                slots=scenario.slots,
+                max_wait_minutes=scenario.max_wait_minutes,
+                seed=seed_for(label, scenario.seed),
+            )
+        )
+    orders = orders_per_day[0]
     if scenario.slots is not None:
         slots = tuple(int(s) for s in scenario.slots)
     else:
-        slots = tuple(sorted({int(s) for s in orders.slot}))
+        slots = tuple(
+            sorted({int(s) for day_orders in orders_per_day for s in day_orders.slot})
+        )
     provider = None
-    if scenario.guidance != "none" and len(orders):
+    if scenario.guidance != "none" and any(len(o) for o in orders_per_day):
         key = scenario.guidance_signature
         if provider_cache is not None and key in provider_cache:
             provider = provider_cache[key]
@@ -332,7 +475,13 @@ def build_scenario_bundle(
             if provider_cache is not None:
                 provider_cache[key] = provider
     return ScenarioBundle(
-        scenario=scenario, orders=orders, travel=travel, provider=provider, slots=slots
+        scenario=scenario,
+        orders=orders,
+        travel=travel,
+        provider=provider,
+        slots=slots,
+        orders_per_day=tuple(orders_per_day),
+        minutes_per_slot=float(dataset.events.slots.minutes_per_slot),
     )
 
 
@@ -367,8 +516,11 @@ def _guidance_provider(
     predictor = _guidance_predictor(scenario)
     predictor.fit(dataset, side)
     predictions = predictor.predict(dataset, side, targets)
-    # The simulator addresses test-day slots relative to day 0.
-    rebased = [(0, slot) for (_, slot) in targets]
+    # The simulator addresses test-day slots relative to replay day 0: the
+    # d-th test day becomes provider day d (a multi-day replay queries days
+    # 0..test_days-1 in order).
+    first = int(test_days[0])
+    rebased = [(int(day) - first, slot) for (day, slot) in targets]
     return PredictedDemandProvider(layout, predictions, rebased)
 
 
@@ -396,7 +548,7 @@ def run_scenario(
     return ScenarioResult(
         scenario=scenario,
         metrics=metrics,
-        total_orders=len(bundle.orders),
+        total_orders=bundle.total_order_count,
         seconds=time.perf_counter() - start,
         engine=engine,
     )
@@ -449,6 +601,74 @@ def stress_scenarios(base: DispatchScenario) -> List[DispatchScenario]:
         ),
         replace(base, name=f"{base.label}/large-fleet", fleet_size=base.fleet_size * 2),
     ]
+
+
+def lifecycle_scenarios(base: DispatchScenario) -> List[DispatchScenario]:
+    """Fleet/order lifecycle variants of ``base``.
+
+    The churn counterpart of :func:`stress_scenarios`:
+
+    * ``shift-change`` — the two-shift roster (day and overnight shifts with
+      an evening-rush change-over), replayed on the base demand;
+    * ``overnight-skeleton`` — the skeleton roster where three quarters of
+      the fleet go offline overnight;
+    * ``cancel-surge`` — doubled demand under an impatient-rider patience
+      (the base patience capped at 3 minutes), a high-cancellation surge day;
+    * ``two-day-churn`` — the two-shift roster replayed over at least two
+      consecutive test days, carrying fleet state (positions,
+      ``available_at``, earnings) across midnight.
+
+    Each variant overrides the base knob it stresses (roster, patience,
+    replay length); the base's other parameters are kept, so e.g. a
+    ``test_days=3`` base keeps its 3-day replay in the churn variant.
+    """
+    return [
+        replace(base, name=f"{base.label}/shift-change", fleet_profile="two_shift"),
+        replace(
+            base, name=f"{base.label}/overnight-skeleton", fleet_profile="skeleton"
+        ),
+        replace(
+            base,
+            name=f"{base.label}/cancel-surge",
+            demand_scale=base.demand_scale * 2.0,
+            max_wait_minutes=min(base.max_wait_minutes, 3.0),
+        ),
+        replace(
+            base,
+            name=f"{base.label}/two-day-churn",
+            fleet_profile="two_shift",
+            test_days=max(base.test_days, 2),
+        ),
+    ]
+
+
+def lifecycle_stress_scenario(
+    policy: str = "polar", matching: str = "greedy"
+) -> DispatchScenario:
+    """Pinned lifecycle stress point for the benchmark and the CI perf gate.
+
+    A 2000-driver two-shift fleet replays two consecutive surge test days
+    under a tight 6-minute rider patience: every batch exercises the shift
+    mask, the cancellation accounting and the cross-midnight carry-over of
+    driver state, at a fleet scale where the vectorized engine's advantage
+    over the scalar oracle is measurable.  The perf gate asserts bit-equal
+    metrics between both engines on this scenario and a speedup floor; keep
+    it stable or regenerate ``benchmarks/baseline_dispatch.json``.
+    """
+    return DispatchScenario(
+        city="nyc_like",
+        policy=policy,
+        fleet_size=2000,
+        demand_scale=6.0,
+        seed=7,
+        scale=0.01,
+        num_days=8,
+        test_days=2,
+        fleet_profile="two_shift",
+        max_wait_minutes=6.0,
+        matching=matching,
+        name=f"stress-lifecycle2000x2day-{policy}-{matching}",
+    )
 
 
 def predicted_demand_scenarios(

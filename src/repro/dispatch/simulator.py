@@ -25,14 +25,19 @@ Two interchangeable engines execute the loop:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dispatch.demand import PredictedDemandProvider
-from repro.dispatch.engine import VectorizedAssignmentEngine, supports_array_kernels
+from repro.dispatch.engine import (
+    VectorizedAssignmentEngine,
+    infer_minutes_per_slot,
+    supports_array_kernels,
+)
 from repro.dispatch.entities import (
+    DAY_MINUTES,
     DispatchMetrics,
     Driver,
     FleetArrays,
@@ -156,6 +161,13 @@ class TaskAssignmentSimulator:
         as in the paper's batched online assignment setting.
     unserved_penalty_km:
         Cost added per unserved order in the unified-cost metric.
+    minutes_per_slot:
+        Slot length of the order stream in minutes.  ``None`` (default)
+        infers it from the orders (see
+        :func:`~repro.dispatch.engine.infer_minutes_per_slot`); callers that
+        know the dataset's slot configuration — scenario bundles do — should
+        pass it explicitly, which sizes offset slot windows (e.g. replaying
+        only the evening slots) exactly.
     engine:
         ``"vector"`` (default) runs the struct-of-arrays engine; ``"scalar"``
         forces the original per-object loop.  Policies without array kernels
@@ -176,6 +188,7 @@ class TaskAssignmentSimulator:
     seed: RandomState = None
     engine: str = "vector"
     sparse: str = "auto"
+    minutes_per_slot: Optional[float] = None
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -187,14 +200,19 @@ class TaskAssignmentSimulator:
             raise ValueError("engine must be 'vector' or 'scalar'")
         if self.sparse not in ("auto", "always", "never"):
             raise ValueError("sparse must be 'auto', 'always' or 'never'")
+        if self.minutes_per_slot is not None and self.minutes_per_slot <= 0:
+            raise ValueError("minutes_per_slot must be positive")
         self._rng = default_rng(self.seed)
 
     def run(
         self,
-        orders: Union[Sequence[Order], OrderArrays],
+        orders: Union[
+            Sequence[Order], OrderArrays, Sequence[OrderArrays], Sequence[Sequence[Order]]
+        ],
         drivers: Union[Sequence[Driver], FleetArrays],
         day: int = 0,
         slots: Optional[Sequence[int]] = None,
+        days: Optional[int] = None,
     ) -> DispatchMetrics:
         """Simulate the assignment of ``orders`` to ``drivers``.
 
@@ -204,30 +222,75 @@ class TaskAssignmentSimulator:
         (:class:`OrderArrays` / :class:`FleetArrays`); array fleets are
         mutated in place, driver objects receive the final state via
         write-back.
+
+        Multi-day replay: ``orders`` may be a sequence of per-day streams
+        (one :class:`OrderArrays` or one ``Sequence[Order]`` per day, each
+        with day-relative arrival minutes); ``days`` optionally asserts the
+        expected length.  Day ``d`` runs ``d * DAY_MINUTES`` later on the
+        absolute clock, queries the demand provider for day ``day + d``, and
+        fleet state — positions, ``available_at``, per-driver statistics —
+        carries across the day boundary.
         """
+        if not isinstance(orders, OrderArrays):
+            orders = list(orders)
+        per_day = self._per_day_streams(orders)
+        if days is not None and per_day is not None and days != len(per_day):
+            raise ValueError(
+                f"days={days} but {len(per_day)} per-day order stream(s) given"
+            )
+        if days is not None and per_day is None and days != 1:
+            raise ValueError("days > 1 requires one order stream per day")
         use_vector = self.engine == "vector" and supports_array_kernels(self.policy)
         if use_vector:
-            return self._run_vector(orders, drivers, day=day, slots=slots)
-        if isinstance(orders, OrderArrays):
-            orders = orders.to_orders()
+            return self._run_vector(orders, per_day, drivers, day=day, slots=slots)
         if isinstance(drivers, FleetArrays):
             raise ValueError(
                 "FleetArrays input requires the vectorized engine and a policy "
                 "with array kernels"
             )
-        return self._run_scalar(orders, drivers, day=day, slots=slots)
+        if per_day is None:
+            per_day = [orders]
+        scalar_days: List[List[Order]] = [
+            list(day_orders.to_orders())
+            if isinstance(day_orders, OrderArrays)
+            else list(day_orders)
+            for day_orders in per_day
+        ]
+        return self._run_scalar(scalar_days, drivers, day=day, slots=slots)
+
+    @staticmethod
+    def _per_day_streams(orders) -> Optional[List]:
+        """``orders`` as a list of per-day streams, or ``None`` if single-day."""
+        if isinstance(orders, OrderArrays):
+            return None
+        if orders and isinstance(orders[0], (OrderArrays, list, tuple)):
+            return list(orders)
+        return None
 
     def _run_vector(
         self,
-        orders: Union[Sequence[Order], OrderArrays],
+        orders,
+        per_day: Optional[List],
         drivers: Union[Sequence[Driver], FleetArrays],
         day: int = 0,
         slots: Optional[Sequence[int]] = None,
     ) -> DispatchMetrics:
-        if not isinstance(orders, OrderArrays):
-            orders = OrderArrays.from_orders(orders)
-        if len(orders) == 0:
-            return DispatchMetrics(0, 0, 0.0, 0.0, 0.0)
+        if per_day is not None:
+            day_arrays = [
+                day_orders
+                if isinstance(day_orders, OrderArrays)
+                else OrderArrays.from_orders(day_orders)
+                for day_orders in per_day
+            ]
+            engine_orders: Union[OrderArrays, List[OrderArrays]] = day_arrays
+            total = sum(len(a) for a in day_arrays)
+        else:
+            if not isinstance(orders, OrderArrays):
+                orders = OrderArrays.from_orders(orders)
+            engine_orders = orders
+            total = len(orders)
+        if total == 0:
+            return DispatchMetrics(0, 0, 0.0, 0.0, 0.0, 0)
         driver_objects: Optional[List[Driver]] = None
         if isinstance(drivers, FleetArrays):
             fleet = drivers
@@ -243,42 +306,43 @@ class TaskAssignmentSimulator:
             batch_minutes=self.batch_minutes,
             unserved_penalty_km=self.unserved_penalty_km,
             sparse=self.sparse,
+            minutes_per_slot=self.minutes_per_slot,
         )
-        metrics = engine.run(orders, fleet, self._rng, day=day, slots=slots)
+        metrics = engine.run(engine_orders, fleet, self._rng, day=day, slots=slots)
         if driver_objects is not None:
             fleet.write_back(driver_objects)
         return metrics
 
     def _run_scalar(
         self,
-        orders: Sequence[Order],
+        orders_per_day: List[List[Order]],
         drivers: Sequence[Driver],
         day: int = 0,
         slots: Optional[Sequence[int]] = None,
     ) -> DispatchMetrics:
-        if not orders:
-            return DispatchMetrics(0, 0, 0.0, 0.0, 0.0)
+        if sum(len(day_orders) for day_orders in orders_per_day) == 0:
+            return DispatchMetrics(0, 0, 0.0, 0.0, 0.0, 0)
         drivers = list(drivers)
         if not drivers:
             raise ValueError("at least one driver is required")
-        if slots is None:
-            slots = sorted({order.slot for order in orders})
         served = 0
+        cancelled = 0
+        total_orders = 0
         revenue = 0.0
         travel_km = 0.0
-        minutes_per_slot = self._minutes_per_slot(orders, slots)
-        for slot in slots:
-            slot_start = slot * minutes_per_slot
-            predicted = self._predicted_demand(day, slot)
-            self.policy.reposition(drivers, predicted, self.travel, slot_start, self._rng)
-            slot_orders = [order for order in orders if order.slot == slot]
-            slot_served, slot_revenue, slot_km = self._run_slot(
-                slot_orders, drivers, slot_start, minutes_per_slot
+        for offset, day_orders in enumerate(orders_per_day):
+            # A day with no orders is skipped entirely (no repositioning
+            # draws) — the vectorized engine applies the same rule.
+            if not day_orders:
+                continue
+            day_result = self._run_scalar_day(
+                day_orders, drivers, day + offset, offset * DAY_MINUTES, slots
             )
-            served += slot_served
-            revenue += slot_revenue
-            travel_km += slot_km
-        total_orders = sum(1 for order in orders if order.slot in set(slots))
+            served += day_result[0]
+            cancelled += day_result[1]
+            revenue += day_result[2]
+            travel_km += day_result[3]
+            total_orders += day_result[4]
         unified_cost = travel_km + self.unserved_penalty_km * (total_orders - served)
         return DispatchMetrics(
             served_orders=served,
@@ -286,18 +350,62 @@ class TaskAssignmentSimulator:
             total_revenue=revenue,
             total_travel_km=travel_km,
             unified_cost=unified_cost,
+            cancelled_orders=cancelled,
         )
+
+    def _run_scalar_day(
+        self,
+        orders: List[Order],
+        drivers: List[Driver],
+        day: int,
+        day_offset: float,
+        slots: Optional[Sequence[int]],
+    ) -> Tuple[int, int, float, float, int]:
+        """One day of the scalar replay; returns (served, cancelled, revenue, km, total)."""
+        if slots is None:
+            day_slots: Sequence[int] = sorted({order.slot for order in orders})
+        else:
+            day_slots = list(slots)
+        minutes_per_slot = self._resolve_minutes_per_slot(orders)
+        if day_offset:
+            # Lift day-relative arrivals onto the absolute replay clock; the
+            # same scalar float addition the vectorized engine applies
+            # elementwise, on copies so the caller's orders stay untouched.
+            orders = [
+                replace(order, arrival_minute=order.arrival_minute + day_offset)
+                for order in orders
+            ]
+        served = 0
+        cancelled = 0
+        revenue = 0.0
+        travel_km = 0.0
+        for slot in day_slots:
+            slot_start = day_offset + slot * minutes_per_slot
+            predicted = self._predicted_demand(day, slot)
+            self.policy.reposition(drivers, predicted, self.travel, slot_start, self._rng)
+            slot_orders = [order for order in orders if order.slot == slot]
+            slot_served, slot_cancelled, slot_revenue, slot_km = self._run_slot(
+                slot_orders, drivers, slot_start, minutes_per_slot
+            )
+            served += slot_served
+            cancelled += slot_cancelled
+            revenue += slot_revenue
+            travel_km += slot_km
+        total_orders = sum(1 for order in orders if order.slot in set(day_slots))
+        return served, cancelled, revenue, travel_km, total_orders
 
     # ------------------------------------------------------------------ #
 
-    def _minutes_per_slot(self, orders: Sequence[Order], slots: Sequence[int]) -> float:
-        # All orders come from one EventLog, so the slot length is implied by
-        # the largest arrival minute; default to 30 if it cannot be inferred.
-        max_slot = max(slots)
-        latest = max(order.arrival_minute for order in orders)
-        if max_slot <= 0:
-            return max(latest, 30.0)
-        return max(30.0, latest / (max_slot + 1))
+    def _resolve_minutes_per_slot(self, orders: Sequence[Order]) -> float:
+        # The slot length is exact when configured; otherwise it is inferred
+        # from the stream through the same per-order bound as the vectorized
+        # engine (identical float arithmetic, so both engines agree bitwise).
+        if self.minutes_per_slot is not None:
+            return float(self.minutes_per_slot)
+        return infer_minutes_per_slot(
+            np.array([order.arrival_minute for order in orders], dtype=float),
+            np.array([order.slot for order in orders], dtype=float),
+        )
 
     def _predicted_demand(self, day: int, slot: int) -> Optional[np.ndarray]:
         if self.demand is None:
@@ -312,12 +420,13 @@ class TaskAssignmentSimulator:
         drivers: List[Driver],
         slot_start: float,
         minutes_per_slot: float,
-    ) -> tuple[int, float, float]:
+    ) -> tuple[int, int, float, float]:
         served = 0
+        cancelled = 0
         revenue = 0.0
         travel_km = 0.0
         if not slot_orders:
-            return served, revenue, travel_km
+            return served, cancelled, revenue, travel_km
         slot_orders = sorted(slot_orders, key=lambda order: order.arrival_minute)
         batch_start = slot_start
         slot_end = slot_start + minutes_per_slot
@@ -330,27 +439,30 @@ class TaskAssignmentSimulator:
                 pending.append(next_order)
                 next_order = next(order_iter, None)
             if pending:
-                batch_served, batch_revenue, batch_km, pending = self._assign_batch(
-                    pending, drivers, batch_end
+                batch_served, batch_cancelled, batch_revenue, batch_km, pending = (
+                    self._assign_batch(pending, drivers, batch_end)
                 )
                 served += batch_served
+                cancelled += batch_cancelled
                 revenue += batch_revenue
                 travel_km += batch_km
             batch_start = batch_end
-        return served, revenue, travel_km
+        return served, cancelled, revenue, travel_km
 
     def _assign_batch(
         self, pending: List[Order], drivers: List[Driver], minute: float
-    ) -> tuple[int, float, float, List[Order]]:
-        # Drop orders that have waited past their tolerance.
+    ) -> tuple[int, int, float, float, List[Order]]:
+        # Drop orders that have waited past their tolerance; each drop is a
+        # rider cancellation, counted once.
         alive = [
             order
             for order in pending
             if minute - order.arrival_minute <= order.max_wait_minutes
         ]
+        cancelled = len(pending) - len(alive)
         idle = [driver for driver in drivers if driver.is_idle(minute)]
         if not alive or not idle:
-            return 0, 0.0, 0.0, alive
+            return 0, cancelled, 0.0, 0.0, alive
         assignment = self.policy.assign(alive, idle, self.travel, minute)
         served = 0
         revenue = 0.0
@@ -376,4 +488,4 @@ class TaskAssignmentSimulator:
         remaining = [
             order for index, order in enumerate(alive) if index not in assigned_orders
         ]
-        return served, revenue, travel_km, remaining
+        return served, cancelled, revenue, travel_km, remaining

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from repro.dispatch.scenarios import lifecycle_scenarios
 from repro.experiments.config import get_profile
 from repro.experiments.multi_city import resolve_city
 from repro.sweep.dispatch import DispatchSuiteRunner, SuiteReport, suite_scenarios
@@ -26,6 +27,11 @@ DEFAULT_FLEET_SIZES = (100, 200)
 
 #: Default demand multipliers: normal day and surge.
 DEFAULT_DEMAND_SCALES = (1.0, 2.0)
+
+#: Scenario families ``run_dispatch_suite`` can expand: the plain
+#: cross-product grid, or its lifecycle/churn variants (shift change,
+#: overnight skeleton fleet, high-cancellation surge, 2-day carry-over).
+SCENARIO_FAMILIES = ("grid", "lifecycle")
 
 
 def run_dispatch_suite(
@@ -42,6 +48,10 @@ def run_dispatch_suite(
     executor: str = "thread",
     sparse: str = "auto",
     guidance: str = "oracle",
+    scenario_family: str = "grid",
+    test_days: int = 1,
+    fleet_profile: str = "full_day",
+    max_wait_minutes: float = 10.0,
 ) -> SuiteReport:
     """Simulate every (city, policy, fleet, demand, seed) scenario in parallel.
 
@@ -51,7 +61,15 @@ def run_dispatch_suite(
     repositioning demand source: the realised-demand oracle, ``"none"``, or
     a registered prediction model trained per scenario (see
     :class:`~repro.dispatch.scenarios.DispatchScenario`).
+
+    ``scenario_family="lifecycle"`` expands every grid point into its
+    lifecycle/churn variants (:func:`~repro.dispatch.scenarios.lifecycle_scenarios`);
+    ``test_days``/``fleet_profile``/``max_wait_minutes`` set the multi-day
+    replay length, driver shift roster and rider patience of the grid points
+    themselves.
     """
+    if scenario_family not in SCENARIO_FAMILIES:
+        raise ValueError(f"scenario_family must be one of {SCENARIO_FAMILIES}")
     config = get_profile(profile)
     scenarios = suite_scenarios(
         cities=[resolve_city(city) for city in cities],
@@ -65,7 +83,14 @@ def run_dispatch_suite(
         hgrid_budget=config.hgrid_budget,
         matching=matching,
         guidance=guidance,
+        test_days=test_days,
+        fleet_profile=fleet_profile,
+        max_wait_minutes=max_wait_minutes,
     )
+    if scenario_family == "lifecycle":
+        scenarios = [
+            variant for base in scenarios for variant in lifecycle_scenarios(base)
+        ]
     return DispatchSuiteRunner(
         scenarios,
         cache_dir=cache_dir,

@@ -33,17 +33,20 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.data.dataset import EventDataset
-from repro.data.presets import city_preset
 from repro.dispatch.entities import DispatchMetrics
 from repro.dispatch.scenarios import (
     DispatchScenario,
     build_scenario_bundle,
+    build_scenario_dataset,
     scenario_grid,
 )
 from repro.utils.cache import ResultCache
 
 #: Bump when the serialised payload layout changes so stale entries miss.
-_CACHE_SCHEMA = 1
+#: Schema 2: lifecycle metrics (``cancelled_orders``) joined the payload and
+#: scenarios gained fleet/order lifecycle semantics (shift windows, multi-day
+#: replay), so schema-1 entries must miss rather than replay without them.
+_CACHE_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -82,6 +85,7 @@ def _serialise(outcome: ScenarioOutcome) -> Dict[str, Any]:
     metrics = outcome.metrics
     return {
         "served_orders": metrics.served_orders,
+        "cancelled_orders": metrics.cancelled_orders,
         "total_orders": metrics.total_orders,
         "total_revenue": metrics.total_revenue,
         "total_travel_km": metrics.total_travel_km,
@@ -100,6 +104,7 @@ def _deserialise(
         total_revenue=float(payload["total_revenue"]),
         total_travel_km=float(payload["total_travel_km"]),
         unified_cost=float(payload["unified_cost"]),
+        cancelled_orders=int(payload["cancelled_orders"]),
     )
     return ScenarioOutcome(
         scenario=scenario,
@@ -121,11 +126,7 @@ def _simulate_scenario_group(
     back in group order and are cached by the parent process so cache writes
     stay single-writer and byte-identical to a thread-backend run.
     """
-    dataset = EventDataset.from_city(
-        city_preset(scenarios[0].city, scale=scenarios[0].effective_scale),
-        num_days=scenarios[0].num_days,
-        seed=scenarios[0].dataset_seed,
-    )
+    dataset = build_scenario_dataset(scenarios[0])
     provider_cache: Dict[Tuple, Any] = {}
     outcomes: List[ScenarioOutcome] = []
     for scenario in scenarios:
@@ -138,7 +139,7 @@ def _simulate_scenario_group(
             ScenarioOutcome(
                 scenario=scenario,
                 metrics=metrics,
-                total_orders=len(bundle.orders),
+                total_orders=bundle.total_order_count,
                 seconds=time.perf_counter() - scenario_start,
                 from_cache=False,
                 engine=engine,
@@ -203,7 +204,7 @@ class DispatchSuiteRunner:
         self.engine = engine
         self.executor = executor
         self.sparse = sparse
-        self._datasets: Dict[Tuple[str, float, int, int], EventDataset] = {}
+        self._datasets: Dict[Tuple, EventDataset] = {}
         # Demand-guidance providers shared across scenarios with equal
         # guidance_signature (one predictor training per signature, not per
         # scenario).  Dict reads/writes are GIL-atomic; a rare concurrent
@@ -232,7 +233,7 @@ class DispatchSuiteRunner:
     def _run_process_pool(self) -> List[ScenarioOutcome]:
         """Fan cache misses out to worker processes, grouped per dataset."""
         slots: List[Optional[ScenarioOutcome]] = [None] * len(self.scenarios)
-        groups: Dict[Tuple[str, float, int, int], List[int]] = {}
+        groups: Dict[Tuple, List[int]] = {}
         for position, scenario in enumerate(self.scenarios):
             if self.cache is not None:
                 payload = self.cache.get(self.cache_key(scenario))
@@ -294,11 +295,7 @@ class DispatchSuiteRunner:
     def _dataset_for(self, scenario: DispatchScenario) -> EventDataset:
         signature = scenario.dataset_signature
         if signature not in self._datasets:
-            self._datasets[signature] = EventDataset.from_city(
-                city_preset(scenario.city, scale=scenario.effective_scale),
-                num_days=scenario.num_days,
-                seed=scenario.dataset_seed,
-            )
+            self._datasets[signature] = build_scenario_dataset(scenario)
         return self._datasets[signature]
 
     def _run_scenario(self, scenario: DispatchScenario) -> ScenarioOutcome:
@@ -320,7 +317,7 @@ class DispatchSuiteRunner:
         outcome = ScenarioOutcome(
             scenario=scenario,
             metrics=metrics,
-            total_orders=len(bundle.orders),
+            total_orders=bundle.total_order_count,
             seconds=time.perf_counter() - scenario_start,
             from_cache=False,
             engine=self.engine,

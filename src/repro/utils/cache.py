@@ -26,9 +26,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 from pathlib import Path
-from typing import Any, Mapping, Optional
+from typing import Any, Iterator, Mapping, Optional
+
+#: Filename stem produced by :meth:`ResultCache.key_for` — a sha256 hexdigest.
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+#: Sentinel distinguishing "unreadable" from a cached ``None``/``null`` value.
+_UNREADABLE = object()
 
 
 def canonical_json(value: Any) -> str:
@@ -63,18 +70,23 @@ class ResultCache:
             raise ValueError(f"invalid cache key {key!r}")
         return self.root / f"{key}.json"
 
+    def _load(self, key: str) -> Any:
+        """Parsed value for ``key``, or :data:`_UNREADABLE` on any failure."""
+        try:
+            with self.path_for(key).open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return _UNREADABLE
+
     def get(self, key: str) -> Optional[Any]:
         """The cached value for ``key``, or ``None`` on a miss.
 
-        Any unreadable entry — missing, corrupted, wrong encoding, bad
-        permissions — degrades to a miss so a damaged cache never aborts the
-        computation it memoises.
+        Any unreadable entry — missing, corrupted, truncated, wrong encoding,
+        bad permissions — degrades to a miss so a damaged cache never aborts
+        the computation it memoises.
         """
-        path = self.path_for(key)
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                value = json.load(handle)
-        except (OSError, ValueError):
+        value = self._load(key)
+        if value is _UNREADABLE:
             self.misses += 1
             return None
         self.hits += 1
@@ -102,19 +114,39 @@ class ResultCache:
         return path
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        """Membership is consistent with :meth:`get`'s degrade-to-miss contract.
+
+        A corrupt, truncated or otherwise unreadable entry is *not* a member:
+        ``key in cache`` is True exactly when ``cache.get(key)`` would hit.
+        (The check parses the entry without touching the hit/miss counters.)
+        """
+        return self._load(key) is not _UNREADABLE
+
+    def _entry_paths(self) -> Iterator[Path]:
+        """Regular files whose name is a canonical ``key_for`` entry.
+
+        Restricting to sha256-hex stems keeps :meth:`__len__` and
+        :meth:`clear` away from foreign ``*.json`` files (a README, a
+        benchmark baseline, ...) that happen to live in the cache directory —
+        those were never written by :meth:`put` under a hashed key, and
+        ``clear`` must not delete them.
+        """
+        for path in self.root.glob("*.json"):
+            if _KEY_PATTERN.fullmatch(path.stem) and path.is_file():
+                yield path
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for _ in self._entry_paths())
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number of entries removed.
+        """Delete every canonical cache entry; returns the number removed.
 
         Also sweeps any ``.tmp-*`` files orphaned by a killed writer (these
-        are never counted as entries).
+        are never counted as entries).  Foreign files in the cache directory
+        are left untouched (see :meth:`_entry_paths`).
         """
         removed = 0
-        for path in self.root.glob("*.json"):
+        for path in list(self._entry_paths()):
             path.unlink(missing_ok=True)
             removed += 1
         for path in self.root.glob(".tmp-*"):

@@ -3,13 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.dispatch.entities import DAY_MINUTES
 from repro.dispatch.scenarios import (
+    SCENARIO_SCHEMA,
     DispatchScenario,
     build_scenario_bundle,
+    lifecycle_scenarios,
+    lifecycle_stress_scenario,
     predicted_demand_scenarios,
     reference_scenario,
     run_scenario,
     scenario_grid,
+    shift_windows,
     stress_scenarios,
 )
 
@@ -172,6 +177,147 @@ class TestScenarioRuns:
         ls = build_scenario_bundle(small_scenario(policy="ls")).spawn_fleet()
         assert np.array_equal(polar.x, ls.x)
         assert np.array_equal(polar.y, ls.y)
+
+
+class TestLifecycleScenarios:
+    def test_invalid_fleet_profile(self):
+        with pytest.raises(ValueError):
+            small_scenario(fleet_profile="gig_economy")
+
+    def test_invalid_test_days(self):
+        with pytest.raises(ValueError):
+            small_scenario(test_days=0)
+        # num_days must leave room for train + val days ahead of the window.
+        with pytest.raises(ValueError):
+            small_scenario(test_days=4)  # SMALL has num_days=6
+
+    def test_schema_bumped_for_lifecycle(self):
+        assert SCENARIO_SCHEMA >= 2
+        payload = small_scenario().cache_payload()
+        assert payload["schema"] == SCENARIO_SCHEMA
+        assert payload["test_days"] == 1
+        assert payload["fleet_profile"] == "full_day"
+
+    def test_lifecycle_fields_key_the_cache(self):
+        base = small_scenario().cache_payload()
+        assert small_scenario(fleet_profile="two_shift").cache_payload() != base
+        assert small_scenario(test_days=2).cache_payload() != base
+
+    def test_shift_windows_are_deterministic_by_index(self):
+        first = shift_windows("two_shift", 10)
+        second = shift_windows("two_shift", 10)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+        # Day shift on even indices, wrapped overnight shift on odd ones.
+        assert first[0][0] == 300.0 and first[1][0] == 1050.0
+        assert first[0][1] == 1020.0 and first[1][1] == 300.0
+
+    def test_shift_windows_full_day_is_default(self):
+        assert shift_windows("full_day", 5) == (None, None)
+        with pytest.raises(ValueError):
+            shift_windows("nights_only", 5)
+
+    def test_skeleton_keeps_a_quarter_online(self):
+        online_from, online_until = shift_windows("skeleton", 8)
+        around_the_clock = (online_from == 0.0) & (online_until == DAY_MINUTES)
+        assert around_the_clock.sum() == 2  # indices 0 and 4
+
+    def test_lifecycle_family_variants(self):
+        base = small_scenario()
+        variants = lifecycle_scenarios(base)
+        by_name = {v.name.rsplit("/", 1)[-1]: v for v in variants}
+        assert set(by_name) == {
+            "shift-change", "overnight-skeleton", "cancel-surge", "two-day-churn"
+        }
+        assert by_name["shift-change"].fleet_profile == "two_shift"
+        assert by_name["overnight-skeleton"].fleet_profile == "skeleton"
+        assert by_name["cancel-surge"].max_wait_minutes == 3.0
+        assert by_name["cancel-surge"].demand_scale == pytest.approx(2 * base.demand_scale)
+        assert by_name["two-day-churn"].test_days == 2
+
+    def test_lifecycle_family_respects_base_knobs(self):
+        """Variants override only the knob they stress; base settings survive."""
+        base = DispatchScenario(
+            city="xian_like", scale=0.003, num_days=8, slots=(16, 17),
+            fleet_size=20, test_days=3, max_wait_minutes=2.0,
+        )
+        by_name = {
+            v.name.rsplit("/", 1)[-1]: v for v in lifecycle_scenarios(base)
+        }
+        # An already-impatient base is not relaxed to 3 minutes...
+        assert by_name["cancel-surge"].max_wait_minutes == 2.0
+        # ...and a longer base replay is not shortened to 2 days.
+        assert by_name["two-day-churn"].test_days == 3
+        assert by_name["shift-change"].test_days == 3
+
+    def test_bundle_rejects_too_short_dataset(self):
+        from repro.dispatch.scenarios import build_scenario_dataset
+
+        short = build_scenario_dataset(small_scenario())  # 1 test day
+        with pytest.raises(ValueError, match="test day"):
+            build_scenario_bundle(small_scenario(test_days=2), dataset=short)
+
+    def test_bundle_carries_exact_slot_length_and_per_day_streams(self):
+        bundle = build_scenario_bundle(small_scenario(test_days=2))
+        assert bundle.minutes_per_slot == 30.0
+        assert len(bundle.orders_per_day) == 2
+        assert bundle.orders is bundle.orders_per_day[0]
+        assert bundle.total_order_count == sum(
+            len(day) for day in bundle.orders_per_day
+        )
+        assert bundle.simulator().minutes_per_slot == 30.0
+
+    def test_two_day_streams_are_deterministic_and_distinct(self):
+        """Per-day order streams replay identically and differ across days.
+
+        ``test_days=2`` replays the *last two* test days chronologically, so
+        replay day 0 is a different calendar day than the single-day
+        scenario's; what is guaranteed is byte-stable determinism per day and
+        independent streams between days.
+        """
+        first = build_scenario_bundle(small_scenario(test_days=2))
+        second = build_scenario_bundle(small_scenario(test_days=2))
+        for a, b in zip(first.orders_per_day, second.orders_per_day):
+            assert np.array_equal(a.arrival_minute, b.arrival_minute)
+            assert np.array_equal(a.x, b.x)
+        day0, day1 = first.orders_per_day
+        assert not np.array_equal(day0.x, day1.x)
+
+    def test_shift_profile_fleet_has_windows(self):
+        bundle = build_scenario_bundle(small_scenario(fleet_profile="two_shift"))
+        fleet = bundle.spawn_fleet()
+        assert fleet.has_shifts
+        # Same positions as the full-day fleet: profiles consume no RNG draws.
+        plain = build_scenario_bundle(small_scenario()).spawn_fleet()
+        assert np.array_equal(fleet.x, plain.x)
+        assert np.array_equal(fleet.y, plain.y)
+
+    @pytest.mark.parametrize("engine", ["vector", "scalar"])
+    def test_lifecycle_bundles_run_on_both_engines(self, engine):
+        for scenario in lifecycle_scenarios(small_scenario()):
+            bundle = build_scenario_bundle(scenario)
+            metrics = bundle.run(engine)
+            assert metrics.total_orders == bundle.total_order_count
+
+    def test_lifecycle_engines_agree(self):
+        for scenario in lifecycle_scenarios(small_scenario()):
+            bundle = build_scenario_bundle(scenario)
+            assert bundle.run("vector") == bundle.run("scalar"), scenario.name
+
+    def test_cancel_surge_produces_cancellations(self):
+        surge = next(
+            s for s in lifecycle_scenarios(small_scenario()) if "cancel-surge" in s.name
+        )
+        metrics = build_scenario_bundle(surge).run("vector")
+        assert metrics.cancelled_orders > 0
+        assert metrics.cancelled_orders + metrics.served_orders <= metrics.total_orders
+
+    def test_lifecycle_stress_scenario_pinned(self):
+        scenario = lifecycle_stress_scenario()
+        assert scenario.fleet_size == 2000
+        assert scenario.test_days == 2
+        assert scenario.fleet_profile == "two_shift"
+        assert scenario.matching == "greedy"
 
 
 class TestReferenceScenario:

@@ -100,6 +100,46 @@ class TestDispatchSuiteRunner:
             DispatchScenario(city="xian_like", **SMALL)
         )
 
+    def test_cache_payload_carries_cancelled_orders(self, tmp_path):
+        """Schema-2 payloads persist the lifecycle metrics and replay them."""
+        cache_dir = tmp_path / "suite"
+        # Tight rider patience so cancellations actually occur.
+        scenarios = [
+            s for s in small_scenarios(max_wait_minutes=2.0) if s.demand_scale == 2.0
+        ]
+        first = DispatchSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        assert any(o.metrics.cancelled_orders > 0 for o in first.outcomes)
+        for path in cache_dir.glob("*.json"):
+            payload = json.loads(path.read_text())
+            assert "cancelled_orders" in payload
+        second = DispatchSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        for before, after in zip(first.outcomes, second.outcomes):
+            assert after.from_cache
+            assert before.metrics == after.metrics
+            assert before.metrics.cancelled_orders == after.metrics.cancelled_orders
+
+    def test_lifecycle_scenarios_cache_and_replay(self, tmp_path):
+        from repro.dispatch.scenarios import lifecycle_scenarios
+
+        base = DispatchScenario(city="xian_like", fleet_size=15, **SMALL)
+        scenarios = lifecycle_scenarios(base)
+        cache_dir = tmp_path / "suite"
+        first = DispatchSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        assert len(first.outcomes) == 4
+        two_day = next(
+            o for o in first.outcomes if o.scenario.name.endswith("two-day-churn")
+        )
+        assert two_day.total_orders == two_day.metrics.total_orders
+        second = DispatchSuiteRunner(scenarios, cache_dir=str(cache_dir)).run()
+        assert second.cache_hits == len(scenarios)
+        for before, after in zip(first.outcomes, second.outcomes):
+            assert before.metrics == after.metrics
+
+    def test_schema_bump_invalidates_old_entries(self):
+        from repro.sweep.dispatch import _CACHE_SCHEMA
+
+        assert _CACHE_SCHEMA >= 2
+
     def test_invalid_executor_and_sparse(self):
         with pytest.raises(ValueError):
             DispatchSuiteRunner(small_scenarios(), executor="fiber")

@@ -219,14 +219,82 @@ class TestDispatchCommand:
         scalar_output = capsys.readouterr().out
         vector_row = next(l for l in vector_output.splitlines() if "xian_like" in l)
         scalar_row = next(l for l in scalar_output.splitlines() if "xian_like" in l)
-        # served/orders/revenue columns identical across engines
-        assert vector_row.split("|")[5:9] == scalar_row.split("|")[5:9]
+        # served/cancelled/orders/rate/revenue columns identical across engines
+        assert vector_row.split("|")[7:12] == scalar_row.split("|")[7:12]
 
     def test_dispatch_command_rejects_unknown_preset_cleanly(self, capsys):
         exit_code = main(["dispatch", "--preset", "atlantis", "--cache-dir", "none"])
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unknown city preset 'atlantis'" in captured.err
+
+    def test_dispatch_lifecycle_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "dispatch",
+                "--scenario",
+                "lifecycle",
+                "--test-days",
+                "2",
+                "--fleet-profile",
+                "two_shift",
+                "--max-wait",
+                "4.5",
+            ]
+        )
+        assert args.scenario == "lifecycle"
+        assert args.test_days == 2
+        assert args.fleet_profile == "two_shift"
+        assert args.max_wait == 4.5
+
+    def test_dispatch_lifecycle_scenario_family_runs(self, capsys):
+        argv = [
+            "dispatch",
+            "--preset",
+            "xian",
+            "--policies",
+            "polar",
+            "--fleet-sizes",
+            "20",
+            "--demand-scales",
+            "1.0",
+            "--scenario",
+            "lifecycle",
+            "--cache-dir",
+            "none",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        # One grid point expands into the four lifecycle variants.
+        assert "4 scenarios" in output
+        assert "two_shift" in output
+        assert "skeleton" in output
+        assert "cancelled" in output
+
+    def test_dispatch_fleet_profile_and_test_days_run(self, capsys):
+        argv = [
+            "dispatch",
+            "--preset",
+            "xian",
+            "--policies",
+            "polar",
+            "--fleet-sizes",
+            "20",
+            "--demand-scales",
+            "1.0",
+            "--fleet-profile",
+            "skeleton",
+            "--test-days",
+            "2",
+            "--max-wait",
+            "5",
+            "--cache-dir",
+            "none",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        row = next(l for l in output.splitlines() if "xian_like" in l)
+        assert "skeleton" in row
 
 
 class TestPredictCommand:

@@ -1,0 +1,90 @@
+"""Negative tests for the dispatch CI perf gate (check_dispatch_regression).
+
+The gate only earns its keep if it actually fails on regressions, so these
+tests doctor a benchmark payload in every way the gate is supposed to catch —
+metric drift, lost engine equality, a speedup collapse, a missing section —
+and assert ``check()`` reports each one.  The committed baseline doubles as a
+known-good payload: compared against itself the gate must pass.
+"""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_dispatch_regression", _BENCHMARKS / "check_dispatch_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load_gate()
+
+
+@pytest.fixture()
+def baseline():
+    return json.loads((_BENCHMARKS / "baseline_dispatch.json").read_text())
+
+
+class TestDispatchPerfGate:
+    def test_baseline_passes_against_itself(self, baseline):
+        assert gate.check(copy.deepcopy(baseline), baseline) == []
+
+    def test_baseline_has_lifecycle_gate(self, baseline):
+        assert "lifecycle" in baseline
+        assert "min_lifecycle_speedup" in baseline["gates"]
+        assert baseline["lifecycle"]["metrics"]["cancelled_orders"] > 0
+
+    def test_engine_metric_drift_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["engines"][0]["metrics"]["served_orders"] += 1
+        problems = gate.check(current, baseline)
+        assert any("drifted" in p for p in problems)
+
+    def test_lifecycle_metric_drift_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["lifecycle"]["metrics"]["cancelled_orders"] += 5
+        problems = gate.check(current, baseline)
+        assert any(p.startswith("lifecycle:") and "cancelled_orders" in p for p in problems)
+
+    def test_lifecycle_lost_equality_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["lifecycle"]["metrics_equal"] = False
+        problems = gate.check(current, baseline)
+        assert any("lifecycle" in p and "scalar oracle" in p for p in problems)
+
+    def test_lifecycle_speedup_collapse_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        floor = float(baseline["gates"]["min_lifecycle_speedup"])
+        current["lifecycle"]["speedup"] = floor / 2.0
+        problems = gate.check(current, baseline)
+        assert any("lifecycle" in p and "below" in p for p in problems)
+
+    def test_lifecycle_wall_time_ceiling_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        factor = float(baseline["gates"]["max_vector_seconds_factor"])
+        current["lifecycle"]["vector_seconds"] = (
+            baseline["lifecycle"]["vector_seconds"] * factor * 2.0
+        )
+        problems = gate.check(current, baseline)
+        assert any("lifecycle" in p and "exceeds" in p for p in problems)
+
+    def test_missing_lifecycle_section_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        del current["lifecycle"]
+        problems = gate.check(current, baseline)
+        assert any("lifecycle: section missing" in p for p in problems)
+
+    def test_sparse_speedup_collapse_still_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["sparse"]["speedup"] = 1.0
+        problems = gate.check(current, baseline)
+        assert any(p.startswith("sparse:") for p in problems)

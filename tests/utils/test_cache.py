@@ -61,6 +61,57 @@ class TestResultCache:
         cache.path_for(directory_key).mkdir()
         assert cache.get(directory_key) is None
 
+    def test_contains_is_consistent_with_get_for_doctored_entries(self, tmp_path):
+        """Membership honours the degrade-to-miss contract: an unreadable
+        entry must not report present while ``get`` returns None."""
+        cache = ResultCache(tmp_path)
+        truncated_key = ResultCache.key_for({"x": "truncated"})
+        cache.put(truncated_key, {"payload": list(range(50))})
+        path = cache.path_for(truncated_key)
+        path.write_bytes(path.read_bytes()[:10])  # truncate mid-document
+        assert cache.get(truncated_key) is None
+        assert truncated_key not in cache
+
+        binary_key = ResultCache.key_for({"x": "binary"})
+        cache.path_for(binary_key).write_bytes(b"\xff\xfe not utf-8 \xff")
+        assert cache.get(binary_key) is None
+        assert binary_key not in cache
+
+        missing_key = ResultCache.key_for({"x": "missing"})
+        assert missing_key not in cache
+
+        good_key = ResultCache.key_for({"x": "good"})
+        cache.put(good_key, {"fine": True})
+        assert good_key in cache
+        # A cached null is still a member (the value is readable).
+        null_key = ResultCache.key_for({"x": "null"})
+        cache.put(null_key, None)
+        assert null_key in cache
+
+    def test_contains_does_not_touch_hit_miss_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = ResultCache.key_for({"x": 1})
+        cache.put(key, 1)
+        assert key in cache
+        assert ResultCache.key_for({"x": 2}) not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_len_ignores_foreign_json_files(self, tmp_path):
+        """Only canonical sha256-keyed entries count; a README.json or a
+        baseline dropped into the directory is neither counted nor cleared."""
+        cache = ResultCache(tmp_path)
+        cache.put(ResultCache.key_for({"x": 1}), 1)
+        foreign = tmp_path / "README.json"
+        foreign.write_text('{"note": "not a cache entry"}', encoding="utf-8")
+        short_hex = tmp_path / ("a" * 63 + ".json")  # 63 chars: not a sha256
+        short_hex.write_text("{}", encoding="utf-8")
+        uppercase = tmp_path / ("A" * 64 + ".json")  # wrong case
+        uppercase.write_text("{}", encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert foreign.exists() and short_hex.exists() and uppercase.exists()
+        assert len(cache) == 0
+
     def test_orphaned_temp_files_not_counted_and_swept_by_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(ResultCache.key_for({"x": 1}), 1)
