@@ -1,0 +1,97 @@
+"""Differential-fuzzer throughput: samples/second across all engine modes.
+
+Informational only — there is no CI gate on these numbers.  They size the
+nightly budget (`.github/workflows/fuzz.yml` runs `repro fuzz --budget 300`)
+and catch gross harness slowdowns by eye: each fuzz sample replays one micro
+world on four engine configurations (scalar oracle, dense vector, forced
+sparse, mixed auto), so throughput is dominated by simulator setup and the
+matching kernels on tiny matrices.
+
+Run modes
+---------
+* ``python benchmarks/bench_fuzz_throughput.py`` prints a summary table.
+* ``--output BENCH_fuzz.json`` additionally writes a machine-readable
+  result (no regression checker consumes it; it is an artifact for humans).
+* ``pytest benchmarks/bench_fuzz_throughput.py`` runs a small campaign as a
+  smoke test under pytest-benchmark timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.fuzz.campaign import run_campaign  # noqa: E402
+from repro.fuzz.generator import sample_world  # noqa: E402
+from repro.fuzz.runner import run_differential  # noqa: E402
+
+#: Campaign size for the timed run — big enough to amortise per-sample noise,
+#: small enough to finish in seconds on a laptop.
+SAMPLES = 60
+
+#: Campaign seed (the fixed CI smoke seed).
+SEED = 7
+
+
+def measure(samples: int = SAMPLES, seed: int = SEED) -> Dict:
+    """Time one shrink-free campaign and a single-sample differential."""
+    # Warm up imports/JIT-free numpy paths on one sample outside the clock.
+    run_differential(sample_world(0, seed=seed))
+    start = time.perf_counter()
+    report = run_campaign(seed=seed, samples=samples, shrink=False)
+    seconds = time.perf_counter() - start
+    return {
+        "schema": 1,
+        "samples": report.samples_run,
+        "seconds": round(seconds, 4),
+        "samples_per_second": round(report.samples_run / seconds, 2),
+        "ok": report.ok,
+        "benign_ties": len(report.benign_ties),
+        "failures": len(report.failures),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--samples", type=int, default=SAMPLES)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--output", type=str, default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+    result = measure(samples=args.samples, seed=args.seed)
+    print(
+        f"fuzz throughput: {result['samples']} samples in {result['seconds']}s "
+        f"({result['samples_per_second']} samples/s) — "
+        f"{result['ok']} ok, {result['benign_ties']} benign tie(s), "
+        f"{result['failures']} failure(s)"
+    )
+    if args.output:
+        Path(args.output).write_text(json.dumps(result, indent=2, sort_keys=True))
+        print(f"wrote {args.output}")
+    # Informational benchmark: failures here mean a real engine divergence,
+    # which the test suite (not this script) is responsible for gating.
+    return 0
+
+
+def test_fuzz_throughput_smoke(benchmark=None):
+    """Pytest entry: a 15-sample campaign must be clean and fast."""
+    if benchmark is not None:
+        report = benchmark(run_campaign, seed=SEED, samples=15, shrink=False)
+    else:
+        report = run_campaign(seed=SEED, samples=15, shrink=False)
+    assert report.samples_run == 15
+    assert not report.failed
+
+
+if __name__ == "__main__":
+    sys.exit(main())

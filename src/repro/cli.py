@@ -29,6 +29,13 @@ Three subcommands cover the common workflows:
     scenario points through the prediction engine, with the same persistent
     result cache (reruns replay byte-stably).
 
+``fuzz``
+    Differential fuzzing of the dispatch engines: seeded micro-scenarios are
+    replayed on the scalar oracle and every vector/sparse configuration;
+    real divergences are shrunk to minimal canonical-JSON repro files.  A
+    fixed ``--samples`` campaign is fully deterministic (same seed, same
+    byte-identical report).
+
 Examples
 --------
 ::
@@ -39,6 +46,9 @@ Examples
     python -m repro sweep --preset nyc,chengdu,xian --slots 16 17 --workers 4
     python -m repro dispatch --preset nyc --fleet-sizes 100 200 --demand-scales 1 2
     python -m repro predict --preset nyc --models mlp,deepst --resolutions 4 8
+    python -m repro fuzz --seed 7 --samples 200 --report fuzz-report.json
+    python -m repro fuzz --budget 300 --repro-dir .fuzz_repros
+    python -m repro fuzz --replay tests/corpus/offset_window_infer.json
 """
 
 from __future__ import annotations
@@ -62,7 +72,16 @@ from repro.experiments.prediction_suite import run_prediction_suite
 from repro.experiments.multi_city import resolve_city, run_city_sweep
 from repro.experiments.reporting import format_table
 from repro.experiments.search_eval import evaluate_search_algorithms
+from repro.fuzz import (
+    BUG_INJECTIONS,
+    FuzzWorld,
+    GeneratorConfig,
+    run_campaign,
+    run_differential,
+)
+from repro.fuzz.generator import WORLD_POLICIES
 from repro.prediction.registry import available_models, model_factory
+from repro.utils.cache import canonical_json
 
 #: Experiments runnable through ``python -m repro experiment <name>``.
 EXPERIMENT_NAMES = ("fig3", "fig4", "fig5", "fig6", "table3", "table4")
@@ -244,15 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dispatch.add_argument(
         "--scenario",
-        choices=("grid", "lifecycle"),
+        choices=("grid", "lifecycle", "pathological"),
         default="grid",
         help=(
-            "scenario family: the plain cross-product grid (default) or its "
+            "scenario family: the plain cross-product grid (default), its "
             "lifecycle/churn variants — rush-hour shift change, overnight "
             "skeleton fleet, high-cancellation surge and a 2-day carry-over "
             "replay per grid point; each variant overrides the one knob it "
             "stresses (--fleet-profile, --max-wait capped at 3, --test-days "
-            "raised to >= 2 for the churn variant)"
+            "raised to >= 2 for the churn variant) — or the pathological "
+            "stress variants graduated from the differential fuzzer (offset "
+            "slot window, trailing empty slots, single-driver micro fleet, "
+            "one-batch rider patience)"
         ),
     )
     dispatch.add_argument(
@@ -355,6 +377,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=".gridtuner_cache",
         help="persistent result-cache directory; 'none' disables caching",
+    )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help=(
+            "differential fuzzing of the dispatch engines (scalar oracle vs "
+            "dense/sparse/mixed vector runs)"
+        ),
+    )
+    fuzz.add_argument("--seed", type=int, default=7, help="campaign seed (default: 7)")
+    fuzz.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="number of generated worlds to replay (default: 100 unless --budget is given)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget in seconds; the campaign stops at the budget "
+            "or --samples, whichever hits first (budgeted reports are not "
+            "byte-stable across machines)"
+        ),
+    )
+    fuzz.add_argument(
+        "--policies",
+        default=",".join(WORLD_POLICIES),
+        help=f"comma-separated policies to fuzz (default: {','.join(WORLD_POLICIES)})",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking; repro files hold the original diverging worlds",
+    )
+    fuzz.add_argument(
+        "--max-shrink-evals",
+        type=int,
+        default=400,
+        help="replay budget of the shrinker per failure (default: 400)",
+    )
+    fuzz.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the canonical-JSON campaign report to FILE",
+    )
+    fuzz.add_argument(
+        "--repro-dir",
+        default=".fuzz_repros",
+        help=(
+            "directory for shrunk repro files, created only on failure "
+            "(default: .fuzz_repros; 'none' disables)"
+        ),
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help=(
+            "replay one repro/world JSON file on every engine instead of "
+            "running a campaign"
+        ),
+    )
+    fuzz.add_argument(
+        "--inject-bug",
+        choices=sorted(BUG_INJECTIONS),
+        default=None,
+        help=(
+            "apply a named deliberate engine bug to the vector runs (harness "
+            "self-test: the campaign must fail)"
+        ),
     )
     return parser
 
@@ -493,7 +588,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
             cache_dir=cache_dir,
             max_workers=args.workers,
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
+        # OSError covers unusable cache directories (e.g. the path exists
+        # as a regular file) surfacing from ResultCache.
         print(f"repro sweep: {exc}", file=sys.stderr)
         return 2
     rows = [
@@ -549,7 +646,9 @@ def _command_dispatch(args: argparse.Namespace) -> int:
             fleet_profile=args.fleet_profile,
             max_wait_minutes=args.max_wait,
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
+        # OSError covers unusable cache directories (e.g. the path exists
+        # as a regular file) surfacing from ResultCache.
         print(f"repro dispatch: {exc}", file=sys.stderr)
         return 2
     rows = [
@@ -623,7 +722,9 @@ def _command_predict(args: argparse.Namespace) -> int:
             executor=args.executor,
             hyper=tuple(hyper),
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
+        # OSError covers unusable cache directories (e.g. the path exists
+        # as a regular file) surfacing from ResultCache.
         print(f"repro predict: {exc}", file=sys.stderr)
         return 2
     rows = [
@@ -668,6 +769,114 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_world(path: str, bug: Optional[str]) -> int:
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    expect = "identical"
+    note = ""
+    if "world" in payload:
+        expect = payload.get("expect", "identical")
+        note = payload.get("note", "")
+        payload = payload["world"]
+    world = FuzzWorld.from_payload(payload)
+    result = run_differential(world, bug=bug)
+    print(f"replay: {path}")
+    if note:
+        print(f"note: {note}")
+    print(
+        f"world: policy={world.policy} orders={world.order_count} "
+        f"drivers={world.driver_count} days={world.days} [{world.canonical_key()[:12]}]"
+    )
+    print(f"verdict: {result.verdict} (expected: {expect})")
+    for divergence in result.divergences:
+        flavour = "benign tie" if divergence.benign_tie else "DIVERGENT"
+        print(f"  {divergence.mode}: {flavour} — {divergence.detail}")
+    return 1 if result.failed else 0
+
+
+def _command_fuzz(args: argparse.Namespace) -> int:
+    try:
+        if args.replay is not None:
+            return _replay_world(args.replay, args.inject_bug)
+        samples = args.samples
+        if samples is None and args.budget is None:
+            samples = 100
+        policies = tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        )
+        config = GeneratorConfig(policies=policies)
+        report = run_campaign(
+            seed=args.seed,
+            samples=samples,
+            budget_seconds=args.budget,
+            config=config,
+            bug=args.inject_bug,
+            shrink=not args.no_shrink,
+            max_shrink_evals=args.max_shrink_evals,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"repro fuzz: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"fuzz campaign: seed={report.seed} samples={report.samples_run} "
+        f"policies={','.join(policies)}"
+        + (f" bug={report.bug}" if report.bug else "")
+    )
+    print(
+        f"{report.ok} ok, {len(report.benign_ties)} benign tie(s), "
+        f"{len(report.failures)} failure(s)"
+    )
+    for record in report.benign_ties:
+        modes = ",".join(d["mode"] for d in record.divergences)
+        print(
+            f"  benign tie: sample {record.index} [{record.world_key[:12]}] "
+            f"{record.label} ({modes})"
+        )
+    repro_dir = None if args.repro_dir.lower() == "none" else args.repro_dir
+    for record in report.failures:
+        modes = ",".join(d["mode"] for d in record.divergences)
+        line = (
+            f"  FAILURE: sample {record.index} [{record.world_key[:12]}] "
+            f"{record.label} ({modes})"
+        )
+        if record.shrunk_world is not None:
+            shrunk = record.shrunk_world
+            orders = sum(len(day) for day in shrunk["orders_per_day"])
+            line += (
+                f" -> shrunk to {orders} order(s) / {len(shrunk['drivers'])} "
+                f"driver(s) / {len(shrunk['orders_per_day'])} day(s)"
+            )
+        print(line)
+        for divergence in record.divergences:
+            print(f"    {divergence['mode']}: {divergence['detail']}")
+    if report.failures and repro_dir is not None:
+        import os
+
+        os.makedirs(repro_dir, exist_ok=True)
+        for record in report.failures:
+            payload = {
+                "schema": 1,
+                "expect": "identical",
+                "note": f"fuzz seed={report.seed} sample={record.index}: {record.label}",
+                "world": record.shrunk_world,
+            }
+            if report.bug:
+                payload["bug"] = report.bug
+            path = os.path.join(
+                repro_dir, f"fuzz-{report.seed}-{record.index}.json"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(payload))
+            print(f"  repro written: {path}")
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(report.to_payload()))
+        print(f"report written: {args.report}")
+    return 1 if report.failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -684,6 +893,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_dispatch(args)
     if args.command == "predict":
         return _command_predict(args)
+    if args.command == "fuzz":
+        return _command_fuzz(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -22,6 +22,9 @@ Scenario families
   sizes, demand scales and seeds (Figures 6-8 style sweeps).
 * :func:`stress_scenarios` — surge demand and small/large fleet variants of a
   base scenario.
+* :func:`pathological_scenarios` — degenerate shapes graduated from the
+  differential fuzzer (offset slot window, trailing empty slots,
+  single-driver micro fleet, one-batch rider patience).
 * :func:`reference_scenario` — the fixed 200-driver / 1-day scenario used by
   ``benchmarks/bench_dispatch_engine.py`` and the CI perf gate.
 """
@@ -638,6 +641,39 @@ def lifecycle_scenarios(base: DispatchScenario) -> List[DispatchScenario]:
             name=f"{base.label}/two-day-churn",
             fleet_profile="two_shift",
             test_days=max(base.test_days, 2),
+        ),
+    ]
+
+
+def pathological_scenarios(base: DispatchScenario) -> List[DispatchScenario]:
+    """Pathological stress variants of ``base``, graduated from the fuzzer.
+
+    Each variant pins one degenerate shape the differential fuzzer
+    (:mod:`repro.fuzz`) found worth keeping under permanent replay because
+    the engines' edge-case handling diverged there historically:
+
+    * ``offset-window`` — an evening slot window that starts nowhere near
+      slot 0 (the ``infer_minutes_per_slot`` bug class: slot lengths must
+      come from the dataset, not be inferred from arrival/slot ratios);
+    * ``empty-tail`` — the base window extended with the last slots of the
+      day, which at suite scales carry few or no orders, so every engine
+      must advance time and reposition through order-free slots;
+    * ``micro-fleet`` — a single driver serving the whole window, where one
+      off-by-one in idle masking or availability carry-over flips every
+      subsequent match;
+    * ``one-batch-patience`` — rider patience equal to one matching batch,
+      so every unmatched order sits exactly on the cancellation boundary.
+    """
+    window = base.slots if base.slots is not None else (16, 17)
+    tail = tuple(sorted(set(window) | {46, 47}))
+    return [
+        replace(base, name=f"{base.label}/offset-window", slots=(40, 41, 42, 43)),
+        replace(base, name=f"{base.label}/empty-tail", slots=tail),
+        replace(base, name=f"{base.label}/micro-fleet", fleet_size=1),
+        replace(
+            base,
+            name=f"{base.label}/one-batch-patience",
+            max_wait_minutes=base.batch_minutes,
         ),
     ]
 

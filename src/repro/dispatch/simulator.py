@@ -178,6 +178,11 @@ class TaskAssignmentSimulator:
         matching on large batches, ``"always"`` forces it, ``"never"`` keeps
         the dense candidate matrix.  All modes produce identical metrics (the
         dense path is the oracle); ignored by the scalar engine.
+    sparse_threshold:
+        Batch size (``pending * idle`` cells) at which ``sparse="auto"``
+        switches to the sparse pipeline.  ``None`` (default) keeps the
+        engine's :data:`~repro.dispatch.engine.SPARSE_AUTO_THRESHOLD`; the
+        differential fuzzer lowers it so micro worlds exercise the auto seam.
     """
 
     policy: AssignmentPolicy
@@ -188,6 +193,7 @@ class TaskAssignmentSimulator:
     seed: RandomState = None
     engine: str = "vector"
     sparse: str = "auto"
+    sparse_threshold: Optional[int] = None
     minutes_per_slot: Optional[float] = None
     _rng: np.random.Generator = field(init=False, repr=False)
 
@@ -200,6 +206,8 @@ class TaskAssignmentSimulator:
             raise ValueError("engine must be 'vector' or 'scalar'")
         if self.sparse not in ("auto", "always", "never"):
             raise ValueError("sparse must be 'auto', 'always' or 'never'")
+        if self.sparse_threshold is not None and self.sparse_threshold < 0:
+            raise ValueError("sparse_threshold must be non-negative")
         if self.minutes_per_slot is not None and self.minutes_per_slot <= 0:
             raise ValueError("minutes_per_slot must be positive")
         self._rng = default_rng(self.seed)
@@ -299,6 +307,9 @@ class TaskAssignmentSimulator:
             if not driver_objects:
                 raise ValueError("at least one driver is required")
             fleet = FleetArrays.from_drivers(driver_objects)
+        engine_kwargs = {}
+        if self.sparse_threshold is not None:
+            engine_kwargs["sparse_threshold"] = self.sparse_threshold
         engine = VectorizedAssignmentEngine(
             policy=self.policy,
             travel=self.travel,
@@ -307,6 +318,7 @@ class TaskAssignmentSimulator:
             unserved_penalty_km=self.unserved_penalty_km,
             sparse=self.sparse,
             minutes_per_slot=self.minutes_per_slot,
+            **engine_kwargs,
         )
         metrics = engine.run(engine_orders, fleet, self._rng, day=day, slots=slots)
         if driver_objects is not None:

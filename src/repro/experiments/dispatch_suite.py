@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.dispatch.scenarios import lifecycle_scenarios
+from repro.dispatch.scenarios import lifecycle_scenarios, pathological_scenarios
 from repro.experiments.config import get_profile
 from repro.experiments.multi_city import resolve_city
 from repro.sweep.dispatch import DispatchSuiteRunner, SuiteReport, suite_scenarios
@@ -29,9 +29,12 @@ DEFAULT_FLEET_SIZES = (100, 200)
 DEFAULT_DEMAND_SCALES = (1.0, 2.0)
 
 #: Scenario families ``run_dispatch_suite`` can expand: the plain
-#: cross-product grid, or its lifecycle/churn variants (shift change,
-#: overnight skeleton fleet, high-cancellation surge, 2-day carry-over).
-SCENARIO_FAMILIES = ("grid", "lifecycle")
+#: cross-product grid, its lifecycle/churn variants (shift change,
+#: overnight skeleton fleet, high-cancellation surge, 2-day carry-over), or
+#: the pathological stress variants graduated from the differential fuzzer
+#: (offset slot window, trailing empty slots, single-driver micro fleet,
+#: one-batch rider patience).
+SCENARIO_FAMILIES = ("grid", "lifecycle", "pathological")
 
 
 def run_dispatch_suite(
@@ -64,6 +67,8 @@ def run_dispatch_suite(
 
     ``scenario_family="lifecycle"`` expands every grid point into its
     lifecycle/churn variants (:func:`~repro.dispatch.scenarios.lifecycle_scenarios`);
+    ``scenario_family="pathological"`` expands it into the fuzzer-graduated
+    stress shapes (:func:`~repro.dispatch.scenarios.pathological_scenarios`).
     ``test_days``/``fleet_profile``/``max_wait_minutes`` set the multi-day
     replay length, driver shift roster and rider patience of the grid points
     themselves.
@@ -90,6 +95,10 @@ def run_dispatch_suite(
     if scenario_family == "lifecycle":
         scenarios = [
             variant for base in scenarios for variant in lifecycle_scenarios(base)
+        ]
+    elif scenario_family == "pathological":
+        scenarios = [
+            variant for base in scenarios for variant in pathological_scenarios(base)
         ]
     return DispatchSuiteRunner(
         scenarios,

@@ -1,0 +1,48 @@
+"""Differential fuzzing of the dispatch engines.
+
+The scalar simulator is the bit-exact oracle; this package generates seeded
+micro-scenarios (:mod:`~repro.fuzz.generator`), replays them on every engine
+configuration (:mod:`~repro.fuzz.runner`), shrinks real divergences to
+minimal repro files (:mod:`~repro.fuzz.shrink`) and drives whole campaigns
+(:mod:`~repro.fuzz.campaign`).  Surfaced on the command line as
+``repro fuzz``; shrunk survivors graduate into ``tests/corpus/``.
+"""
+
+from repro.fuzz.campaign import FuzzReport, SampleRecord, run_campaign
+from repro.fuzz.generator import (
+    PERTURBATIONS,
+    FuzzDriver,
+    FuzzOrder,
+    FuzzWorld,
+    GeneratorConfig,
+    sample_world,
+    world_from_bundle,
+)
+from repro.fuzz.runner import (
+    BUG_INJECTIONS,
+    DifferentialResult,
+    Divergence,
+    audit_for_ties,
+    run_differential,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_world
+
+__all__ = [
+    "BUG_INJECTIONS",
+    "PERTURBATIONS",
+    "DifferentialResult",
+    "Divergence",
+    "FuzzDriver",
+    "FuzzOrder",
+    "FuzzReport",
+    "FuzzWorld",
+    "GeneratorConfig",
+    "SampleRecord",
+    "ShrinkResult",
+    "audit_for_ties",
+    "run_campaign",
+    "run_differential",
+    "sample_world",
+    "shrink_world",
+    "world_from_bundle",
+]

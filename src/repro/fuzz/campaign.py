@@ -1,0 +1,145 @@
+"""Fuzz campaign driver: sample -> differential -> shrink -> report.
+
+A campaign replays ``samples`` generated worlds (or as many as fit in a time
+``budget``) through the differential runner; every real divergence is shrunk
+and collected.  The report is plain data rendered through
+:func:`~repro.utils.cache.canonical_json`, and contains no timestamps or
+timing, so a fixed-``samples`` campaign is byte-identical across runs — the
+determinism contract ``repro fuzz`` is tested on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.generator import GeneratorConfig, sample_world
+from repro.fuzz.runner import run_differential
+from repro.fuzz.shrink import shrink_world
+
+#: Bump when the report payload layout changes.
+REPORT_SCHEMA = 1
+
+
+@dataclass
+class SampleRecord:
+    """One fuzzed sample in the campaign report."""
+
+    index: int
+    label: str
+    world_key: str
+    verdict: str  # "ok" | "benign-tie" | "divergent"
+    divergences: List[Dict] = field(default_factory=list)
+    shrunk_world: Optional[Dict] = None
+    shrink_evals: int = 0
+
+    def to_payload(self) -> Dict:
+        payload = {
+            "index": self.index,
+            "label": self.label,
+            "world_key": self.world_key,
+            "verdict": self.verdict,
+        }
+        if self.divergences:
+            payload["divergences"] = self.divergences
+        if self.shrunk_world is not None:
+            payload["shrunk_world"] = self.shrunk_world
+            payload["shrink_evals"] = self.shrink_evals
+        return payload
+
+
+@dataclass
+class FuzzReport:
+    """Deterministic outcome of one campaign."""
+
+    seed: int
+    samples_requested: Optional[int]
+    samples_run: int
+    bug: Optional[str]
+    ok: int
+    benign_ties: List[SampleRecord]
+    failures: List[SampleRecord]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+    def to_payload(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "seed": self.seed,
+            "samples_requested": self.samples_requested,
+            "samples_run": self.samples_run,
+            "bug": self.bug,
+            "ok": self.ok,
+            "benign_ties": [record.to_payload() for record in self.benign_ties],
+            "failures": [record.to_payload() for record in self.failures],
+        }
+
+
+def run_campaign(
+    seed: int = 7,
+    samples: Optional[int] = 100,
+    budget_seconds: Optional[float] = None,
+    config: Optional[GeneratorConfig] = None,
+    bug: Optional[str] = None,
+    shrink: bool = True,
+    max_shrink_evals: int = 400,
+    on_progress: Optional[Callable[[SampleRecord], None]] = None,
+) -> FuzzReport:
+    """Run one differential fuzz campaign.
+
+    ``samples`` bounds the campaign by count (deterministic report);
+    ``budget_seconds`` bounds it by wall clock — when both are given the
+    campaign stops at whichever limit hits first, when only a budget is
+    given it runs until the clock expires (the report then depends on
+    machine speed, which nightly CI accepts).
+    """
+    if samples is None and budget_seconds is None:
+        raise ValueError("either samples or budget_seconds is required")
+    if samples is not None and samples < 0:
+        raise ValueError("samples must be non-negative")
+    deadline = None if budget_seconds is None else time.monotonic() + budget_seconds
+    ok = 0
+    benign: List[SampleRecord] = []
+    failures: List[SampleRecord] = []
+    index = 0
+    while True:
+        if samples is not None and index >= samples:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        world = sample_world(index, seed=seed, config=config)
+        result = run_differential(world, bug=bug)
+        record = SampleRecord(
+            index=index,
+            label=world.label,
+            world_key=world.canonical_key(),
+            verdict=result.verdict,
+            divergences=[d.to_payload() for d in result.divergences],
+        )
+        if result.verdict == "ok":
+            ok += 1
+        elif result.verdict == "benign-tie":
+            benign.append(record)
+        else:
+            if shrink:
+                shrunk = shrink_world(world, bug=bug, max_evals=max_shrink_evals)
+                record.shrunk_world = shrunk.world.to_payload()
+                record.shrink_evals = shrunk.evals
+            else:
+                record.shrunk_world = world.to_payload()
+            failures.append(record)
+        if on_progress is not None:
+            on_progress(record)
+        index += 1
+    return FuzzReport(
+        seed=seed,
+        samples_requested=samples,
+        samples_run=index,
+        bug=bug,
+        ok=ok,
+        benign_ties=benign,
+        failures=failures,
+    )

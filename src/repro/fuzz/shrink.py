@@ -1,0 +1,210 @@
+"""Greedy shrinker: minimise a diverging fuzz world while it keeps failing.
+
+Given a world on which :func:`~repro.fuzz.runner.run_differential` reports a
+real (non-benign) divergence, :func:`shrink_world` searches for a smaller
+world with the same property, in fixed passes run to a fixpoint:
+
+1. drop whole replay days,
+2. delete orders (delta-debugging style: halving chunks, then singles),
+3. delete drivers (floor of one — the engines require a non-empty fleet),
+4. canonicalise fields that often don't matter for the divergence: drop the
+   demand spec, reset shift windows, zero ``available_at``, flatten revenues.
+
+Every candidate is validated by re-running the differential (with the same
+bug injection, if any); candidates are memoised on the world's canonical
+content hash so the fixpoint loop never re-executes a replay it has already
+judged.  The search is budgeted by ``max_evals`` — shrinking is best-effort,
+a smaller repro is better but any repro is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dispatch.entities import DAY_MINUTES
+from repro.fuzz.generator import FuzzDriver, FuzzOrder, FuzzWorld
+from repro.fuzz.runner import run_differential
+
+Predicate = Callable[[FuzzWorld], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink search."""
+
+    world: FuzzWorld
+    evals: int
+    improved: bool
+
+
+class _BudgetedPredicate:
+    """Memoised, eval-counting wrapper around the failure predicate."""
+
+    def __init__(self, predicate: Predicate, max_evals: int) -> None:
+        self._predicate = predicate
+        self._max_evals = max_evals
+        self._memo: Dict[str, bool] = {}
+        self.evals = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.evals >= self._max_evals
+
+    def __call__(self, world: FuzzWorld) -> bool:
+        key = world.canonical_key()
+        if key in self._memo:
+            return self._memo[key]
+        if self.exhausted:
+            return False
+        self.evals += 1
+        try:
+            verdict = bool(self._predicate(world))
+        except Exception:
+            # A candidate that crashes an engine is not a smaller instance of
+            # *this* divergence; treat it as not reproducing.
+            verdict = False
+        self._memo[key] = verdict
+        return verdict
+
+
+def _rebuild_days(world: FuzzWorld, days: Sequence[Tuple[FuzzOrder, ...]]) -> FuzzWorld:
+    return replace(world, orders_per_day=tuple(days))
+
+
+def _rebuild_drivers(world: FuzzWorld, drivers: Sequence[FuzzDriver]) -> FuzzWorld:
+    return replace(world, drivers=tuple(drivers))
+
+
+def _minimise_sequence(
+    items: List,
+    rebuild: Callable[[List], Optional[FuzzWorld]],
+    check: _BudgetedPredicate,
+    min_size: int = 0,
+) -> List:
+    """Greedy chunked deletion (ddmin-style) of ``items`` under ``check``.
+
+    ``rebuild`` turns a candidate item list into a world (or ``None`` when
+    the candidate is structurally invalid, e.g. an empty fleet).
+    """
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(items) and not check.exhausted:
+            candidate_items = items[:index] + items[index + chunk :]
+            if len(candidate_items) < min_size:
+                index += chunk
+                continue
+            candidate = rebuild(candidate_items)
+            if candidate is not None and check(candidate):
+                items = candidate_items
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return items
+
+
+def _shrink_days(world: FuzzWorld, check: _BudgetedPredicate) -> FuzzWorld:
+    if world.days <= 1:
+        return world
+    days = _minimise_sequence(
+        list(world.orders_per_day),
+        lambda items: _rebuild_days(world, items) if items else None,
+        check,
+        min_size=1,
+    )
+    return _rebuild_days(world, days)
+
+
+def _shrink_orders(world: FuzzWorld, check: _BudgetedPredicate) -> FuzzWorld:
+    for day_index in range(world.days):
+        day_orders = list(world.orders_per_day[day_index])
+        if not day_orders:
+            continue
+
+        def rebuild(items: List, di: int = day_index) -> FuzzWorld:
+            days = list(world.orders_per_day)
+            days[di] = tuple(items)
+            return _rebuild_days(world, days)
+
+        kept = _minimise_sequence(day_orders, rebuild, check)
+        world = rebuild(kept)
+    return world
+
+
+def _shrink_drivers(world: FuzzWorld, check: _BudgetedPredicate) -> FuzzWorld:
+    drivers = _minimise_sequence(
+        list(world.drivers),
+        lambda items: _rebuild_drivers(world, items) if items else None,
+        check,
+        min_size=1,
+    )
+    return _rebuild_drivers(world, drivers)
+
+
+def _simplify_fields(world: FuzzWorld, check: _BudgetedPredicate) -> FuzzWorld:
+    """Canonicalisation passes: try obvious simplifications one at a time."""
+    candidates: List[Callable[[FuzzWorld], FuzzWorld]] = [
+        lambda w: replace(w, demand=None),
+        lambda w: _rebuild_drivers(
+            w,
+            [
+                replace(d, online_from=0.0, online_until=DAY_MINUTES)
+                for d in w.drivers
+            ],
+        ),
+        lambda w: _rebuild_drivers(
+            w, [replace(d, available_at=0.0) for d in w.drivers]
+        ),
+        lambda w: _rebuild_days(
+            w,
+            [
+                tuple(replace(o, revenue=8.0) for o in day)
+                for day in w.orders_per_day
+            ],
+        ),
+    ]
+    for simplify in candidates:
+        if check.exhausted:
+            break
+        candidate = simplify(world)
+        if candidate.canonical_key() != world.canonical_key() and check(candidate):
+            world = candidate
+    return world
+
+
+def shrink_world(
+    world: FuzzWorld,
+    predicate: Optional[Predicate] = None,
+    bug: Optional[str] = None,
+    max_evals: int = 400,
+) -> ShrinkResult:
+    """Minimise ``world`` while ``predicate`` (divergence reproduces) holds.
+
+    The default predicate re-runs the differential (propagating ``bug``) and
+    requires a non-benign divergence.  The input world is returned unchanged
+    if it does not satisfy the predicate itself.
+    """
+    if predicate is None:
+        predicate = lambda w: run_differential(w, bug=bug).failed  # noqa: E731
+    check = _BudgetedPredicate(predicate, max_evals)
+    if not check(world):
+        return ShrinkResult(world=world, evals=check.evals, improved=False)
+    original_key = world.canonical_key()
+    while not check.exhausted:
+        before = world.canonical_key()
+        world = _shrink_days(world, check)
+        world = _shrink_orders(world, check)
+        world = _shrink_drivers(world, check)
+        world = _simplify_fields(world, check)
+        if world.canonical_key() == before:
+            break
+    shrunk_label = f"{world.label}#shrunk" if not world.label.endswith("#shrunk") else world.label
+    world = replace(world, label=shrunk_label)
+    return ShrinkResult(
+        world=world,
+        evals=check.evals,
+        improved=world.canonical_key() != original_key,
+    )

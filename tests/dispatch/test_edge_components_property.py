@@ -1,0 +1,136 @@
+"""Property tests for the canonical ordering contract of ``edge_components``.
+
+The sparse matching pipeline (and the result caches built on it) rely on a
+canonical component order: components listed by ascending smallest row index,
+rows and columns ascending inside each component, and the partition itself
+independent of the order the edges were given in.  Hypothesis drives random
+bipartite edge lists (including duplicates and permutations) through the
+decomposition to pin that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dispatch.matching import edge_components
+
+
+@st.composite
+def edge_lists(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=12))
+    n_cols = draw(st.integers(min_value=1, max_value=12))
+    n_edges = draw(st.integers(min_value=0, max_value=40))
+    rows = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_rows - 1),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    cols = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_cols - 1),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    return np.array(rows, dtype=np.intp), np.array(cols, dtype=np.intp), n_rows, n_cols
+
+
+def _reference_components(rows, cols, n_rows, n_cols):
+    """Brute-force union-find over the same edge list."""
+    parent = list(range(n_rows + n_cols))
+
+    def find(a):
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        union(r, n_rows + c)
+    groups = {}
+    for r in set(rows.tolist()):
+        groups.setdefault(find(r), [set(), set()])[0].add(r)
+    for c in set(cols.tolist()):
+        groups.setdefault(find(n_rows + c), [set(), set()])[1].add(c)
+    return sorted(
+        ((frozenset(rs), frozenset(cs)) for rs, cs in groups.values()),
+        key=lambda rc: min(rc[0]),
+    )
+
+
+class TestCanonicalOrdering:
+    @given(edge_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_components_are_listed_by_ascending_min_row(self, case):
+        rows, cols, n_rows, n_cols = case
+        components = edge_components(rows, cols, n_rows, n_cols)
+        min_rows = [int(comp_rows.min()) for comp_rows, _ in components]
+        assert min_rows == sorted(min_rows)
+        assert len(set(min_rows)) == len(min_rows)
+
+    @given(edge_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_members_are_ascending_and_unique(self, case):
+        rows, cols, n_rows, n_cols = case
+        for comp_rows, comp_cols in edge_components(rows, cols, n_rows, n_cols):
+            for members in (comp_rows, comp_cols):
+                assert members.size > 0
+                assert np.all(np.diff(members) > 0)
+
+    @given(edge_lists(), st.randoms(use_true_random=False))
+    @settings(max_examples=120, deadline=None)
+    def test_partition_is_invariant_under_edge_permutation(self, case, rnd):
+        rows, cols, n_rows, n_cols = case
+        order = list(range(rows.size))
+        rnd.shuffle(order)
+        baseline = edge_components(rows, cols, n_rows, n_cols)
+        permuted = edge_components(rows[order], cols[order], n_rows, n_cols)
+        assert len(baseline) == len(permuted)
+        for (r1, c1), (r2, c2) in zip(baseline, permuted):
+            assert np.array_equal(r1, r2)
+            assert np.array_equal(c1, c2)
+
+    @given(edge_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_partition_matches_brute_force_union_find(self, case):
+        rows, cols, n_rows, n_cols = case
+        components = edge_components(rows, cols, n_rows, n_cols)
+        expected = _reference_components(rows, cols, n_rows, n_cols)
+        assert len(components) == len(expected)
+        for (comp_rows, comp_cols), (exp_rows, exp_cols) in zip(
+            components, expected
+        ):
+            assert frozenset(comp_rows.tolist()) == exp_rows
+            assert frozenset(comp_cols.tolist()) == exp_cols
+
+
+class TestEdgeCases:
+    def test_empty_edge_list_has_no_components(self):
+        assert edge_components(np.array([]), np.array([]), 5, 5) == []
+
+    def test_mismatched_shapes_are_rejected(self):
+        with pytest.raises(ValueError, match="equally sized"):
+            edge_components(np.array([0]), np.array([0, 1]), 2, 2)
+
+    def test_out_of_range_edges_are_rejected(self):
+        with pytest.raises(ValueError, match="edge_rows out of range"):
+            edge_components(np.array([2]), np.array([0]), 2, 2)
+        with pytest.raises(ValueError, match="edge_cols out of range"):
+            edge_components(np.array([0]), np.array([-1]), 2, 2)
+
+    def test_untouched_rows_and_columns_are_dropped(self):
+        components = edge_components(np.array([3]), np.array([4]), 10, 10)
+        assert len(components) == 1
+        rows, cols = components[0]
+        assert rows.tolist() == [3]
+        assert cols.tolist() == [4]

@@ -296,6 +296,28 @@ class TestOffsetSlotWindowRegression:
         with pytest.raises(ValueError):
             TaskAssignmentSimulator(POLARDispatcher(), TRAVEL, minutes_per_slot=0.0)
 
+    def test_empty_stream_falls_back_to_default(self):
+        assert infer_minutes_per_slot(np.array([]), np.array([])) == 30.0
+
+    def test_single_order_stream(self):
+        # One order pins a single lower bound: arrival / (slot + 1), floored
+        # at 30.  An order late in a 60-minute slot recovers ~60; an early one
+        # can only return the floor.
+        assert infer_minutes_per_slot(
+            np.array([659.0]), np.array([10])
+        ) == pytest.approx(659.0 / 11.0)
+        assert infer_minutes_per_slot(np.array([301.0]), np.array([10])) == 30.0
+
+    def test_all_orders_in_slot_zero(self):
+        # Slot 0 gives the bound arrival / 1 = arrival itself: harmless for
+        # sub-30 arrivals (the floor wins), but a late slot-0 arrival under a
+        # long slot length is recovered exactly.
+        arrival = np.array([1.0, 5.0, 29.0])
+        assert infer_minutes_per_slot(arrival, np.zeros(3, dtype=int)) == 30.0
+        assert infer_minutes_per_slot(
+            np.array([1.0, 55.0]), np.array([0, 0])
+        ) == 55.0
+
 
 class TestLifecycleEquivalence:
     """Scalar oracle == vectorized engine (dense and sparse) under lifecycle."""

@@ -1,0 +1,121 @@
+"""Differential runner: clean seeds, bug injections, tie classification."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fuzz.generator import FuzzWorld, sample_world
+from repro.fuzz.runner import (
+    BUG_INJECTIONS,
+    ENGINE_MODES,
+    audit_for_ties,
+    run_differential,
+)
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent.parent / "corpus"
+
+
+def _tie_world() -> FuzzWorld:
+    payload = json.loads((CORPUS_DIR / "hungarian_tie.json").read_text())
+    return FuzzWorld.from_payload(payload["world"])
+
+
+class TestHealthyEngines:
+    def test_first_samples_have_no_real_divergence(self):
+        # The acceptance bar for the engines themselves: a prefix of the
+        # default campaign must be free of non-benign divergences.
+        for index in range(30):
+            result = run_differential(sample_world(index, seed=7))
+            assert not result.failed, (
+                index,
+                result.world.label,
+                [d.to_payload() for d in result.divergences],
+            )
+
+    def test_all_modes_run_and_oracle_is_baseline(self):
+        result = run_differential(sample_world(0, seed=7))
+        assert set(result.outcomes) == {mode for mode, _ in ENGINE_MODES}
+        oracle = result.outcomes["scalar"]
+        assert oracle.diff_against(oracle) == []
+
+    def test_differential_is_deterministic(self):
+        world = sample_world(3, seed=7)
+        first = run_differential(world)
+        second = run_differential(world)
+        assert first.verdict == second.verdict
+        for mode in first.outcomes:
+            assert first.outcomes[mode] == second.outcomes[mode]
+
+
+class TestBugInjection:
+    """The harness must trip on each deliberately wrong engine mutation."""
+
+    @pytest.mark.parametrize("bug", sorted(BUG_INJECTIONS))
+    def test_injected_bug_is_caught_quickly(self, bug):
+        caught_at = None
+        for index in range(200):
+            result = run_differential(sample_world(index, seed=7), bug=bug)
+            if result.failed:
+                caught_at = index
+                break
+        assert caught_at is not None, f"{bug} not caught within 200 samples"
+        # The seeds are known: each injection trips within the first handful.
+        assert caught_at <= 5
+
+    def test_injected_bug_is_never_classified_benign(self):
+        # Even on a world whose healthy replay produces a benign tie, an
+        # injected bug must stay a hard failure (benign grace requires
+        # bug is None).
+        world = _tie_world()
+        result = run_differential(world, bug="match-drop-last")
+        assert result.failed
+
+    def test_unknown_bug_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown bug injection"):
+            run_differential(sample_world(0, seed=7), bug="nope")
+
+
+class TestRngDivergence:
+    def test_extra_draw_is_detected_even_without_metric_drift(self):
+        # Scan for at least one world where the extra reposition draw leaves
+        # metrics and drivers intact but moves the stream position: the RNG
+        # comparison is what catches it.
+        for index in range(60):
+            result = run_differential(
+                sample_world(index, seed=7), bug="reposition-extra-draw"
+            )
+            if not result.failed:
+                continue
+            rng_only = [
+                d for d in result.divergences if d.kinds == ("rng",)
+            ]
+            if rng_only:
+                return
+        pytest.fail("no rng-only divergence observed for the extra-draw bug")
+
+
+class TestBenignTieClassification:
+    def test_pinned_tie_world_is_benign(self):
+        result = run_differential(_tie_world())
+        assert result.verdict == "benign-tie"
+        # Benign requires a positive tie witness with no objective change.
+        ties, mismatches = result.tie_audit
+        assert ties > 0
+        assert mismatches == 0
+        for divergence in result.divergences:
+            assert divergence.benign_tie
+            assert divergence.mode in ("vector-sparse", "vector-mixed")
+
+    def test_audit_finds_the_tie_directly(self):
+        ties, mismatches = audit_for_ties(_tie_world())
+        assert ties > 0
+        assert mismatches == 0
+
+    def test_greedy_policy_gets_no_benign_grace(self):
+        # The classification is restricted to Hungarian policies: a greedy
+        # world with the same divergence shape would stay a hard failure.
+        world = _tie_world()
+        assert world.policy in ("polar", "ls")

@@ -1,0 +1,96 @@
+"""Shrinker behaviour and the end-to-end acceptance bar of the fuzzer."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.fuzz.campaign import run_campaign
+from repro.fuzz.generator import FuzzWorld, sample_world
+from repro.fuzz.runner import run_differential
+from repro.fuzz.shrink import shrink_world
+
+
+class TestShrinkMechanics:
+    def test_non_failing_world_is_returned_unchanged(self):
+        world = sample_world(0, seed=7)
+        result = shrink_world(world)  # healthy world: predicate never holds
+        assert not result.improved
+        assert result.world.canonical_key() == world.canonical_key()
+        assert result.evals == 1
+
+    def test_shrink_respects_eval_budget(self):
+        world = sample_world(2, seed=7)
+        result = shrink_world(world, bug="match-drop-last", max_evals=25)
+        assert result.evals <= 25
+
+    def test_shrunk_world_still_reproduces(self):
+        world = sample_world(2, seed=7)
+        result = shrink_world(world, bug="match-drop-last")
+        assert run_differential(result.world, bug="match-drop-last").failed
+        assert result.world.label.endswith("#shrunk")
+
+    def test_predicate_exceptions_count_as_not_reproducing(self):
+        world = sample_world(2, seed=7)
+        calls = {"n": 0}
+
+        def flaky(candidate: FuzzWorld) -> bool:
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return True  # the original reproduces...
+            raise RuntimeError("engine crashed on the candidate")
+
+        result = shrink_world(world, predicate=flaky, max_evals=30)
+        # Every candidate crashed, so nothing was accepted.
+        assert result.world.canonical_key() == world.canonical_key()
+
+    def test_custom_predicate_minimises_structure(self):
+        # A predicate independent of the engines: "has at least 3 orders on
+        # day 0".  The shrinker should drive the world down to exactly 3.
+        world = sample_world(2, seed=7)
+        if len(world.orders_per_day[0]) < 3:
+            world = replace(
+                world,
+                orders_per_day=(sample_world(4, seed=7).orders_per_day[0],)
+                + world.orders_per_day[1:],
+            )
+        assert len(world.orders_per_day[0]) >= 3
+        result = shrink_world(
+            world, predicate=lambda w: len(w.orders_per_day[0]) >= 3
+        )
+        assert len(result.world.orders_per_day[0]) == 3
+        assert result.world.driver_count == 1  # driver floor
+
+
+class TestAcceptanceBar:
+    """ISSUE acceptance: an injected engine bug is caught within 200 samples
+    and shrinks to a repro of at most 5 orders and 3 drivers."""
+
+    def test_injected_bug_caught_and_shrunk_to_micro_repro(self):
+        report = run_campaign(
+            seed=7, samples=200, bug="match-drop-last", shrink=True
+        )
+        assert report.failed
+        first = report.failures[0]
+        assert first.index < 200
+        shrunk = FuzzWorld.from_payload(first.shrunk_world)
+        assert shrunk.order_count <= 5
+        assert shrunk.driver_count <= 3
+        # The committed repro still trips the differential under the bug.
+        assert run_differential(shrunk, bug="match-drop-last").failed
+
+
+class TestCampaignDeterminism:
+    def test_fixed_sample_reports_are_identical(self):
+        from repro.utils.cache import canonical_json
+
+        first = run_campaign(seed=11, samples=25)
+        second = run_campaign(seed=11, samples=25)
+        assert canonical_json(first.to_payload()) == canonical_json(
+            second.to_payload()
+        )
+
+    def test_healthy_campaign_has_no_failures(self):
+        report = run_campaign(seed=11, samples=25)
+        assert not report.failed
+        assert report.samples_run == 25
+        assert report.ok + len(report.benign_ties) == 25

@@ -376,3 +376,149 @@ class TestPredictCommand:
         ]
         assert main(argv) == 0
         assert "Dispatch scenario suite" in capsys.readouterr().out
+
+
+class TestDispatchErrorPaths:
+    """Clear non-zero exits for invalid dispatch configurations."""
+
+    def test_unknown_scenario_family_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dispatch", "--scenario", "bogus"])
+
+    def test_unknown_fleet_profile_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dispatch", "--fleet-profile", "bogus"])
+
+    def test_pathological_scenario_family_parses(self):
+        args = build_parser().parse_args(["dispatch", "--scenario", "pathological"])
+        assert args.scenario == "pathological"
+
+    def test_zero_test_days_exits_cleanly(self, capsys):
+        argv = ["dispatch", "--preset", "xian", "--test-days", "0", "--cache-dir", "none"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "repro dispatch" in err
+        assert "test_days" in err
+
+    def test_test_days_exceeding_profile_history_exits_cleanly(self, capsys):
+        # The tiny profile generates 10 days; test_days=8 needs at least 11
+        # (test_days + 3 train/val days), so the scenario itself rejects it.
+        argv = ["dispatch", "--preset", "xian", "--test-days", "8", "--cache-dir", "none"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "repro dispatch" in err
+        assert "test_days" in err
+
+    def test_cache_dir_that_is_a_file_exits_cleanly(self, capsys, tmp_path):
+        clobbered = tmp_path / "not_a_dir"
+        clobbered.write_text("junk")
+        argv = [
+            "dispatch",
+            "--preset",
+            "xian",
+            "--policies",
+            "polar",
+            "--fleet-sizes",
+            "5",
+            "--demand-scales",
+            "1.0",
+            "--cache-dir",
+            str(clobbered),
+        ]
+        assert main(argv) == 2
+        assert "repro dispatch" in capsys.readouterr().err
+        assert clobbered.read_text() == "junk"  # the file is left alone
+
+    def test_sweep_cache_dir_that_is_a_file_exits_cleanly(self, capsys, tmp_path):
+        clobbered = tmp_path / "not_a_dir"
+        clobbered.write_text("junk")
+        argv = ["sweep", "--preset", "xian", "--cache-dir", str(clobbered)]
+        assert main(argv) == 2
+        assert "repro sweep" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_fuzz_defaults_parse(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.command == "fuzz"
+        assert args.seed == 7
+        assert args.samples is None
+        assert args.budget is None
+        assert args.repro_dir == ".fuzz_repros"
+        assert args.inject_bug is None
+
+    def test_unknown_bug_name_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--inject-bug", "bogus"])
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        argv = ["fuzz", "--samples", "10", "--repro-dir", "none"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign: seed=7 samples=10" in out
+        assert "0 failure(s)" in out
+
+    def test_campaign_report_is_deterministic(self, capsys, tmp_path):
+        reports = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            argv = [
+                "fuzz",
+                "--samples",
+                "10",
+                "--repro-dir",
+                "none",
+                "--report",
+                str(path),
+            ]
+            assert main(argv) == 0
+            reports.append(path.read_bytes())
+        capsys.readouterr()
+        assert reports[0] == reports[1]
+
+    def test_injected_bug_fails_and_writes_repro(self, capsys, tmp_path):
+        repro_dir = tmp_path / "repros"
+        argv = [
+            "fuzz",
+            "--samples",
+            "5",
+            "--inject-bug",
+            "match-drop-last",
+            "--repro-dir",
+            str(repro_dir),
+        ]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "FAILURE" in out
+        written = sorted(repro_dir.glob("fuzz-7-*.json"))
+        assert written
+        # The repro file replays (under the same bug) to a failing verdict.
+        import json
+
+        payload = json.loads(written[0].read_text())
+        assert payload["expect"] == "identical"
+        assert payload["bug"] == "match-drop-last"
+        replay = ["fuzz", "--replay", str(written[0]), "--inject-bug", "match-drop-last"]
+        assert main(replay) == 1
+        assert "DIVERGENT" in capsys.readouterr().out
+
+    def test_replay_of_corpus_entry_exits_zero(self, capsys):
+        import pathlib
+
+        corpus = (
+            pathlib.Path(__file__).resolve().parent
+            / "corpus"
+            / "offset_window_infer.json"
+        )
+        assert main(["fuzz", "--replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok (expected: identical)" in out
+
+    def test_replay_of_missing_file_exits_two(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent/world.json"]) == 2
+        assert "repro fuzz" in capsys.readouterr().err
+
+    def test_invalid_policy_list_exits_two(self, capsys):
+        argv = ["fuzz", "--samples", "1", "--policies", "bogus"]
+        assert main(argv) == 2
+        assert "repro fuzz" in capsys.readouterr().err
