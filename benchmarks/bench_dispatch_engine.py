@@ -43,7 +43,11 @@ from typing import Dict, List, Optional
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+_BENCHMARKS = Path(__file__).resolve().parent
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
 
+from gatelib import best_of  # noqa: E402
 from repro.dispatch.demand import order_arrays_from_events, orders_from_events  # noqa: E402
 from repro.dispatch.entities import OrderArrays  # noqa: E402
 from repro.dispatch.scenarios import (  # noqa: E402
@@ -62,12 +66,7 @@ REPEATS = 3
 
 
 def _best_of(callable_, repeats: int = REPEATS) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
+    return best_of(callable_, repeats)
 
 
 def _metrics_dict(metrics) -> Dict[str, float]:

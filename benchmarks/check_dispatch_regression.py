@@ -32,28 +32,22 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import math
 import sys
 from pathlib import Path
 from typing import Dict, List
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline_dispatch.json"
+_BENCHMARKS = Path(__file__).resolve().parent
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
 
+from gatelib import (  # noqa: E402
+    check_baseline_ceiling,
+    check_floor,
+    compare_metrics as _compare_metrics,
+    run_gate_cli,
+)
 
-def _compare_metrics(current: Dict, baseline: Dict, rtol: float) -> List[str]:
-    problems = []
-    for key, expected in baseline.items():
-        actual = current.get(key)
-        if actual is None:
-            problems.append(f"metric {key!r} missing from benchmark output")
-            continue
-        if not math.isclose(float(actual), float(expected), rel_tol=rtol, abs_tol=rtol):
-            problems.append(
-                f"metric {key!r} drifted: baseline {expected!r}, got {actual!r}"
-            )
-    return problems
+DEFAULT_BASELINE = _BENCHMARKS / "baseline_dispatch.json"
 
 
 def check(current: Dict, baseline: Dict) -> List[str]:
@@ -82,27 +76,28 @@ def check(current: Dict, baseline: Dict) -> List[str]:
             f"{label}: {problem}"
             for problem in _compare_metrics(entry["metrics"], base_entry["metrics"], rtol)
         )
-        speedup = float(entry["speedup"])
-        if speedup < min_speedup:
-            problems.append(
-                f"{label}: speedup {speedup:.2f}x below the {min_speedup:.2f}x floor"
+        problems.append(
+            check_floor(entry["speedup"], min_speedup, f"{label}: speedup")
+        )
+        problems.append(
+            check_baseline_ceiling(
+                entry["vector_seconds"],
+                base_entry["vector_seconds"],
+                time_factor,
+                f"{label}: vector wall-time",
             )
-        ceiling = float(base_entry["vector_seconds"]) * time_factor
-        if float(entry["vector_seconds"]) > ceiling:
-            problems.append(
-                f"{label}: vector wall-time {entry['vector_seconds']:.3f}s exceeds "
-                f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
-            )
+        )
 
     stream = current.get("order_stream", {})
     if not stream.get("streams_identical", False):
         problems.append("order stream: batched builder diverged from the per-object one")
-    stream_floor = float(gates.get("min_order_stream_speedup", 2.0))
-    if float(stream.get("speedup", 0.0)) < stream_floor:
-        problems.append(
-            f"order stream: speedup {stream.get('speedup', 0.0):.2f}x below "
-            f"the {stream_floor:.2f}x floor"
+    problems.append(
+        check_floor(
+            stream.get("speedup", 0.0),
+            gates.get("min_order_stream_speedup", 2.0),
+            "order stream: speedup",
         )
+    )
 
     base_sparse = baseline.get("sparse")
     if base_sparse is not None:
@@ -120,18 +115,21 @@ def check(current: Dict, baseline: Dict) -> List[str]:
                     sparse.get("metrics", {}), base_sparse["metrics"], rtol
                 )
             )
-            sparse_floor = float(gates.get("min_sparse_speedup", 5.0))
-            if float(sparse.get("speedup", 0.0)) < sparse_floor:
-                problems.append(
-                    f"sparse: speedup {sparse.get('speedup', 0.0):.2f}x below "
-                    f"the {sparse_floor:.2f}x floor"
+            problems.append(
+                check_floor(
+                    sparse.get("speedup", 0.0),
+                    gates.get("min_sparse_speedup", 5.0),
+                    "sparse: speedup",
                 )
-            ceiling = float(base_sparse["sparse_seconds"]) * time_factor
-            if float(sparse.get("sparse_seconds", float("inf"))) > ceiling:
-                problems.append(
-                    f"sparse: wall-time {sparse['sparse_seconds']:.3f}s exceeds "
-                    f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
+            )
+            problems.append(
+                check_baseline_ceiling(
+                    sparse.get("sparse_seconds", float("inf")),
+                    base_sparse["sparse_seconds"],
+                    time_factor,
+                    "sparse: wall-time",
                 )
+            )
 
     base_lifecycle = baseline.get("lifecycle")
     if base_lifecycle is not None:
@@ -149,33 +147,27 @@ def check(current: Dict, baseline: Dict) -> List[str]:
                     lifecycle.get("metrics", {}), base_lifecycle["metrics"], rtol
                 )
             )
-            lifecycle_floor = float(gates.get("min_lifecycle_speedup", 2.0))
-            if float(lifecycle.get("speedup", 0.0)) < lifecycle_floor:
-                problems.append(
-                    f"lifecycle: speedup {lifecycle.get('speedup', 0.0):.2f}x below "
-                    f"the {lifecycle_floor:.2f}x floor"
+            problems.append(
+                check_floor(
+                    lifecycle.get("speedup", 0.0),
+                    gates.get("min_lifecycle_speedup", 2.0),
+                    "lifecycle: speedup",
                 )
-            ceiling = float(base_lifecycle["vector_seconds"]) * time_factor
-            if float(lifecycle.get("vector_seconds", float("inf"))) > ceiling:
-                problems.append(
-                    f"lifecycle: wall-time {lifecycle['vector_seconds']:.3f}s exceeds "
-                    f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
+            )
+            problems.append(
+                check_baseline_ceiling(
+                    lifecycle.get("vector_seconds", float("inf")),
+                    base_lifecycle["vector_seconds"],
+                    time_factor,
+                    "lifecycle: wall-time",
                 )
-    return problems
+            )
+    # The floor/ceiling helpers return None on pass.
+    return [problem for problem in problems if problem]
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description="dispatch perf-regression gate")
-    parser.add_argument("benchmark", help="freshly emitted BENCH_dispatch.json")
-    parser.add_argument(
-        "--baseline",
-        default=str(DEFAULT_BASELINE),
-        help="committed baseline JSON (default: benchmarks/baseline_dispatch.json)",
-    )
-    args = parser.parse_args(argv)
-    current = json.loads(Path(args.benchmark).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-    problems = check(current, baseline)
+def summarize(current: Dict) -> None:
+    """Per-section one-liners printed on every gate run."""
     for entry in current.get("engines", []):
         print(
             f"{entry['policy']}/{entry['matching']}: speedup {entry['speedup']:.2f}x "
@@ -198,13 +190,12 @@ def main(argv=None) -> int:
             f"cancelled {lifecycle['metrics'].get('cancelled_orders')}, "
             f"metrics equal: {lifecycle['metrics_equal']}"
         )
-    if problems:
-        print("\nPERF GATE FAILED:", file=sys.stderr)
-        for problem in problems:
-            print(f"  - {problem}", file=sys.stderr)
-        return 1
-    print("\nperf gate passed")
-    return 0
+
+
+def main(argv=None) -> int:
+    return run_gate_cli(
+        "dispatch perf-regression gate", DEFAULT_BASELINE, check, summarize, argv
+    )
 
 
 if __name__ == "__main__":

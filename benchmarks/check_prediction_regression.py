@@ -31,14 +31,22 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import math
 import sys
 from pathlib import Path
 from typing import Dict, List
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline_prediction.json"
+_BENCHMARKS = Path(__file__).resolve().parent
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
+
+from gatelib import (  # noqa: E402
+    check_baseline_ceiling,
+    check_floor,
+    compare_metrics,
+    run_gate_cli,
+)
+
+DEFAULT_BASELINE = _BENCHMARKS / "baseline_prediction.json"
 
 
 def check(current: Dict, baseline: Dict) -> List[str]:
@@ -67,27 +75,25 @@ def check(current: Dict, baseline: Dict) -> List[str]:
             f"training history drifted {drift:.2e} from the seed backward "
             f"(allowed {history_rtol:.0e})"
         )
-    for key in ("final_train_loss", "final_val_mae"):
-        expected = float(base_training[key])
-        actual = training.get(key)
-        if actual is None or not math.isclose(
-            float(actual), expected, rel_tol=loss_rtol, abs_tol=loss_rtol
-        ):
-            problems.append(
-                f"reference metric {key!r} drifted: baseline {expected!r}, "
-                f"got {actual!r}"
-            )
-    speedup = float(training.get("speedup", 0.0))
-    if speedup < min_speedup:
-        problems.append(
-            f"training speedup {speedup:.2f}x below the {min_speedup:.2f}x floor"
+    problems.extend(
+        f"reference {problem}"
+        for problem in compare_metrics(
+            training,
+            {key: base_training[key] for key in ("final_train_loss", "final_val_mae")},
+            loss_rtol,
         )
-    ceiling = float(base_training["production_seconds"]) * time_factor
-    if float(training.get("production_seconds", float("inf"))) > ceiling:
-        problems.append(
-            f"production wall-time {training['production_seconds']:.3f}s exceeds "
-            f"{ceiling:.3f}s ({time_factor:g}x the committed baseline)"
+    )
+    problems.append(
+        check_floor(training.get("speedup", 0.0), min_speedup, "training speedup")
+    )
+    problems.append(
+        check_baseline_ceiling(
+            training.get("production_seconds", float("inf")),
+            base_training["production_seconds"],
+            time_factor,
+            "production wall-time",
         )
+    )
 
     float32 = current.get("float32", {})
     if not float32.get("loss_decreased", False):
@@ -100,21 +106,12 @@ def check(current: Dict, baseline: Dict) -> List[str]:
         problems.append(
             "prediction suite thread/process executors wrote different cache bytes"
         )
-    return problems
+    # The floor/ceiling helpers return None on pass.
+    return [problem for problem in problems if problem]
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description="prediction perf-regression gate")
-    parser.add_argument("benchmark", help="freshly emitted BENCH_prediction.json")
-    parser.add_argument(
-        "--baseline",
-        default=str(DEFAULT_BASELINE),
-        help="committed baseline JSON (default: benchmarks/baseline_prediction.json)",
-    )
-    args = parser.parse_args(argv)
-    current = json.loads(Path(args.benchmark).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-    problems = check(current, baseline)
+def summarize(current: Dict) -> None:
+    """Per-section one-liners printed on every gate run."""
     training = current.get("training", {})
     print(
         f"training speedup {training.get('speedup', 0.0):.2f}x "
@@ -128,13 +125,12 @@ def main(argv=None) -> int:
         f"suite cache byte-stable: rerun {suite.get('rerun_bytes_identical')}, "
         f"executors {suite.get('executor_bytes_identical')}"
     )
-    if problems:
-        print("\nPERF GATE FAILED:", file=sys.stderr)
-        for problem in problems:
-            print(f"  - {problem}", file=sys.stderr)
-        return 1
-    print("\nperf gate passed")
-    return 0
+
+
+def main(argv=None) -> int:
+    return run_gate_cli(
+        "prediction perf-regression gate", DEFAULT_BASELINE, check, summarize, argv
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,139 @@
+"""Shared helpers for the CI perf-regression gates and benchmarks.
+
+Every ``check_*_regression.py`` gate follows the same shape: load a freshly
+emitted ``BENCH_*.json``, load the committed ``baseline_*.json``, compare
+deterministic metrics at a tight relative tolerance, enforce speedup /
+throughput floors and wall-time ceilings, print a human-readable summary,
+and exit 1 with a ``PERF GATE FAILED`` block on any problem.  This module
+holds the pieces that were previously duplicated per gate:
+
+* :func:`best_of` — best-of-N wall-clock timing (benchmarks);
+* :func:`compare_metrics` — per-key baseline comparison with
+  ``math.isclose`` at the baseline's ``metrics_rtol``;
+* :func:`check_floor` / :func:`check_ceiling` — floor ratios (speedups,
+  sustained throughput) and baseline-relative wall-time/latency ceilings;
+* :func:`run_gate_cli` — the shared ``main()``: argument parsing, payload
+  loading, summary printing and the pass/fail exit protocol.
+
+The gate modules stay importable standalone (``importlib`` loads them by
+file path in ``tests/test_perf_gate.py``), so they add this directory to
+``sys.path`` before ``import gatelib`` — the same idiom the benchmarks use
+for ``src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+
+def best_of(callable_: Callable[[], Any], repeats: int = 3) -> float:
+    """Best (minimum) wall-clock seconds of ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def compare_metrics(
+    current: Dict[str, Any], baseline: Dict[str, Any], rtol: float
+) -> List[str]:
+    """Compare every baseline metric against the fresh payload.
+
+    Metrics are deterministic functions of the scenario seed, so ``rtol``
+    is tight (typically ``1e-9``); any drift means semantics changed, not
+    noise.  Missing keys are reported as problems too.
+    """
+    problems = []
+    for key, expected in baseline.items():
+        actual = current.get(key)
+        if actual is None:
+            problems.append(f"metric {key!r} missing from benchmark output")
+            continue
+        if not math.isclose(float(actual), float(expected), rel_tol=rtol, abs_tol=rtol):
+            problems.append(
+                f"metric {key!r} drifted: baseline {expected!r}, got {actual!r}"
+            )
+    return problems
+
+
+def check_floor(
+    value: float, floor: float, label: str, unit: str = "x"
+) -> Optional[str]:
+    """Ratio/throughput floor: ``value`` must stay at or above ``floor``."""
+    if float(value) < float(floor):
+        return (
+            f"{label} {float(value):.2f}{unit} below the {float(floor):.2f}{unit} floor"
+        )
+    return None
+
+
+def check_ceiling(
+    value: float,
+    ceiling: float,
+    label: str,
+    unit: str = "s",
+    context: str = "",
+) -> Optional[str]:
+    """Absolute ceiling: ``value`` must stay at or below ``ceiling``."""
+    if float(value) > float(ceiling):
+        suffix = f" ({context})" if context else ""
+        return (
+            f"{label} {float(value):.3f}{unit} exceeds {float(ceiling):.3f}{unit}"
+            f"{suffix}"
+        )
+    return None
+
+
+def check_baseline_ceiling(
+    value: float, baseline_value: float, factor: float, label: str, unit: str = "s"
+) -> Optional[str]:
+    """Baseline-relative ceiling: at most ``factor`` times the committed value."""
+    return check_ceiling(
+        value,
+        float(baseline_value) * float(factor),
+        label,
+        unit=unit,
+        context=f"{float(factor):g}x the committed baseline",
+    )
+
+
+def run_gate_cli(
+    description: str,
+    default_baseline: Path,
+    check: Callable[[Dict, Dict], List[str]],
+    summarize: Callable[[Dict], None],
+    argv: Optional[List[str]] = None,
+) -> int:
+    """The shared gate ``main()``: load payloads, summarise, check, exit.
+
+    ``check(current, baseline)`` returns human-readable problem strings
+    (empty means pass); ``summarize(current)`` prints the per-section
+    one-liners shown on every run, pass or fail.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("benchmark", help="freshly emitted BENCH_*.json")
+    parser.add_argument(
+        "--baseline",
+        default=str(default_baseline),
+        help=f"committed baseline JSON (default: {default_baseline.name})",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(Path(args.benchmark).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    problems = check(current, baseline)
+    summarize(current)
+    if problems:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0

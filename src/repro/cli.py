@@ -36,6 +36,20 @@ Three subcommands cover the common workflows:
     fixed ``--samples`` campaign is fully deterministic (same seed, same
     byte-identical report).
 
+``serve``
+    Boot the always-on dispatch service over one scenario: an HTTP ingest
+    API (POST /orders, /drain; GET /healthz, /stats) in front of the
+    admission scheduler and the continuous micro-batching match loop.
+    Every admitted order is appended to a canonical-JSON ingest log whose
+    offline replay reproduces the live metrics bit-for-bit.
+
+``loadgen``
+    Drive a service (a running ``serve`` instance via ``--url``, or an
+    in-process one) with the scenario's seeded order stream at a
+    configurable open-loop rate schedule, then drain and report sustained
+    throughput, admission-to-assignment latency percentiles and the
+    ingest-log replay-equality check.
+
 Examples
 --------
 ::
@@ -47,8 +61,9 @@ Examples
     python -m repro dispatch --preset nyc --fleet-sizes 100 200 --demand-scales 1 2
     python -m repro predict --preset nyc --models mlp,deepst --resolutions 4 8
     python -m repro fuzz --seed 7 --samples 200 --report fuzz-report.json
-    python -m repro fuzz --budget 300 --repro-dir .fuzz_repros
-    python -m repro fuzz --replay tests/corpus/offset_window_infer.json
+    python -m repro serve --preset nyc --port 8321 --ingest-log ingest.jsonl --drain-after 60
+    python -m repro loadgen --url http://127.0.0.1:8321 --rate 250 --duration 20
+    python -m repro loadgen --schedule 500:20,0:5,1000:10 --repeat-days 3 --assert-replay
 """
 
 from __future__ import annotations
@@ -451,7 +466,187 @@ def build_parser() -> argparse.ArgumentParser:
             "self-test: the campaign must fail)"
         ),
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="boot the always-on dispatch service (HTTP ingest + match loop)",
+    )
+    _add_service_scenario_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port; 0 binds an ephemeral port (default: 8321)",
+    )
+    _add_service_runtime_arguments(serve)
+    serve.add_argument(
+        "--drain-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "drain and exit after this many seconds unless a client POSTs "
+            "/drain first (default: run until drained over HTTP)"
+        ),
+    )
+    serve.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the final service report as canonical JSON to FILE",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a dispatch service with the scenario's seeded order stream",
+    )
+    _add_service_scenario_arguments(loadgen)
+    loadgen.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "base URL of a running `repro serve` instance; omitted, the "
+            "service is hosted in-process (the scenario flags must match "
+            "the server's when --url is used)"
+        ),
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="offered load in orders/second (default: 200)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="seconds per schedule cycle at --rate (default: 30)",
+    )
+    loadgen.add_argument(
+        "--schedule",
+        default=None,
+        metavar="RATE:SECONDS,...",
+        help=(
+            "explicit load phases, e.g. 500:20,0:5,1000:10 (overrides "
+            "--rate/--duration; rate 0 is an idle gap)"
+        ),
+    )
+    loadgen.add_argument(
+        "--repeat-days",
+        type=int,
+        default=1,
+        help="tile the scenario's day-0 stream across this many days (default: 1)",
+    )
+    loadgen.add_argument(
+        "--max-orders",
+        type=int,
+        default=None,
+        help="truncate the (tiled) stream to this many orders",
+    )
+    _add_service_runtime_arguments(loadgen)
+    loadgen.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the offline ingest-log replay check",
+    )
+    loadgen.add_argument(
+        "--assert-replay",
+        action="store_true",
+        help=(
+            "fail (exit 1) unless the ingest-log replay reproduces the live "
+            "metrics bit-for-bit (requires --ingest-log)"
+        ),
+    )
+    loadgen.add_argument(
+        "--assert-max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail (exit 1) if the pending backlog ever exceeded N orders",
+    )
+    loadgen.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the combined load report as canonical JSON to FILE",
+    )
+    loadgen.add_argument(
+        "--send-malformed",
+        action="store_true",
+        help=(
+            "self-test the rejection path: submit one malformed order and "
+            "exit 2 once the service rejects it cleanly"
+        ),
+    )
     return parser
+
+
+def _add_service_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="nyc",
+        help="city preset; short aliases allowed (default: nyc)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("polar", "ls"),
+        default="polar",
+        help="dispatch policy (default: polar)",
+    )
+    parser.add_argument(
+        "--matching",
+        choices=("optimal", "greedy"),
+        default="greedy",
+        help="POLAR assignment solver (default: greedy, the city-scale profile)",
+    )
+    parser.add_argument(
+        "--fleet-size", type=int, default=200, help="driver count (default: 200)"
+    )
+    parser.add_argument(
+        "--demand-scale", type=float, default=1.0, help="demand multiplier (default: 1)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="scenario seed (default: 7)")
+    parser.add_argument(
+        "--slots",
+        type=int,
+        nargs="+",
+        default=None,
+        help="slots of the test day to serve (default: the whole day)",
+    )
+
+
+def _add_service_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="micro-batch cap of the match loop (default: 256)",
+    )
+    parser.add_argument(
+        "--cadence",
+        type=float,
+        default=0.05,
+        help=(
+            "idle-tick timeout of the match loop in seconds; arrivals are "
+            "matched immediately regardless (default: 0.05)"
+        ),
+    )
+    parser.add_argument(
+        "--sparse",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help="vector-engine matching pipeline (default: auto)",
+    )
+    parser.add_argument(
+        "--ingest-log",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append every admitted order to this canonical-JSONL log; its "
+            "offline replay reproduces the live metrics bit-for-bit"
+        ),
+    )
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -877,6 +1072,152 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _service_scenario(args: argparse.Namespace):
+    from repro.dispatch.scenarios import DispatchScenario
+
+    return DispatchScenario(
+        city=resolve_city(args.preset.strip()),
+        policy=args.policy,
+        matching=args.matching,
+        fleet_size=args.fleet_size,
+        demand_scale=args.demand_scale,
+        seed=args.seed,
+        slots=tuple(args.slots) if args.slots is not None else None,
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import DispatchService, ServiceConfig, serve_http
+
+    try:
+        scenario = _service_scenario(args)
+        config = ServiceConfig(
+            scenario=scenario,
+            sparse=args.sparse,
+            max_batch=args.max_batch,
+            cadence_seconds=args.cadence,
+            ingest_log=args.ingest_log,
+        )
+        service = DispatchService(config).start()
+        server = serve_http(service, host=args.host, port=args.port)
+    except (ValueError, OSError) as exc:
+        # OSError covers an already-bound port (EADDRINUSE) and unwritable
+        # ingest-log paths.
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"serving {scenario.label} at http://{host}:{port}")
+    print("routes: POST /orders /drain   GET /healthz /stats")
+    if args.ingest_log is not None:
+        print(f"ingest log: {args.ingest_log}")
+    try:
+        # Run until a client drains us over HTTP, or --drain-after elapses.
+        if not service.drained.wait(timeout=args.drain_after):
+            service.drain()
+    except KeyboardInterrupt:
+        service.drain()
+    finally:
+        server.shutdown()
+    report = service.drain()
+    print(
+        f"drained: {report.orders_admitted} admitted, {report.assigned} assigned, "
+        f"{report.cancelled} cancelled, {report.unserved} unserved "
+        f"({report.orders_per_sec:.1f} orders/s sustained, "
+        f"p50 {report.latency_p50_ms:.1f} ms, p99 {report.latency_p99_ms:.1f} ms)"
+    )
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(report.to_payload()))
+        print(f"report written: {args.report}")
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.experiments.service_load import run_service_load
+    from repro.service import AdmissionError, HttpClient
+    from repro.service.loadgen import MALFORMED_ORDER, parse_schedule
+
+    try:
+        if args.send_malformed:
+            if args.url is None:
+                raise ValueError("--send-malformed requires --url")
+            try:
+                HttpClient(args.url).submit(MALFORMED_ORDER)
+            except AdmissionError as exc:
+                print(f"repro loadgen: malformed order rejected: {exc}", file=sys.stderr)
+                return 2
+            print(
+                "repro loadgen: malformed order was ACCEPTED; "
+                "the admission validator is broken",
+                file=sys.stderr,
+            )
+            return 1
+        scenario = _service_scenario(args)
+        if args.schedule is not None:
+            phases = parse_schedule(args.schedule)
+        else:
+            phases = parse_schedule(f"{args.rate:g}:{args.duration:g}")
+        report = run_service_load(
+            scenario,
+            phases,
+            repeat_days=args.repeat_days,
+            max_orders=args.max_orders,
+            ingest_log=args.ingest_log,
+            max_batch=args.max_batch,
+            cadence_seconds=args.cadence,
+            sparse=args.sparse,
+            url=args.url,
+            check_replay=not args.no_replay,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"repro loadgen: {exc}", file=sys.stderr)
+        return 2
+    service = report["service"]
+    metrics = service["metrics"]
+    print(
+        f"loadgen: {report['orders_offered']} orders offered at "
+        f"{report['loadgen']['offered_rate']:.1f}/s "
+        f"({len(report['phases'])} phase(s), {args.repeat_days} day(s))"
+    )
+    print(
+        f"service: {service['orders_admitted']} admitted, "
+        f"{service['assigned']} assigned, {service['cancelled']} cancelled, "
+        f"{service['unserved']} unserved; {service['orders_per_sec']:.1f} "
+        f"orders/s sustained, p50 {service['latency_p50_ms']:.1f} ms, "
+        f"p99 {service['latency_p99_ms']:.1f} ms, "
+        f"max pending {service['max_pending']}"
+    )
+    print(
+        f"metrics: served={metrics['served_orders']} "
+        f"cancelled={metrics['cancelled_orders']} "
+        f"revenue={metrics['total_revenue']:.2f} "
+        f"unified_cost={metrics['unified_cost']:.2f}"
+    )
+    failures = []
+    if "replay" in report:
+        equal = report["replay"]["replay_equal"]
+        print(f"replay: offline metrics {'MATCH bit-for-bit' if equal else 'DIVERGE'}")
+        if args.assert_replay and not equal:
+            failures.append("ingest-log replay metrics diverge from the live run")
+    elif args.assert_replay:
+        failures.append("--assert-replay needs an ingest log (--ingest-log)")
+    if (
+        args.assert_max_pending is not None
+        and service["max_pending"] > args.assert_max_pending
+    ):
+        failures.append(
+            f"pending backlog peaked at {service['max_pending']} orders "
+            f"(limit {args.assert_max_pending}); unbounded growth"
+        )
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(report))
+        print(f"report written: {args.report}")
+    for failure in failures:
+        print(f"LOADGEN FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -895,6 +1236,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_predict(args)
     if args.command == "fuzz":
         return _command_fuzz(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "loadgen":
+        return _command_loadgen(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -77,7 +77,7 @@ semantics, so the bit-identity contract extends to lifecycle scenarios (see
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -383,154 +383,25 @@ class VectorizedAssignmentEngine:
         trip_minutes: np.ndarray,
         day_offset: float = 0.0,
     ) -> Tuple[int, int, float, float]:
-        served = 0
-        cancelled = 0
-        revenue = 0.0
-        travel_km = 0.0
         if slot_indices.size == 0:
-            return served, cancelled, revenue, travel_km
-        travel = self.travel
-        speed = travel.speed_kmh
-        avail = fleet.available_at
-        fleet_x = fleet.x
-        fleet_y = fleet.y
-        fleet_served = fleet.served_orders
-        fleet_earned = fleet.earned_revenue
-        # Shift windows: drivers off shift are masked out of the idle set
-        # (and therefore out of the sparse index, which is built over the
-        # idle subset only).  The mask is skipped entirely for always-online
-        # fleets so the fixed-fleet hot path stays a single comparison.
-        has_shifts = fleet.has_shifts
-        online_from = fleet.online_from
-        online_until = fleet.online_until
-        dropoff_x = orders.dropoff_x
-        dropoff_y = orders.dropoff_y
-        order_revenue = orders.revenue
+            return 0, 0, 0.0, 0.0
+        run = _SlotRun(self, fleet, slot_start, minutes_per_slot)
         # Per-slot order columns, sorted by arrival (the slot_indices order).
         # Arrivals are day-relative; the day offset lifts them onto the
         # absolute replay clock (a no-op bitwise for day 0).
-        sl_arrival = orders.arrival_minute[slot_indices] + day_offset
-        sl_max_wait = orders.max_wait_minutes[slot_indices]
-        sl_revenue = order_revenue[slot_indices]
-        sl_x = orders.x[slot_indices]
-        sl_y = orders.y[slot_indices]
-        # Python-side copies of the tiny per-order columns: the matched-pair
-        # walk reads a handful of scalars per pair, so it runs on plain
-        # floats (bit-identical to the float64 array ops) without per-call
-        # NumPy overhead.
-        arrival_list = sl_arrival.tolist()
-        max_wait_list = sl_max_wait.tolist()
-        # Pending pool: local order indices (ascending), maintained
-        # incrementally — arrivals are appended once, expiries and matches
-        # filter the array in place, and the per-batch wait/patience columns
-        # are O(pending) gathers instead of rebuilt Python list
-        # comprehensions.
-        pending = np.empty(0, dtype=np.intp)
-        taken = 0
-        batch_start = slot_start
-        slot_end = slot_start + minutes_per_slot
-        while batch_start < slot_end:
-            minute = min(batch_start + self.batch_minutes, slot_end)
-            # Orders with arrival < batch end join the pending pool.
-            take = int(sl_arrival.searchsorted(minute, side="left"))
-            if take > taken:
-                pending = np.concatenate(
-                    [pending, np.arange(taken, take, dtype=np.intp)]
-                )
-                taken = take
-            if pending.size == 0:
-                batch_start = minute
-                continue
-            # Drop orders that have waited past their tolerance; each drop is
-            # a rider cancellation, counted once.
-            waits = minute - sl_arrival[pending]
-            limits = sl_max_wait[pending]
-            alive_mask = waits <= limits
-            alive_index = pending[alive_mask]
-            cancelled += int(pending.size - alive_index.size)
-            pending = alive_index
-            if alive_index.size:
-                if has_shifts:
-                    idle = np.nonzero(
-                        (avail <= minute)
-                        & online_mask(online_from, online_until, minute)
-                    )[0]
-                else:
-                    idle = np.nonzero(avail <= minute)[0]
-                if idle.size:
-                    alive_waits = waits[alive_mask]
-                    alive_limits = limits[alive_mask]
-                    if self._use_sparse(alive_index.size, idle.size):
-                        rows, cols, pair_km = self._match_sparse(
-                            sl_x[alive_index],
-                            sl_y[alive_index],
-                            alive_waits,
-                            alive_limits,
-                            sl_revenue[alive_index],
-                            np.take(fleet_x, idle),
-                            np.take(fleet_y, idle),
-                        )
-                    else:
-                        distance = travel.pairwise_km(
-                            sl_x[alive_index],
-                            sl_y[alive_index],
-                            np.take(fleet_x, idle),
-                            np.take(fleet_y, idle),
-                        )
-                        # In-place: pickup minutes then the wait-feasibility
-                        # sum; the scratch matrix is not needed afterwards.
-                        scratch = distance / speed
-                        scratch *= 60.0
-                        scratch += alive_waits[:, None]
-                        feasible = scratch <= alive_limits[:, None]
-                        rows, cols = self.policy.match_pairs(
-                            distance, feasible, sl_revenue[alive_index]
-                        )
-                        pair_km = distance[rows, cols]
-                    batch_served = 0
-                    batch_revenue = 0.0
-                    batch_km = 0.0
-                    assigned = []
-                    alive_list = alive_index.tolist()
-                    # The walk over matched pairs stays scalar so float
-                    # accumulation and driver-state updates happen in the
-                    # scalar engine's order; the pair count is bounded by
-                    # min(orders, drivers) per batch.
-                    for row, col, pickup_km in zip(
-                        rows.tolist(), cols.tolist(), pair_km.tolist()
-                    ):
-                        local = alive_list[row]
-                        driver = idle[col]
-                        # Same float ops as TravelModel.minutes on a scalar.
-                        pickup_minutes = pickup_km / speed * 60.0
-                        order_arrival = arrival_list[local]
-                        if minute + pickup_minutes - order_arrival > max_wait_list[local]:
-                            continue
-                        index = slot_indices[local]
-                        start = avail[driver]
-                        if order_arrival > start:
-                            start = order_arrival
-                        avail[driver] = start + pickup_minutes + trip_minutes[index]
-                        fleet_x[driver] = dropoff_x[index]
-                        fleet_y[driver] = dropoff_y[index]
-                        fleet_served[driver] += 1
-                        fleet_earned[driver] += order_revenue[index]
-                        batch_served += 1
-                        batch_revenue += order_revenue[index]
-                        batch_km += pickup_km + trip_km[index]
-                        assigned.append(row)
-                    served += batch_served
-                    revenue += float(batch_revenue)
-                    travel_km += float(batch_km)
-                    if assigned:
-                        if batch_served == alive_index.size:
-                            pending = np.empty(0, dtype=np.intp)
-                        else:
-                            keep = np.ones(alive_index.size, dtype=bool)
-                            keep[assigned] = False
-                            pending = alive_index[keep]
-            batch_start = minute
-        return served, cancelled, revenue, travel_km
+        run.extend(
+            orders.arrival_minute[slot_indices] + day_offset,
+            orders.max_wait_minutes[slot_indices],
+            orders.revenue[slot_indices],
+            orders.x[slot_indices],
+            orders.y[slot_indices],
+            orders.dropoff_x[slot_indices],
+            orders.dropoff_y[slot_indices],
+            trip_km[slot_indices],
+            trip_minutes[slot_indices],
+        )
+        run.drain()
+        return run.served, run.cancelled, run.revenue, run.travel_km
 
     # ------------------------------------------------------------------ #
 
@@ -686,3 +557,527 @@ class VectorizedAssignmentEngine:
         else:
             order = np.argsort(rows, kind="stable")
         return rows[order], cols[order], pair_km[order]
+
+
+class _SlotRun:
+    """One slot's micro-batch state: the engine's batch-loop body, reified.
+
+    Both execution modes of the engine drive this object, so they cannot
+    drift apart:
+
+    * the offline replay (:meth:`VectorizedAssignmentEngine._run_slot`)
+      constructs it with the slot's fully gathered order columns and runs
+      :meth:`drain`;
+    * the incremental :class:`DispatchSession` constructs it empty and
+      interleaves :meth:`extend` (admissions) with :meth:`step` (batch
+      boundaries).
+
+    The per-order columns are local to the slot and append-only; the pending
+    pool, cancellation filter, idle mask, dense/sparse matching and the
+    scalar matched-pair walk are the exact array and float operations of the
+    historical inline loop — accumulation order included — which is what
+    keeps the scalar oracle's bit-identity contract intact for both modes.
+    """
+
+    _COLUMNS = (
+        "sl_arrival",
+        "sl_max_wait",
+        "sl_revenue",
+        "sl_x",
+        "sl_y",
+        "sl_dropoff_x",
+        "sl_dropoff_y",
+        "sl_trip_km",
+        "sl_trip_minutes",
+    )
+
+    def __init__(
+        self,
+        engine: VectorizedAssignmentEngine,
+        fleet: FleetArrays,
+        slot_start: float,
+        minutes_per_slot: float,
+        collect_events: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.collect_events = collect_events
+        self.travel = engine.travel
+        self.speed = engine.travel.speed_kmh
+        self.avail = fleet.available_at
+        self.fleet_x = fleet.x
+        self.fleet_y = fleet.y
+        self.fleet_served = fleet.served_orders
+        self.fleet_earned = fleet.earned_revenue
+        # Shift windows: drivers off shift are masked out of the idle set
+        # (and therefore out of the sparse index, which is built over the
+        # idle subset only).  The mask is skipped entirely for always-online
+        # fleets so the fixed-fleet hot path stays a single comparison.
+        self.has_shifts = fleet.has_shifts
+        self.online_from = fleet.online_from
+        self.online_until = fleet.online_until
+        for name in self._COLUMNS:
+            setattr(self, name, np.empty(0, dtype=float))
+        # Python-side copies of the tiny per-order columns: the matched-pair
+        # walk reads a handful of scalars per pair, so it runs on plain
+        # floats (bit-identical to the float64 array ops) without per-call
+        # NumPy overhead.
+        self.arrival_list: List[float] = []
+        self.max_wait_list: List[float] = []
+        # Pending pool: local order indices (ascending), maintained
+        # incrementally — arrivals are appended once, expiries and matches
+        # filter the array in place, and the per-batch wait/patience columns
+        # are O(pending) gathers instead of rebuilt Python list
+        # comprehensions.
+        self.pending = np.empty(0, dtype=np.intp)
+        self.taken = 0
+        self.batch_start = slot_start
+        self.slot_end = slot_start + minutes_per_slot
+        self.served = 0
+        self.cancelled = 0
+        self.revenue = 0.0
+        self.travel_km = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.batch_start >= self.slot_end
+
+    @property
+    def next_minute(self) -> float:
+        """End of the next batch to fire (the current boundary)."""
+        return min(self.batch_start + self.engine.batch_minutes, self.slot_end)
+
+    @property
+    def unresolved(self) -> int:
+        """Orders admitted to this slot that are neither matched nor dropped."""
+        return len(self.arrival_list) - self.taken + int(self.pending.size)
+
+    def extend(self, *columns: np.ndarray) -> None:
+        """Append admitted orders (one array per ``_COLUMNS`` entry).
+
+        Arrivals must be non-decreasing across calls and at or past every
+        boundary already fired — :class:`DispatchSession` validates both; the
+        offline path extends exactly once before draining.
+        """
+        if columns[0].size == 0:
+            return
+        if self.sl_arrival.size:
+            for name, column in zip(self._COLUMNS, columns):
+                setattr(self, name, np.concatenate([getattr(self, name), column]))
+        else:
+            for name, column in zip(self._COLUMNS, columns):
+                setattr(self, name, column)
+        self.arrival_list.extend(columns[0].tolist())
+        self.max_wait_list.extend(columns[1].tolist())
+
+    def drain(self) -> None:
+        """Fire every remaining batch boundary up to the slot end."""
+        while self.batch_start < self.slot_end:
+            self.step()
+
+    def step(self) -> Tuple[float, List[Tuple[int, int]], List[int]]:
+        """Fire one batch boundary; returns ``(minute, assigned, cancelled)``.
+
+        ``assigned`` holds ``(local order index, fleet row)`` pairs and
+        ``cancelled`` the local indices dropped at this boundary — both stay
+        empty unless ``collect_events`` (the offline replay never reads them,
+        so it pays nothing for the service's latency bookkeeping).
+        """
+        engine = self.engine
+        travel = self.travel
+        speed = self.speed
+        avail = self.avail
+        fleet_x = self.fleet_x
+        fleet_y = self.fleet_y
+        sl_arrival = self.sl_arrival
+        sl_revenue = self.sl_revenue
+        minute = min(self.batch_start + engine.batch_minutes, self.slot_end)
+        assigned_events: List[Tuple[int, int]] = []
+        cancelled_events: List[int] = []
+        # Orders with arrival < batch end join the pending pool.
+        take = int(sl_arrival.searchsorted(minute, side="left"))
+        pending = self.pending
+        if take > self.taken:
+            pending = np.concatenate(
+                [pending, np.arange(self.taken, take, dtype=np.intp)]
+            )
+            self.taken = take
+        if pending.size == 0:
+            self.pending = pending
+            self.batch_start = minute
+            return minute, assigned_events, cancelled_events
+        # Drop orders that have waited past their tolerance; each drop is
+        # a rider cancellation, counted once.
+        waits = minute - sl_arrival[pending]
+        limits = self.sl_max_wait[pending]
+        alive_mask = waits <= limits
+        alive_index = pending[alive_mask]
+        if self.collect_events and alive_index.size != pending.size:
+            cancelled_events = pending[~alive_mask].tolist()
+        self.cancelled += int(pending.size - alive_index.size)
+        pending = alive_index
+        if alive_index.size:
+            if self.has_shifts:
+                idle = np.nonzero(
+                    (avail <= minute)
+                    & online_mask(self.online_from, self.online_until, minute)
+                )[0]
+            else:
+                idle = np.nonzero(avail <= minute)[0]
+            if idle.size:
+                alive_waits = waits[alive_mask]
+                alive_limits = limits[alive_mask]
+                if engine._use_sparse(alive_index.size, idle.size):
+                    rows, cols, pair_km = engine._match_sparse(
+                        self.sl_x[alive_index],
+                        self.sl_y[alive_index],
+                        alive_waits,
+                        alive_limits,
+                        sl_revenue[alive_index],
+                        np.take(fleet_x, idle),
+                        np.take(fleet_y, idle),
+                    )
+                else:
+                    distance = travel.pairwise_km(
+                        self.sl_x[alive_index],
+                        self.sl_y[alive_index],
+                        np.take(fleet_x, idle),
+                        np.take(fleet_y, idle),
+                    )
+                    # In-place: pickup minutes then the wait-feasibility
+                    # sum; the scratch matrix is not needed afterwards.
+                    scratch = distance / speed
+                    scratch *= 60.0
+                    scratch += alive_waits[:, None]
+                    feasible = scratch <= alive_limits[:, None]
+                    rows, cols = engine.policy.match_pairs(
+                        distance, feasible, sl_revenue[alive_index]
+                    )
+                    pair_km = distance[rows, cols]
+                batch_served = 0
+                batch_revenue = 0.0
+                batch_km = 0.0
+                assigned = []
+                alive_list = alive_index.tolist()
+                arrival_list = self.arrival_list
+                max_wait_list = self.max_wait_list
+                fleet_served = self.fleet_served
+                fleet_earned = self.fleet_earned
+                sl_trip_minutes = self.sl_trip_minutes
+                sl_trip_km = self.sl_trip_km
+                sl_dropoff_x = self.sl_dropoff_x
+                sl_dropoff_y = self.sl_dropoff_y
+                # The walk over matched pairs stays scalar so float
+                # accumulation and driver-state updates happen in the
+                # scalar engine's order; the pair count is bounded by
+                # min(orders, drivers) per batch.
+                for row, col, pickup_km in zip(
+                    rows.tolist(), cols.tolist(), pair_km.tolist()
+                ):
+                    local = alive_list[row]
+                    driver = idle[col]
+                    # Same float ops as TravelModel.minutes on a scalar.
+                    pickup_minutes = pickup_km / speed * 60.0
+                    order_arrival = arrival_list[local]
+                    if minute + pickup_minutes - order_arrival > max_wait_list[local]:
+                        continue
+                    start = avail[driver]
+                    if order_arrival > start:
+                        start = order_arrival
+                    avail[driver] = start + pickup_minutes + sl_trip_minutes[local]
+                    fleet_x[driver] = sl_dropoff_x[local]
+                    fleet_y[driver] = sl_dropoff_y[local]
+                    fleet_served[driver] += 1
+                    fleet_earned[driver] += sl_revenue[local]
+                    batch_served += 1
+                    batch_revenue += sl_revenue[local]
+                    batch_km += pickup_km + sl_trip_km[local]
+                    assigned.append(row)
+                    if self.collect_events:
+                        assigned_events.append((local, int(driver)))
+                self.served += batch_served
+                self.revenue += float(batch_revenue)
+                self.travel_km += float(batch_km)
+                if assigned:
+                    if batch_served == alive_index.size:
+                        pending = np.empty(0, dtype=np.intp)
+                    else:
+                        keep = np.ones(alive_index.size, dtype=bool)
+                        keep[assigned] = False
+                        pending = alive_index[keep]
+        self.pending = pending
+        self.batch_start = minute
+        return minute, assigned_events, cancelled_events
+
+
+class SessionEvent(NamedTuple):
+    """One order resolution observed by a :class:`DispatchSession`.
+
+    ``order`` is the order's admission index (its position in the admitted
+    stream, which equals its row in the offline replay's arrival-sorted
+    :class:`OrderArrays`); ``driver`` is the matched fleet row, or ``-1`` for
+    a rider cancellation; ``minute`` is the simulation minute of the batch
+    boundary that resolved it.
+    """
+
+    kind: str
+    order: int
+    driver: int
+    minute: float
+
+
+class DispatchSession:
+    """Incremental pending-pool admission over the vectorized engine.
+
+    The always-on dispatch service (:mod:`repro.service`) drives the engine
+    through this object: orders are admitted in arrival order as they reach
+    the server, batch boundaries fire as the admitted watermark passes them,
+    and a graceful drain closes the stream.  The central contract is the
+    **determinism bridge**: replaying the admitted stream offline through
+    :meth:`VectorizedAssignmentEngine.run` — fresh fleet, same seed —
+    reproduces the session's :class:`DispatchMetrics` bit-identically,
+    because both paths execute the same :class:`_SlotRun` code.
+
+    Three rules uphold the bridge:
+
+    * **Monotone admission.**  Arrivals must be globally non-decreasing,
+      each inside its slot window ``[slot * mps, (slot + 1) * mps)``, slots
+      non-decreasing.  Violations raise ``ValueError`` before any state
+      changes.
+    * **Watermark-gated boundaries.**  A batch boundary ``B`` fires only
+      once the admitted watermark reaches ``B`` (or on drain).  Admission at
+      a boundary is strict (``searchsorted(side="left")`` excludes
+      ``arrival == B``), so no future order can belong to a fired batch.
+    * **Lazy slot entry.**  A slot is entered on its first admitted order —
+      the same slots, in the same order, as the offline replay's
+      ``np.unique(orders.slot)`` walk — closing the previous slot (its
+      remaining boundaries run to the slot end) and then drawing the
+      repositioning RNG.  Slots that never receive an order are never
+      entered and draw nothing.
+
+    Wall-clock concerns — micro-batch caps, adaptive cadence, latency —
+    live entirely in the service layer; they decide *when* ``admit`` and
+    ``advance`` are called, never what they compute.
+    """
+
+    def __init__(
+        self,
+        engine: VectorizedAssignmentEngine,
+        fleet: FleetArrays,
+        rng: np.random.Generator,
+        day: int = 0,
+    ) -> None:
+        if len(fleet) == 0:
+            raise ValueError("at least one driver is required")
+        self.engine = engine
+        self.fleet = fleet
+        self.rng = rng
+        self.day = int(day)
+        # Replay inference safety: an explicit engine slot length is used
+        # verbatim; otherwise the 30-minute default is enforced through the
+        # slot-window validation below, so `infer_minutes_per_slot` on the
+        # logged stream lands on exactly 30.0 and the offline replay agrees.
+        mps = engine.minutes_per_slot
+        self.minutes_per_slot = float(mps) if mps is not None else 30.0
+        self._slot: Optional[int] = None
+        self._run: Optional[_SlotRun] = None
+        self._slot_base = 0
+        self._admitted = 0
+        self._watermark = float("-inf")
+        self._served = 0
+        self._cancelled = 0
+        self._revenue = 0.0
+        self._travel_km = 0.0
+        self._metrics: Optional[DispatchMetrics] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def admitted_orders(self) -> int:
+        return self._admitted
+
+    @property
+    def finished(self) -> bool:
+        return self._metrics is not None
+
+    @property
+    def watermark(self) -> float:
+        """Largest admitted arrival minute (``-inf`` before any admission)."""
+        return self._watermark
+
+    @property
+    def pending_orders(self) -> int:
+        """Admitted orders not yet matched, cancelled or expired with a slot."""
+        run = self._run
+        if run is None:
+            return 0
+        return int(run.unresolved)
+
+    def admit(self, orders: OrderArrays) -> List[SessionEvent]:
+        """Admit a chunk of orders (arrival-sorted, the OrderArrays invariant).
+
+        Returns the events produced by slot changes inside the chunk (closing
+        a slot fires its remaining boundaries).  Call :meth:`advance`
+        afterwards to fire the boundaries the new watermark unlocked.
+        """
+        if self._metrics is not None:
+            raise ValueError("session already finished")
+        if len(orders) == 0:
+            return []
+        arrival = orders.arrival_minute
+        slot = orders.slot
+        if slot.size > 1 and bool(np.any(slot[:-1] > slot[1:])):
+            raise ValueError("slot column must be non-decreasing within a chunk")
+        if arrival.size > 1 and bool(np.any(arrival[:-1] > arrival[1:])):
+            raise ValueError("arrivals must be non-decreasing within a chunk")
+        first = float(arrival[0])
+        if first < self._watermark:
+            raise ValueError(
+                f"arrival {first:g} is behind the admitted watermark "
+                f"{self._watermark:g}; orders must be admitted in arrival order"
+            )
+        mps = self.minutes_per_slot
+        window_start = slot * mps
+        if bool(np.any(arrival < window_start)) or bool(
+            np.any(arrival >= window_start + mps)
+        ):
+            raise ValueError(
+                f"every arrival must lie inside its {mps:g}-minute slot window"
+            )
+        first_slot = int(slot[0])
+        if self._slot is not None and first_slot < self._slot:
+            raise ValueError(
+                f"slot {first_slot} is behind the current slot {self._slot}"
+            )
+        events: List[SessionEvent] = []
+        travel = self.engine.travel
+        change = np.nonzero(slot[:-1] != slot[1:])[0] + 1
+        group_starts = np.concatenate(([0], change))
+        group_ends = np.concatenate((change, [slot.size]))
+        for lo, hi in zip(group_starts.tolist(), group_ends.tolist()):
+            group_slot = int(slot[lo])
+            if self._slot is None or group_slot > self._slot:
+                events.extend(self._open_slot(group_slot))
+            elif self._run is None:
+                raise ValueError(
+                    f"slot {group_slot} was already drained; "
+                    "admit to a later slot"
+                )
+            sel = slice(lo, hi)
+            x = orders.x[sel]
+            y = orders.y[sel]
+            dropoff_x = orders.dropoff_x[sel]
+            dropoff_y = orders.dropoff_y[sel]
+            # Trip legs depend only on the order; the elementwise arithmetic
+            # equals the offline replay's whole-stream precomputation.
+            trip_km = travel.distance_km(x, y, dropoff_x, dropoff_y)
+            trip_minutes = travel.minutes(trip_km)
+            self._run.extend(
+                arrival[sel] + 0.0,
+                orders.max_wait_minutes[sel],
+                orders.revenue[sel],
+                x,
+                y,
+                dropoff_x,
+                dropoff_y,
+                trip_km,
+                trip_minutes,
+            )
+            self._admitted += hi - lo
+        self._watermark = float(arrival[-1])
+        return events
+
+    def advance(self, drain: bool = False) -> List[SessionEvent]:
+        """Fire every batch boundary at or below the admitted watermark.
+
+        ``drain=True`` instead closes the current slot unconditionally —
+        remaining boundaries run to the slot end — after which only strictly
+        later slots are admissible (shutdown, or a quiet slot the caller
+        knows is over).
+        """
+        if drain:
+            return self._close_slot()
+        run = self._run
+        if run is None:
+            return []
+        events: List[SessionEvent] = []
+        while not run.done and run.next_minute <= self._watermark:
+            events.extend(self._step_events(run))
+        return events
+
+    def finish(self) -> DispatchMetrics:
+        """Close the session and build the run metrics (idempotent).
+
+        Accumulation order matches :meth:`VectorizedAssignmentEngine.run`
+        batch → slot → run, so the result is bit-identical to the offline
+        replay of the admitted stream.  Events from the final drain are
+        dropped here — call ``advance(drain=True)`` first to collect them.
+        """
+        if self._metrics is not None:
+            return self._metrics
+        self._close_slot()
+        if self._admitted == 0:
+            # Matches run()'s empty-stream early return.
+            self._metrics = DispatchMetrics(0, 0, 0.0, 0.0, 0.0, 0)
+            return self._metrics
+        unified_cost = self._travel_km + self.engine.unserved_penalty_km * (
+            self._admitted - self._served
+        )
+        self._metrics = DispatchMetrics(
+            served_orders=self._served,
+            total_orders=self._admitted,
+            total_revenue=float(self._revenue),
+            total_travel_km=float(self._travel_km),
+            unified_cost=float(unified_cost),
+            cancelled_orders=self._cancelled,
+        )
+        return self._metrics
+
+    # ------------------------------------------------------------------ #
+
+    def _open_slot(self, slot: int) -> List[SessionEvent]:
+        events = self._close_slot()
+        # Identical to _run_day: slot_start = day_offset + slot * mps with
+        # the session pinned to day offset 0.0 (multi-day live streams use
+        # absolute slot numbers, see the loadgen's day tiling).
+        slot_start = 0.0 + slot * self.minutes_per_slot
+        predicted = self.engine._predicted_demand(self.day, slot)
+        self.engine.policy.reposition_arrays(
+            self.fleet, predicted, self.engine.travel, slot_start, self.rng
+        )
+        self._slot = slot
+        self._slot_base = self._admitted
+        self._run = _SlotRun(
+            self.engine,
+            self.fleet,
+            slot_start,
+            self.minutes_per_slot,
+            collect_events=True,
+        )
+        return events
+
+    def _close_slot(self) -> List[SessionEvent]:
+        run = self._run
+        if run is None:
+            return []
+        events: List[SessionEvent] = []
+        while not run.done:
+            events.extend(self._step_events(run))
+        self._served += run.served
+        self._cancelled += run.cancelled
+        self._revenue += run.revenue
+        self._travel_km += run.travel_km
+        self._run = None
+        return events
+
+    def _step_events(self, run: _SlotRun) -> List[SessionEvent]:
+        minute, assigned, cancelled = run.step()
+        base = self._slot_base
+        events = [
+            SessionEvent("assigned", base + local, driver, minute)
+            for local, driver in assigned
+        ]
+        events.extend(
+            SessionEvent("cancelled", base + local, -1, minute)
+            for local in cancelled
+        )
+        return events

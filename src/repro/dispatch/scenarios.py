@@ -291,6 +291,42 @@ class DispatchScenario:
         return LSDispatcher()
 
 
+def scenario_from_payload(payload: Dict[str, Any]) -> DispatchScenario:
+    """Rebuild a :class:`DispatchScenario` from its :meth:`cache_payload`.
+
+    The inverse of :meth:`DispatchScenario.cache_payload`, used by the
+    service ingest log (:mod:`repro.service.ingest`) to make recorded runs
+    self-describing: the log header embeds the payload, and replaying it
+    offline rebuilds the exact scenario.  Schema mismatches fail loudly
+    instead of replaying under different semantics.
+    """
+    schema = payload.get("schema")
+    if schema != SCENARIO_SCHEMA:
+        raise ValueError(
+            f"unsupported scenario schema {schema!r} (expected {SCENARIO_SCHEMA})"
+        )
+    slots = payload.get("slots")
+    return DispatchScenario(
+        city=payload["city"],
+        policy=payload["policy"],
+        fleet_size=int(payload["fleet_size"]),
+        demand_scale=float(payload["demand_scale"]),
+        seed=int(payload["seed"]),
+        scale=float(payload["scale"]),
+        num_days=int(payload["num_days"]),
+        slots=tuple(int(s) for s in slots) if slots is not None else None,
+        mgrid_side=int(payload["mgrid_side"]),
+        hgrid_budget=int(payload["hgrid_budget"]),
+        guidance=payload["guidance"],
+        matching=payload["matching"],
+        batch_minutes=float(payload["batch_minutes"]),
+        max_wait_minutes=float(payload["max_wait_minutes"]),
+        test_days=int(payload["test_days"]),
+        fleet_profile=payload["fleet_profile"],
+        name=payload.get("name"),
+    )
+
+
 @dataclass
 class ScenarioBundle:
     """Materialised inputs of one scenario, ready to simulate.

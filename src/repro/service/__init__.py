@@ -1,0 +1,67 @@
+"""Always-on dispatch service: ingest API, admission scheduler, match loop.
+
+The service layer wraps the offline dispatch engine
+(:mod:`repro.dispatch.engine`) in a continuously running process: orders
+arrive one at a time (HTTP or in-process), an admission scheduler validates
+and stages them, and a micro-batching match loop feeds the engine's
+incremental :class:`~repro.dispatch.engine.DispatchSession`.  Every
+admitted order is appended to a canonical-JSON ingest log whose offline
+replay reproduces the live run's metrics bit-for-bit — the determinism
+bridge that makes the service CI-gateable.
+"""
+
+from repro.service.ingest import (
+    INGEST_SCHEMA,
+    IngestLogWriter,
+    ReplayResult,
+    orders_from_records,
+    read_ingest_log,
+    replay_ingest_log,
+    service_header,
+)
+from repro.service.loadgen import (
+    HttpClient,
+    InProcessClient,
+    LoadgenResult,
+    LoadPhase,
+    order_payloads,
+    parse_schedule,
+    run_loadgen,
+)
+from repro.service.scheduler import (
+    AdmissionError,
+    AdmissionScheduler,
+    validate_order,
+)
+from repro.service.server import (
+    DispatchService,
+    ServiceConfig,
+    ServiceHTTPServer,
+    ServiceReport,
+    serve_http,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionScheduler",
+    "DispatchService",
+    "HttpClient",
+    "INGEST_SCHEMA",
+    "InProcessClient",
+    "IngestLogWriter",
+    "LoadPhase",
+    "LoadgenResult",
+    "ReplayResult",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServiceReport",
+    "serve_http",
+    "orders_from_records",
+    "order_payloads",
+    "parse_schedule",
+    "read_ingest_log",
+    "replay_ingest_log",
+    "run_loadgen",
+    "service_header",
+    "validate_order",
+]

@@ -1,0 +1,200 @@
+"""Canonical-JSON ingest log and its offline replay bridge.
+
+Every order the service admits is appended to a JSON-Lines log: one header
+line describing the run (scenario payload, simulation seed, engine
+parameters) followed by one canonical-JSON line per admitted order, in
+admission order.  The log carries *only* simulation data — no wall-clock
+timestamps — so two service runs over the same stream write byte-identical
+logs, and a completed run is fully described by its log:
+
+    >>> result = replay_ingest_log("ingest.jsonl")
+    >>> result.metrics  # bit-identical to the live run's DispatchMetrics
+
+:func:`replay_ingest_log` rebuilds the scenario bundle (fleet spawn, travel
+model, demand guidance), constructs the same engine, and runs the logged
+stream through :meth:`~repro.dispatch.engine.VectorizedAssignmentEngine.run`
+— the offline oracle path.  Because the live session and the offline replay
+execute the same ``_SlotRun`` code, the metrics must agree bit-for-bit; the
+service benchmark, the soak workflow and ``tests/service`` all assert it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dispatch.engine import VectorizedAssignmentEngine
+from repro.dispatch.entities import DispatchMetrics, OrderArrays
+from repro.dispatch.scenarios import (
+    DispatchScenario,
+    ScenarioBundle,
+    build_scenario_bundle,
+    scenario_from_payload,
+)
+from repro.utils.cache import canonical_json
+from repro.utils.rng import default_rng, seed_for
+
+#: Bump when the log layout changes so stale logs fail loudly on replay.
+INGEST_SCHEMA = 1
+
+#: Order fields written to the log, in OrderArrays column order.
+ORDER_LOG_FIELDS = (
+    "order_id",
+    "slot",
+    "arrival_minute",
+    "x",
+    "y",
+    "dropoff_x",
+    "dropoff_y",
+    "revenue",
+    "max_wait_minutes",
+)
+
+
+def service_header(
+    scenario: DispatchScenario,
+    minutes_per_slot: float,
+    batch_minutes: float,
+    unserved_penalty_km: float,
+    sparse: str,
+    day: int = 0,
+) -> Dict[str, Any]:
+    """The log's first line: everything a replay needs to rebuild the run."""
+    return {
+        "schema": INGEST_SCHEMA,
+        "kind": "repro-service-ingest",
+        "scenario": scenario.cache_payload(),
+        "sim_seed": seed_for(
+            f"dispatch-scenario/{scenario.city}/{scenario.policy}/sim", scenario.seed
+        ),
+        "minutes_per_slot": float(minutes_per_slot),
+        "batch_minutes": float(batch_minutes),
+        "unserved_penalty_km": float(unserved_penalty_km),
+        "sparse": sparse,
+        "day": int(day),
+    }
+
+
+class IngestLogWriter:
+    """Append-only canonical-JSONL writer for admitted orders.
+
+    The header is written on construction; :meth:`append` adds one line per
+    order (private bookkeeping keys, prefixed ``_``, are stripped) and
+    flushes per batch so a crashed run keeps every admitted order.
+    """
+
+    def __init__(self, path: Union[str, Path], header: Dict[str, Any]) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.write(canonical_json(header) + "\n")
+        self._handle.flush()
+
+    def append(self, orders: Sequence[Dict[str, Any]]) -> None:
+        for order in orders:
+            line = {field: order[field] for field in ORDER_LOG_FIELDS}
+            self._handle.write(canonical_json(line) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "IngestLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_ingest_log(
+    path: Union[str, Path]
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Parse a log into ``(header, order records)``; validates the schema."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"ingest log {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("kind") != "repro-service-ingest":
+        raise ValueError(f"{path} is not a service ingest log")
+    if header.get("schema") != INGEST_SCHEMA:
+        raise ValueError(
+            f"unsupported ingest schema {header.get('schema')!r} "
+            f"(expected {INGEST_SCHEMA})"
+        )
+    records = [json.loads(line) for line in lines[1:] if line]
+    return header, records
+
+
+def orders_from_records(records: Sequence[Dict[str, Any]]) -> OrderArrays:
+    """Pack admitted-order records into the engine's column arrays.
+
+    Records are in admission (arrival) order, which is exactly the
+    arrival-sorted layout :class:`OrderArrays` expects.
+    """
+    return OrderArrays(
+        order_id=np.array([r["order_id"] for r in records], dtype=np.int64),
+        slot=np.array([r["slot"] for r in records], dtype=np.int64),
+        arrival_minute=np.array([r["arrival_minute"] for r in records], dtype=float),
+        x=np.array([r["x"] for r in records], dtype=float),
+        y=np.array([r["y"] for r in records], dtype=float),
+        dropoff_x=np.array([r["dropoff_x"] for r in records], dtype=float),
+        dropoff_y=np.array([r["dropoff_y"] for r in records], dtype=float),
+        revenue=np.array([r["revenue"] for r in records], dtype=float),
+        max_wait_minutes=np.array(
+            [r["max_wait_minutes"] for r in records], dtype=float
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying an ingest log offline through ``engine.run``."""
+
+    metrics: DispatchMetrics
+    order_count: int
+    header: Dict[str, Any]
+
+
+def replay_ingest_log(
+    path: Union[str, Path],
+    bundle: Optional[ScenarioBundle] = None,
+    sparse: Optional[str] = None,
+) -> ReplayResult:
+    """Replay a recorded service run offline; the determinism bridge.
+
+    Rebuilds the scenario bundle from the log header (or reuses a caller's
+    ``bundle`` for the same scenario — bundle construction is the expensive
+    part), spawns a fresh fleet, and runs the logged stream through
+    :meth:`VectorizedAssignmentEngine.run` with the recorded engine
+    parameters.  The returned metrics must equal the live run's
+    bit-for-bit; ``sparse`` optionally overrides the recorded matching
+    pipeline (every mode produces identical metrics).
+    """
+    header, records = read_ingest_log(path)
+    scenario = scenario_from_payload(header["scenario"])
+    if bundle is None:
+        bundle = build_scenario_bundle(scenario)
+    elif bundle.scenario.cache_payload() != scenario.cache_payload():
+        raise ValueError("bundle does not match the ingest log's scenario")
+    engine = VectorizedAssignmentEngine(
+        policy=scenario.make_policy(),
+        travel=bundle.travel,
+        demand=bundle.provider,
+        batch_minutes=float(header["batch_minutes"]),
+        unserved_penalty_km=float(header["unserved_penalty_km"]),
+        sparse=sparse if sparse is not None else header["sparse"],
+        minutes_per_slot=float(header["minutes_per_slot"]),
+    )
+    fleet = bundle.spawn_fleet()
+    rng = default_rng(int(header["sim_seed"]))
+    if records:
+        metrics = engine.run(
+            orders_from_records(records), fleet, rng, day=int(header.get("day", 0))
+        )
+    else:
+        metrics = DispatchMetrics(0, 0, 0.0, 0.0, 0.0, 0)
+    return ReplayResult(metrics=metrics, order_count=len(records), header=header)

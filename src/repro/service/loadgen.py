@@ -1,0 +1,255 @@
+"""Seeded open-loop load generator for the dispatch service.
+
+The generator replays a scenario's deterministic order stream against a
+running service at a configurable wall-clock rate.  Simulation content
+(which orders, their slots, coordinates, revenues) comes entirely from the
+scenario bundle — the same seeded synthesis the offline benchmarks use —
+while the schedule (:class:`LoadPhase` list) only controls *when* each
+order is sent.  Because the engine's arithmetic is rate-independent, every
+schedule over the same stream yields the same :class:`DispatchMetrics`.
+
+Pacing is open-loop: order ``k`` of a phase targets wall time
+``phase_start + k / rate`` regardless of how long earlier submissions took,
+so a slow service accumulates backlog instead of silently throttling the
+offered load — exactly what the soak's no-unbounded-growth assertion
+watches.  A phase with ``rate`` 0 is an idle gap (nothing sent); the
+service's adaptive cadence must match the first post-gap arrival
+immediately.
+
+Long streams come from day-tiling (:func:`order_payloads`): the day-0
+stream is repeated with arrivals shifted by whole days and slots by
+``slots_per_day``, which keeps the stream monotone and replayable by a
+single offline ``engine.run`` call.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Protocol, Sequence
+
+from repro.dispatch.scenarios import ScenarioBundle
+from repro.service.scheduler import ORDER_FIELDS, AdmissionError
+
+#: Slots per tiled day for the default 30-minute slot length.
+DAY_MINUTES = 1440.0
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """``rate`` orders/second offered for ``seconds`` wall seconds (0 = idle)."""
+
+    rate: float
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("phase rate must be non-negative")
+        if self.seconds <= 0:
+            raise ValueError("phase duration must be positive")
+
+
+def parse_schedule(spec: str) -> List[LoadPhase]:
+    """Parse ``"rate:seconds,rate:seconds,..."`` into load phases.
+
+    Example: ``"300:20,0:5,600:10"`` — 20 s at 300 orders/s, a 5 s idle
+    gap, then a 10 s burst at 600 orders/s.
+    """
+    phases: List[LoadPhase] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            rate_text, _, seconds_text = part.partition(":")
+            phases.append(LoadPhase(float(rate_text), float(seconds_text)))
+        except ValueError as exc:
+            raise ValueError(f"bad schedule entry {part!r}: {exc}") from None
+    if not phases:
+        raise ValueError(f"schedule {spec!r} contains no phases")
+    return phases
+
+
+def order_payloads(
+    bundle: ScenarioBundle,
+    repeat_days: int = 1,
+    max_orders: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Build the submit payload stream from a scenario bundle.
+
+    The bundle's day-0 order stream is tiled ``repeat_days`` times: day
+    ``d`` shifts every arrival by ``d`` whole days and every slot by
+    ``slots_per_day``, so the concatenation stays monotone in arrival and
+    each arrival stays inside its (shifted) slot window — one offline
+    ``engine.run`` call replays the whole stream.  ``max_orders``
+    truncates the tiled stream.
+    """
+    if repeat_days < 1:
+        raise ValueError("repeat_days must be at least 1")
+    mps = float(bundle.minutes_per_slot) if bundle.minutes_per_slot else 30.0
+    slots_per_day = int(round(DAY_MINUTES / mps))
+    day_minutes = slots_per_day * mps
+    orders = bundle.orders
+    payloads: List[Dict[str, Any]] = []
+    for day in range(repeat_days):
+        for i in range(len(orders)):
+            payloads.append(
+                {
+                    "slot": int(orders.slot[i]) + day * slots_per_day,
+                    "arrival_minute": float(orders.arrival_minute[i])
+                    + day * day_minutes,
+                    "x": float(orders.x[i]),
+                    "y": float(orders.y[i]),
+                    "dropoff_x": float(orders.dropoff_x[i]),
+                    "dropoff_y": float(orders.dropoff_y[i]),
+                    "revenue": float(orders.revenue[i]),
+                    "max_wait_minutes": float(orders.max_wait_minutes[i]),
+                }
+            )
+            if max_orders is not None and len(payloads) >= max_orders:
+                return payloads
+    return payloads
+
+
+#: A deliberately malformed order for the CLI's rejection self-test.
+MALFORMED_ORDER = {field: "not-a-number" for field in ORDER_FIELDS}
+
+
+class ServiceClient(Protocol):
+    """What the generator needs: submit one order, read stats, drain."""
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]: ...
+
+    def stats(self) -> Dict[str, Any]: ...
+
+    def drain(self) -> Dict[str, Any]: ...
+
+
+class InProcessClient:
+    """Drive a :class:`~repro.service.server.DispatchService` directly."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self.service.submit(payload)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.service.stats()
+
+    def drain(self) -> Dict[str, Any]:
+        return self.service.drain().to_payload()
+
+
+class HttpClient:
+    """Drive a service over its HTTP API with stdlib ``urllib`` only."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body if method == "POST" else None,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                message = detail
+            if exc.code == 400:
+                raise AdmissionError(message) from None
+            raise RuntimeError(f"HTTP {exc.code} from {path}: {message}") from None
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/orders", payload)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/drain", {})
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """Wall-clock outcome of one generator run (content lives in the service)."""
+
+    orders_sent: int
+    orders_rejected: int
+    elapsed_seconds: float
+    offered_rate: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "orders_sent": self.orders_sent,
+            "orders_rejected": self.orders_rejected,
+            "elapsed_seconds": self.elapsed_seconds,
+            "offered_rate": self.offered_rate,
+        }
+
+
+def run_loadgen(
+    client: ServiceClient,
+    payloads: Sequence[Dict[str, Any]],
+    phases: Sequence[LoadPhase],
+    on_phase: Optional[Any] = None,
+) -> LoadgenResult:
+    """Send ``payloads`` through ``client`` paced by ``phases`` (open loop).
+
+    Phases cycle until the payload stream is exhausted; idle phases
+    (``rate`` 0) sleep without sending.  Returns the wall-clock summary;
+    the simulation outcome is read from the service afterwards.
+    """
+    sent = 0
+    rejected = 0
+    index = 0
+    start = time.perf_counter()
+    while index < len(payloads):
+        for phase in phases:
+            if index >= len(payloads):
+                break
+            phase_start = time.perf_counter()
+            if on_phase is not None:
+                on_phase(phase, index)
+            if phase.rate == 0:
+                time.sleep(phase.seconds)
+                continue
+            interval = 1.0 / phase.rate
+            quota = max(1, int(phase.rate * phase.seconds))
+            for k in range(quota):
+                if index >= len(payloads):
+                    break
+                target = phase_start + k * interval
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    client.submit(payloads[index])
+                    sent += 1
+                except AdmissionError:
+                    rejected += 1
+                index += 1
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    return LoadgenResult(
+        orders_sent=sent,
+        orders_rejected=rejected,
+        elapsed_seconds=elapsed,
+        offered_rate=sent / elapsed,
+    )

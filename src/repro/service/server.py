@@ -1,0 +1,420 @@
+"""The always-on dispatch service: ingest → scheduler → micro-batch loop.
+
+:class:`DispatchService` wires the pieces together around one scenario:
+
+* clients submit orders through :meth:`DispatchService.submit` (in-process)
+  or over HTTP (:func:`serve_http`, stdlib ``ThreadingHTTPServer`` — no
+  extra dependencies);
+* the :class:`~repro.service.scheduler.AdmissionScheduler` validates and
+  stages them;
+* a single match-loop thread drains the stage in micro-batches (at most
+  ``max_batch`` per tick — batch when busy), feeds them to a
+  :class:`~repro.dispatch.engine.DispatchSession`, and fires every batch
+  boundary the new watermark unlocked.  When idle the loop parks on the
+  scheduler's condition variable with a ``cadence_seconds`` timeout, so the
+  next arrival is matched immediately instead of waiting out a poll
+  interval (adaptive cadence);
+* :meth:`DispatchService.drain` closes admission, lets the loop drain the
+  stage and the session, and builds the final :class:`ServiceReport` —
+  exactly once.
+
+Wall-clock measurements (admission→assignment latency, sustained
+orders/sec) live in this layer only; the simulation arithmetic runs inside
+the session, which is why the ingest log replays offline to bit-identical
+:class:`~repro.dispatch.entities.DispatchMetrics`.
+
+``REPRO_SERVICE_INJECT_SLEEP_MS`` is a harness self-test hook (the CI
+service gate's negative test, like ``repro fuzz --inject-bug``): the match
+loop sleeps that many milliseconds after every processed batch, which must
+blow the gate's latency ceilings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dispatch.engine import DispatchSession, VectorizedAssignmentEngine
+from repro.dispatch.entities import DispatchMetrics
+from repro.dispatch.scenarios import (
+    DispatchScenario,
+    ScenarioBundle,
+    build_scenario_bundle,
+)
+from repro.service.ingest import (
+    IngestLogWriter,
+    orders_from_records,
+    service_header,
+)
+from repro.service.scheduler import AdmissionError, AdmissionScheduler
+from repro.utils.rng import default_rng, seed_for
+
+#: Environment variable read by the CI gate's negative test: injected
+#: per-batch sleep (milliseconds) in the match loop.
+INJECT_SLEEP_ENV = "REPRO_SERVICE_INJECT_SLEEP_MS"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Static configuration of one service run."""
+
+    scenario: DispatchScenario
+    sparse: str = "auto"
+    max_batch: int = 256
+    cadence_seconds: float = 0.05
+    ingest_log: Optional[str] = None
+    day: int = 0
+    #: ``None`` reads :data:`INJECT_SLEEP_ENV` (the CI negative-test hook).
+    inject_sleep_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.cadence_seconds <= 0:
+            raise ValueError("cadence_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Final report of one drained service run."""
+
+    orders_admitted: int
+    orders_rejected: int
+    assigned: int
+    cancelled: int
+    unserved: int
+    duration_seconds: float
+    orders_per_sec: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    latency_max_ms: float
+    max_pending: int
+    metrics: DispatchMetrics
+    ingest_log: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["metrics"] = dataclasses.asdict(self.metrics)
+        return payload
+
+
+class DispatchService:
+    """One always-on dispatch run over a scenario's fleet and city.
+
+    Construction is cheap; :meth:`start` materialises the scenario bundle
+    (or reuses a caller-provided one — the load generator shares its
+    bundle), spawns the fleet, opens the ingest log and launches the match
+    loop.  ``submit``/``stats`` are thread-safe; ``drain`` is idempotent
+    and returns the same :class:`ServiceReport` on every call.
+    """
+
+    def __init__(
+        self, config: ServiceConfig, bundle: Optional[ScenarioBundle] = None
+    ) -> None:
+        self.config = config
+        self._bundle = bundle
+        inject = config.inject_sleep_ms
+        if inject is None:
+            inject = float(os.environ.get(INJECT_SLEEP_ENV, "0") or 0.0)
+        self._inject_sleep = max(0.0, inject) / 1000.0
+        self._scheduler: Optional[AdmissionScheduler] = None
+        self._session: Optional[DispatchSession] = None
+        self._log: Optional[IngestLogWriter] = None
+        self._thread: Optional[threading.Thread] = None
+        self._state_lock = threading.Lock()
+        self._drain_lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self._latencies: List[float] = []
+        self._assigned = 0
+        self._cancelled = 0
+        self._max_pending = 0
+        self._first_wall: Optional[float] = None
+        self._end_wall: Optional[float] = None
+        self._metrics: Optional[DispatchMetrics] = None
+        self._report: Optional[ServiceReport] = None
+        self.drained = threading.Event()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bundle(self) -> ScenarioBundle:
+        if self._bundle is None:
+            raise RuntimeError("service not started")
+        return self._bundle
+
+    @property
+    def minutes_per_slot(self) -> float:
+        mps = self.bundle.minutes_per_slot
+        return float(mps) if mps is not None else 30.0
+
+    def start(self) -> "DispatchService":
+        """Materialise the scenario and launch the match loop."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        scenario = self.config.scenario
+        if self._bundle is None:
+            self._bundle = build_scenario_bundle(scenario)
+        elif self._bundle.scenario.cache_payload() != scenario.cache_payload():
+            raise ValueError("bundle does not match the service scenario")
+        bundle = self._bundle
+        engine = VectorizedAssignmentEngine(
+            policy=scenario.make_policy(),
+            travel=bundle.travel,
+            demand=bundle.provider,
+            batch_minutes=scenario.batch_minutes,
+            sparse=self.config.sparse,
+            minutes_per_slot=bundle.minutes_per_slot,
+        )
+        rng = default_rng(
+            seed_for(
+                f"dispatch-scenario/{scenario.city}/{scenario.policy}/sim",
+                scenario.seed,
+            )
+        )
+        self._session = DispatchSession(
+            engine, bundle.spawn_fleet(), rng, day=self.config.day
+        )
+        self._scheduler = AdmissionScheduler(
+            minutes_per_slot=self.minutes_per_slot, max_batch=self.config.max_batch
+        )
+        if self.config.ingest_log is not None:
+            self._log = IngestLogWriter(
+                self.config.ingest_log,
+                service_header(
+                    scenario,
+                    minutes_per_slot=self.minutes_per_slot,
+                    batch_minutes=engine.batch_minutes,
+                    unserved_penalty_km=engine.unserved_penalty_km,
+                    sparse=self.config.sparse,
+                    day=self.config.day,
+                ),
+            )
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-match-loop", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def submit(self, payload: Any) -> Dict[str, int]:
+        """Admit one order; raises :class:`AdmissionError` on rejection."""
+        if self._scheduler is None:
+            raise RuntimeError("service not started")
+        order_id = self._scheduler.submit(payload)
+        return {"order_id": order_id}
+
+    def stats(self) -> Dict[str, Any]:
+        """Live counters, safe to call from any thread."""
+        scheduler = self._scheduler
+        if scheduler is None:
+            raise RuntimeError("service not started")
+        with self._state_lock:
+            return {
+                "submitted": scheduler.submitted,
+                "rejected": scheduler.rejected,
+                "admitted": len(self._records),
+                "assigned": self._assigned,
+                "cancelled": self._cancelled,
+                "staged": scheduler.staged_count,
+                "max_pending": max(self._max_pending, scheduler.max_staged),
+                "draining": scheduler.closed,
+                "drained": self.drained.is_set(),
+            }
+
+    def drain(self) -> ServiceReport:
+        """Stop admission, drain staged orders and the session — exactly once.
+
+        Subsequent calls return the same report object; in-flight orders are
+        matched (or expire) during the drain, never re-processed.
+        """
+        with self._drain_lock:
+            if self._report is None:
+                if self._scheduler is None or self._thread is None:
+                    raise RuntimeError("service not started")
+                self._scheduler.close()
+                self._thread.join()
+                self._report = self._build_report()
+                if self._log is not None:
+                    self._log.close()
+                self.drained.set()
+            return self._report
+
+    # ------------------------------------------------------------------ #
+
+    def _loop(self) -> None:
+        scheduler = self._scheduler
+        while True:
+            batch = scheduler.take(timeout=self.config.cadence_seconds)
+            if batch is None:
+                break  # closed and fully drained
+            if not batch:
+                continue  # idle tick; the next arrival wakes us immediately
+            self._process(batch)
+            if self._inject_sleep:
+                time.sleep(self._inject_sleep)
+        # Graceful drain: fire the current slot's remaining boundaries so
+        # every in-flight order is matched or expires, then close the run.
+        events = self._session.advance(drain=True)
+        self._apply_events(events, time.perf_counter())
+        with self._state_lock:
+            self._metrics = self._session.finish()
+            self._end_wall = time.perf_counter()
+
+    def _process(self, batch: List[Dict[str, Any]]) -> None:
+        session = self._session
+        if self._log is not None:
+            self._log.append(batch)
+        chunk = orders_from_records(batch)
+        events = session.admit(chunk)
+        events.extend(session.advance())
+        now = time.perf_counter()
+        with self._state_lock:
+            if self._first_wall is None:
+                self._first_wall = batch[0]["_wall"]
+            for order in batch:
+                self._records.append(
+                    {"status": "queued", "wall_admitted": order["_wall"]}
+                )
+        self._apply_events(events, now)
+        pending = session.pending_orders + self._scheduler.staged_count
+        with self._state_lock:
+            if pending > self._max_pending:
+                self._max_pending = pending
+
+    def _apply_events(self, events: List[Any], now: float) -> None:
+        if not events:
+            return
+        with self._state_lock:
+            for event in events:
+                record = self._records[event.order]
+                record["status"] = event.kind
+                record["minute"] = event.minute
+                record["wall_resolved"] = now
+                if event.kind == "assigned":
+                    record["driver"] = event.driver
+                    self._assigned += 1
+                    self._latencies.append(
+                        (now - record["wall_admitted"]) * 1000.0
+                    )
+                else:
+                    self._cancelled += 1
+
+    def _build_report(self) -> ServiceReport:
+        scheduler = self._scheduler
+        with self._state_lock:
+            admitted = len(self._records)
+            unserved = sum(
+                1 for record in self._records if record["status"] == "queued"
+            )
+            latencies = np.asarray(self._latencies, dtype=float)
+            if self._first_wall is not None and self._end_wall is not None:
+                duration = max(self._end_wall - self._first_wall, 1e-9)
+            else:
+                duration = 0.0
+            metrics = self._metrics
+        if latencies.size:
+            p50 = float(np.percentile(latencies, 50))
+            p99 = float(np.percentile(latencies, 99))
+            mean = float(latencies.mean())
+            peak = float(latencies.max())
+        else:
+            p50 = p99 = mean = peak = 0.0
+        return ServiceReport(
+            orders_admitted=admitted,
+            orders_rejected=scheduler.rejected,
+            assigned=self._assigned,
+            cancelled=self._cancelled,
+            unserved=unserved,
+            duration_seconds=duration,
+            orders_per_sec=admitted / duration if duration > 0 else 0.0,
+            latency_p50_ms=p50,
+            latency_p99_ms=p99,
+            latency_mean_ms=mean,
+            latency_max_ms=peak,
+            max_pending=max(self._max_pending, scheduler.max_staged),
+            metrics=metrics,
+            ingest_log=self.config.ingest_log,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# HTTP front end (stdlib only)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying a reference to the service."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: DispatchService) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes: POST /orders, POST /drain, GET /healthz, GET /stats."""
+
+    server: ServiceHTTPServer
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep CI logs quiet; the CLI prints its own summary
+
+    def _reply(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._reply(200, service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        if self.path == "/orders":
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                payload = json.loads(self.rfile.read(length) or b"")
+            except json.JSONDecodeError as exc:
+                self._reply(400, {"error": f"invalid JSON body: {exc}"})
+                return
+            try:
+                self._reply(200, service.submit(payload))
+            except AdmissionError as exc:
+                self._reply(400, {"error": str(exc)})
+        elif self.path == "/drain":
+            self._reply(200, service.drain().to_payload())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+
+def serve_http(
+    service: DispatchService, host: str = "127.0.0.1", port: int = 8321
+) -> ServiceHTTPServer:
+    """Bind and serve the service over HTTP in a daemon thread.
+
+    Raises ``OSError`` (errno ``EADDRINUSE``) when the port is taken —
+    callers surface it as a clean exit-code-2 message.  ``port=0`` binds an
+    ephemeral port; read it back from ``server.server_address[1]``.
+    """
+    server = ServiceHTTPServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server

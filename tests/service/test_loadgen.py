@@ -1,0 +1,121 @@
+"""Load generator: day-tiling, schedule parsing, open-loop pacing."""
+
+import pytest
+
+from repro.service import (
+    AdmissionError,
+    LoadPhase,
+    order_payloads,
+    parse_schedule,
+    run_loadgen,
+)
+from repro.service.loadgen import MALFORMED_ORDER
+from repro.service.scheduler import validate_order
+
+
+class TestOrderPayloads:
+    def test_tiling_shifts_whole_days(self, bundle):
+        day0 = order_payloads(bundle)
+        tiled = order_payloads(bundle, repeat_days=3)
+        assert len(tiled) == 3 * len(day0)
+        n = len(day0)
+        for day in (1, 2):
+            for base, shifted in zip(day0, tiled[day * n : (day + 1) * n]):
+                assert shifted["slot"] == base["slot"] + day * 48
+                assert shifted["arrival_minute"] == (
+                    base["arrival_minute"] + day * 1440.0
+                )
+
+    def test_tiled_stream_is_admissible_and_monotone(self, bundle):
+        tiled = order_payloads(bundle, repeat_days=2)
+        previous = float("-inf")
+        for payload in tiled:
+            order = validate_order(payload)  # window containment holds shifted
+            assert order["arrival_minute"] >= previous
+            previous = order["arrival_minute"]
+
+    def test_max_orders_truncates(self, bundle):
+        assert len(order_payloads(bundle, repeat_days=5, max_orders=7)) == 7
+
+    def test_repeat_days_must_be_positive(self, bundle):
+        with pytest.raises(ValueError, match="repeat_days"):
+            order_payloads(bundle, repeat_days=0)
+
+    def test_malformed_order_fails_validation(self):
+        with pytest.raises(AdmissionError):
+            validate_order(MALFORMED_ORDER)
+
+
+class TestSchedule:
+    def test_parse_valid(self):
+        phases = parse_schedule("300:20, 0:5 ,600:10")
+        assert phases == [
+            LoadPhase(300.0, 20.0),
+            LoadPhase(0.0, 5.0),
+            LoadPhase(600.0, 10.0),
+        ]
+
+    @pytest.mark.parametrize("spec", ["nope", "300", "300:-1", "-5:10", ""])
+    def test_parse_invalid(self, spec):
+        with pytest.raises(ValueError):
+            parse_schedule(spec)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LoadPhase(-1.0, 10.0)
+        with pytest.raises(ValueError, match="positive"):
+            LoadPhase(100.0, 0.0)
+
+
+class FakeClient:
+    """Records submissions; rejects payloads flagged ``reject``."""
+
+    def __init__(self):
+        self.seen = []
+
+    def submit(self, payload):
+        if payload.get("reject"):
+            raise AdmissionError("rejected by fake")
+        self.seen.append(payload["index"])
+        return {"order_id": len(self.seen) - 1}
+
+    def stats(self):
+        return {}
+
+    def drain(self):
+        return {}
+
+
+class TestRunLoadgen:
+    def test_sends_everything_in_order_cycling_phases(self):
+        client = FakeClient()
+        payloads = [{"index": i} for i in range(25)]
+        # Each cycle offers 10 orders then idles briefly; 25 payloads need
+        # three cycles — the generator must cycle phases until exhausted.
+        phases = [LoadPhase(rate=1000.0, seconds=0.01), LoadPhase(0.0, 0.01)]
+        result = run_loadgen(client, payloads, phases)
+        assert client.seen == list(range(25))
+        assert result.orders_sent == 25
+        assert result.orders_rejected == 0
+        assert result.offered_rate > 0
+
+    def test_rejections_counted_but_not_fatal(self):
+        client = FakeClient()
+        payloads = [
+            {"index": 0},
+            {"index": 1, "reject": True},
+            {"index": 2},
+        ]
+        result = run_loadgen(client, payloads, [LoadPhase(1000.0, 1.0)])
+        assert client.seen == [0, 2]
+        assert result.orders_sent == 2
+        assert result.orders_rejected == 1
+
+    def test_idle_only_schedule_still_terminates(self):
+        # An idle phase sends nothing, but the sending phase that follows
+        # must still drain the stream.
+        client = FakeClient()
+        payloads = [{"index": i} for i in range(3)]
+        phases = [LoadPhase(0.0, 0.02), LoadPhase(1000.0, 1.0)]
+        result = run_loadgen(client, payloads, phases)
+        assert result.orders_sent == 3

@@ -1,0 +1,185 @@
+"""DispatchSession: incremental admission == one-shot ``engine.run``.
+
+The determinism bridge of the service layer rests on one property: a
+session fed the scenario's order stream in arbitrary arrival-ordered
+chunks, with ``advance()`` interleaved at arbitrary points, must finish
+with :class:`DispatchMetrics` bit-identical to ``engine.run`` over the
+whole stream — same floats, same RNG stream position, same final fleet
+state.  These tests sweep chunkings, policies and sparse modes, and pin
+the monotonicity contract that makes the bridge safe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.engine import DispatchSession, VectorizedAssignmentEngine
+from repro.dispatch.entities import OrderArrays
+
+
+def make_engine(scenario, bundle, sparse="auto"):
+    return VectorizedAssignmentEngine(
+        policy=scenario.make_policy(),
+        travel=bundle.travel,
+        demand=bundle.provider,
+        batch_minutes=scenario.batch_minutes,
+        sparse=sparse,
+        minutes_per_slot=bundle.minutes_per_slot,
+    )
+
+
+def slice_orders(orders, start, stop):
+    # Copies, not views: tests mutate chunks, and the bundle is shared
+    # session-wide.
+    return OrderArrays(
+        **{
+            name: getattr(orders, name)[start:stop].copy()
+            for name in OrderArrays.field_names()
+        }
+    )
+
+
+def run_session_chunked(engine, bundle, sim_rng, chunk_rng, advance_every=True):
+    orders = bundle.orders
+    fleet = bundle.spawn_fleet()
+    session = DispatchSession(engine, fleet, sim_rng())
+    events = []
+    start = 0
+    while start < len(orders):
+        stop = min(len(orders), start + int(chunk_rng.integers(1, 17)))
+        events.extend(session.admit(slice_orders(orders, start, stop)))
+        if advance_every or chunk_rng.random() < 0.5:
+            events.extend(session.advance())
+        start = stop
+    # Draining fires the final slot's remaining boundaries; finish() alone
+    # would compute identical metrics but not hand back those last events.
+    events.extend(session.advance(drain=True))
+    metrics = session.finish()
+    return session, metrics, events, fleet
+
+
+class TestSessionBitIdentity:
+    @pytest.mark.parametrize("sparse", ["auto", "always", "never"])
+    def test_chunked_session_equals_engine_run(
+        self, scenario, bundle, sim_rng, sparse
+    ):
+        engine = make_engine(scenario, bundle, sparse=sparse)
+        offline_fleet = bundle.spawn_fleet()
+        offline_rng = sim_rng()
+        expected = engine.run(bundle.orders, offline_fleet, offline_rng)
+        for seed in (0, 1, 2):
+            chunk_rng = np.random.default_rng(seed)
+            session, metrics, events, fleet = run_session_chunked(
+                engine, bundle, sim_rng, chunk_rng
+            )
+            assert metrics == expected  # dataclass equality: exact floats
+            np.testing.assert_array_equal(fleet.available_at, offline_fleet.available_at)
+            np.testing.assert_array_equal(fleet.x, offline_fleet.x)
+            np.testing.assert_array_equal(fleet.y, offline_fleet.y)
+            np.testing.assert_array_equal(
+                fleet.served_orders, offline_fleet.served_orders
+            )
+
+    def test_rng_stream_position_identical(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        offline_rng = sim_rng()
+        engine.run(bundle.orders, bundle.spawn_fleet(), offline_rng)
+        live_rng = sim_rng()
+        session = DispatchSession(engine, bundle.spawn_fleet(), live_rng)
+        session.admit(bundle.orders)
+        session.finish()
+        # Both paths must have consumed the shared stream to the same point.
+        assert live_rng.random() == offline_rng.random()
+
+    def test_events_match_metrics(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        chunk_rng = np.random.default_rng(3)
+        _, metrics, events, _ = run_session_chunked(
+            engine, bundle, sim_rng, chunk_rng
+        )
+        assigned = [e for e in events if e.kind == "assigned"]
+        cancelled = [e for e in events if e.kind == "cancelled"]
+        assert len(assigned) == metrics.served_orders
+        assert len(cancelled) == metrics.cancelled_orders
+        # Admission indices are unique: every order resolves at most once.
+        resolved = [e.order for e in events]
+        assert len(resolved) == len(set(resolved))
+        assert all(0 <= e.order < metrics.total_orders for e in events)
+        assert all(e.driver >= 0 for e in assigned)
+        assert all(e.driver == -1 for e in cancelled)
+
+
+class TestSessionContract:
+    def test_empty_session_finishes_with_zero_metrics(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        session = DispatchSession(engine, bundle.spawn_fleet(), sim_rng())
+        metrics = session.finish()
+        assert metrics.total_orders == 0
+        assert metrics.served_orders == 0
+        assert session.finished
+        # finish() is idempotent.
+        assert session.finish() is metrics
+
+    def test_admit_after_finish_raises(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        session = DispatchSession(engine, bundle.spawn_fleet(), sim_rng())
+        session.finish()
+        with pytest.raises(ValueError, match="finished"):
+            session.admit(bundle.orders)
+
+    def test_decreasing_arrival_within_chunk_rejected(
+        self, scenario, bundle, sim_rng
+    ):
+        engine = make_engine(scenario, bundle)
+        session = DispatchSession(engine, bundle.spawn_fleet(), sim_rng())
+        chunk = slice_orders(bundle.orders, 0, 4)
+        chunk.arrival_minute[:] = chunk.arrival_minute[::-1].copy()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            session.admit(chunk)
+
+    def test_arrival_behind_watermark_rejected(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        session = DispatchSession(engine, bundle.spawn_fleet(), sim_rng())
+        session.admit(slice_orders(bundle.orders, 4, 8))
+        with pytest.raises(ValueError, match="watermark"):
+            session.admit(slice_orders(bundle.orders, 0, 4))
+
+    def test_reopening_drained_slot_rejected(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        orders = bundle.orders
+        session = DispatchSession(engine, bundle.spawn_fleet(), sim_rng())
+        session.admit(slice_orders(orders, 0, len(orders)))
+        assert session.pending_orders >= 0
+        # The stream is fully admitted; draining closes the final slot.
+        session.advance(drain=True)
+        # A late order in the just-drained slot (arrival at the watermark,
+        # inside the window) must be refused — its boundaries already fired.
+        late = slice_orders(orders, len(orders) - 1, len(orders))
+        with pytest.raises(ValueError, match="drained"):
+            session.admit(late)
+
+    def test_empty_fleet_rejected(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        fleet = bundle.spawn_fleet()
+        empty = fleet.__class__(
+            **{
+                name: getattr(fleet, name)[:0]
+                for name in (
+                    "driver_id",
+                    "x",
+                    "y",
+                    "available_at",
+                    "served_orders",
+                    "earned_revenue",
+                )
+            }
+        )
+        with pytest.raises(ValueError, match="driver"):
+            DispatchSession(engine, empty, sim_rng())
+
+    def test_watermark_advances_with_admission(self, scenario, bundle, sim_rng):
+        engine = make_engine(scenario, bundle)
+        session = DispatchSession(engine, bundle.spawn_fleet(), sim_rng())
+        assert session.watermark == float("-inf")
+        session.admit(slice_orders(bundle.orders, 0, 5))
+        assert session.watermark == float(bundle.orders.arrival_minute[4])
+        assert session.admitted_orders == 5

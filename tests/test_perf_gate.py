@@ -1,37 +1,46 @@
-"""Negative tests for the dispatch CI perf gate (check_dispatch_regression).
+"""Negative tests for the CI perf gates (dispatch, service) and gatelib.
 
-The gate only earns its keep if it actually fails on regressions, so these
-tests doctor a benchmark payload in every way the gate is supposed to catch —
-metric drift, lost engine equality, a speedup collapse, a missing section —
-and assert ``check()`` reports each one.  The committed baseline doubles as a
-known-good payload: compared against itself the gate must pass.
+A gate only earns its keep if it actually fails on regressions, so these
+tests doctor a benchmark payload in every way the gates are supposed to catch
+— metric drift, lost engine/replay equality, a speedup collapse, a latency
+blow-up, a missing section — and assert ``check()`` reports each one.  The
+committed baselines double as known-good payloads: compared against
+themselves the gates must pass.
 """
 
 import copy
 import importlib.util
 import json
+import sys
 from pathlib import Path
 
 import pytest
 
 _BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
 
 
-def _load_gate():
-    spec = importlib.util.spec_from_file_location(
-        "check_dispatch_regression", _BENCHMARKS / "check_dispatch_regression.py"
-    )
+def _load_module(name):
+    spec = importlib.util.spec_from_file_location(name, _BENCHMARKS / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
-gate = _load_gate()
+gate = _load_module("check_dispatch_regression")
+service_gate = _load_module("check_service_regression")
+gatelib = _load_module("gatelib")
 
 
 @pytest.fixture()
 def baseline():
     return json.loads((_BENCHMARKS / "baseline_dispatch.json").read_text())
+
+
+@pytest.fixture()
+def service_baseline():
+    return json.loads((_BENCHMARKS / "baseline_service.json").read_text())
 
 
 class TestDispatchPerfGate:
@@ -88,3 +97,102 @@ class TestDispatchPerfGate:
         current["sparse"]["speedup"] = 1.0
         problems = gate.check(current, baseline)
         assert any(p.startswith("sparse:") for p in problems)
+
+
+class TestServiceGate:
+    def test_baseline_passes_against_itself(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        assert service_gate.check(current, service_baseline) == []
+
+    def test_doctored_metric_fails(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        current["metrics"]["served_orders"] += 1
+        problems = service_gate.check(current, service_baseline)
+        assert any("served_orders" in p and "drifted" in p for p in problems)
+
+    def test_lost_replay_equality_fails(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        current["replay_equal"] = False
+        problems = service_gate.check(current, service_baseline)
+        assert any("bit-for-bit" in p for p in problems)
+
+    def test_throughput_below_floor_fails(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        floor = float(service_baseline["gates"]["min_orders_per_sec"])
+        current["service"]["orders_per_sec"] = floor / 2.0
+        problems = service_gate.check(current, service_baseline)
+        assert any("sustained throughput" in p and "below" in p for p in problems)
+
+    def test_p50_latency_ceiling_fails(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        current["service"]["latency_p50_ms"] = (
+            float(service_baseline["gates"]["max_p50_ms"]) * 2.0
+        )
+        problems = service_gate.check(current, service_baseline)
+        assert any("p50" in p and "exceeds" in p for p in problems)
+
+    def test_p99_latency_ceiling_fails(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        current["service"]["latency_p99_ms"] = (
+            float(service_baseline["gates"]["max_p99_ms"]) * 2.0
+        )
+        problems = service_gate.check(current, service_baseline)
+        assert any("p99" in p and "exceeds" in p for p in problems)
+
+    def test_missing_service_section_fails(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        del current["service"]
+        problems = service_gate.check(current, service_baseline)
+        assert problems == ["service section missing from benchmark output"]
+
+    def test_dropped_orders_fail(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        current["service"]["orders_admitted"] = current["orders_offered"] - 3
+        problems = service_gate.check(current, service_baseline)
+        assert any("offered orders were admitted" in p for p in problems)
+
+    def test_baseline_carries_the_gate_knobs(self, service_baseline):
+        gates = service_baseline["gates"]
+        for knob in (
+            "metrics_rtol",
+            "min_orders_per_sec",
+            "max_p50_ms",
+            "max_p99_ms",
+            "require_replay_equal",
+        ):
+            assert knob in gates
+        assert service_baseline["replay_equal"] is True
+
+
+class TestGatelib:
+    def test_compare_metrics_passes_on_equal(self):
+        assert gatelib.compare_metrics({"a": 1.0}, {"a": 1.0}, 1e-9) == []
+
+    def test_compare_metrics_reports_missing_and_drifted(self):
+        problems = gatelib.compare_metrics({"a": 2.0}, {"a": 1.0, "b": 3.0}, 1e-9)
+        assert any("'a'" in p and "drifted" in p for p in problems)
+        assert any("'b'" in p and "missing" in p for p in problems)
+
+    def test_compare_metrics_tolerates_within_rtol(self):
+        assert gatelib.compare_metrics({"a": 1.0 + 1e-12}, {"a": 1.0}, 1e-9) == []
+
+    def test_check_floor(self):
+        assert gatelib.check_floor(5.0, 2.0, "speedup") is None
+        message = gatelib.check_floor(1.0, 2.0, "speedup")
+        assert "below" in message and "speedup" in message
+
+    def test_check_ceiling(self):
+        assert gatelib.check_ceiling(0.5, 1.0, "wall time") is None
+        message = gatelib.check_ceiling(2.0, 1.0, "wall time", context="why")
+        assert "exceeds" in message and "why" in message
+
+    def test_check_baseline_ceiling(self):
+        assert gatelib.check_baseline_ceiling(1.0, 1.0, 3.0, "wall time") is None
+        message = gatelib.check_baseline_ceiling(4.0, 1.0, 3.0, "wall time")
+        assert "3x the committed baseline" in message
+
+    def test_best_of_times_the_callable(self):
+        calls = []
+        elapsed = gatelib.best_of(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3  # warm runs included; best (min) wall time wins
+        assert 0.0 <= elapsed < 1.0
