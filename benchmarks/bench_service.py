@@ -68,6 +68,7 @@ def run_benchmark(rate: float = RATE) -> Dict:
             cadence_seconds=CADENCE_SECONDS,
         )
     service = report["service"]
+    loadgen = report["loadgen"]
     return {
         "schema": 1,
         "host": {
@@ -88,6 +89,9 @@ def run_benchmark(rate: float = RATE) -> Dict:
             "assigned": service["assigned"],
             "cancelled": service["cancelled"],
             "unserved": service["unserved"],
+            "orders_shed": service["orders_shed"],
+            "client_retries": loadgen["retries"],
+            "state": service["state"],
         },
         "metrics": service["metrics"],
         "replay_equal": report["replay"]["replay_equal"],
@@ -112,7 +116,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(offered {payload['offered_rate']:g}/s), "
         f"p50 {service['latency_p50_ms']:.1f}ms, "
         f"p99 {service['latency_p99_ms']:.1f}ms, "
-        f"max pending {service['max_pending']}"
+        f"max pending {service['max_pending']}, "
+        f"shed {service['orders_shed']}, "
+        f"client retries {service['client_retries']}"
     )
     print(
         f"metrics: served={payload['metrics']['served_orders']} "
@@ -135,6 +141,8 @@ def test_service_throughput(benchmark):
     assert payload["replay_equal"], payload["metrics"]
     assert payload["service"]["orders_admitted"] == payload["orders_offered"]
     assert payload["service"]["orders_per_sec"] > 0
+    assert payload["service"]["orders_shed"] == 0
+    assert payload["service"]["client_retries"] == 0
 
 
 if __name__ == "__main__":

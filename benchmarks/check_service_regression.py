@@ -16,6 +16,10 @@ Compares a freshly emitted ``BENCH_service.json`` (from
   ``max_p50_ms``/``max_p99_ms`` ceilings.  These are generous against real
   hardware (double-digit milliseconds measured) yet orders of magnitude
   below what a stalled match loop produces.
+* **Admission** — the benchmark runs unbounded, so backpressure shedding
+  (``max_shed_orders``, default 0) and client retries
+  (``max_client_retries``, default 0) are hard ceilings, and
+  ``admitted + shed`` must equal the offered count exactly.
 
 Usage::
 
@@ -81,6 +85,30 @@ def check(current: Dict, baseline: Dict) -> List[str]:
             unit="ms",
         )
     )
+    shed = service.get("orders_shed", 0)
+    retries = service.get("client_retries", 0)
+    problems.append(
+        check_ceiling(
+            shed,
+            gates.get("max_shed_orders", 0),
+            "orders shed by backpressure",
+            unit=" orders",
+        )
+    )
+    problems.append(
+        check_ceiling(
+            retries,
+            gates.get("max_client_retries", 0),
+            "client retries",
+            unit=" retries",
+        )
+    )
+    if service.get("orders_admitted", 0) + shed != current.get("orders_offered"):
+        problems.append(
+            f"admission accounting broken: {service.get('orders_admitted')} "
+            f"admitted + {shed} shed != "
+            f"{current.get('orders_offered')} offered"
+        )
     if service.get("orders_admitted") != current.get("orders_offered"):
         problems.append(
             f"only {service.get('orders_admitted')} of "
@@ -98,7 +126,9 @@ def summarize(current: Dict) -> None:
         f"(offered {current.get('offered_rate', 0.0):g}/s), "
         f"p50 {service.get('latency_p50_ms', 0.0):.1f}ms, "
         f"p99 {service.get('latency_p99_ms', 0.0):.1f}ms, "
-        f"max pending {service.get('max_pending')}"
+        f"max pending {service.get('max_pending')}, "
+        f"shed {service.get('orders_shed', 0)}, "
+        f"client retries {service.get('client_retries', 0)}"
     )
     metrics = current.get("metrics", {})
     print(

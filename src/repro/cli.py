@@ -96,6 +96,7 @@ from repro.fuzz import (
 )
 from repro.fuzz.generator import WORLD_POLICIES
 from repro.prediction.registry import available_models, model_factory
+from repro.service.chaos import BUGS as CHAOS_BUGS
 from repro.utils.cache import canonical_json
 
 #: Experiments runnable through ``python -m repro experiment <name>``.
@@ -496,6 +497,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the final service report as canonical JSON to FILE",
     )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help=(
+            "resume a crashed run from the existing --ingest-log WAL "
+            "(scenario flags are ignored; the log header wins) instead of "
+            "starting fresh"
+        ),
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -579,6 +589,61 @@ def build_parser() -> argparse.ArgumentParser:
             "exit 2 once the service rejects it cleanly"
         ),
     )
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "HTTP client retries per order for connection failures, 5xx and "
+            "429 backpressure, with seeded exponential backoff (default: 0)"
+        ),
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help=(
+            "seeded fault-injection campaign against the live service "
+            "(crash/recovery, backpressure, dropped connections, stalls)"
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="campaign seed (default: 7)")
+    chaos.add_argument(
+        "--samples",
+        type=int,
+        default=5,
+        help=(
+            "number of faulted service runs; kinds cycle crash, "
+            "backpressure, crash-mid-append, drop, stall (default: 5)"
+        ),
+    )
+    chaos.add_argument(
+        "--stream-orders",
+        type=int,
+        default=96,
+        help="orders offered per sample from the pinned scenario (default: 96)",
+    )
+    chaos.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="match-loop micro-batch cap, which pins crash points (default: 16)",
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the canonical-JSON campaign report to FILE (byte-stable)",
+    )
+    chaos.add_argument(
+        "--inject-bug",
+        choices=sorted(CHAOS_BUGS),
+        default=None,
+        help=(
+            "plant a known recovery-divergence defect (harness self-test: "
+            "the campaign must fail)"
+        ),
+    )
     return parser
 
 
@@ -645,6 +710,24 @@ def _add_service_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "append every admitted order to this canonical-JSONL log; its "
             "offline replay reproduces the live metrics bit-for-bit"
+        ),
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bounded admission: shed orders (HTTP 429 + Retry-After) once "
+            "N are pending — staged plus unresolved (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--fsync-ingest",
+        action="store_true",
+        help=(
+            "fsync the ingest log after every batch (durable against host "
+            "power loss; a process crash loses nothing either way)"
         ),
     )
 
@@ -1087,18 +1170,38 @@ def _service_scenario(args: argparse.Namespace):
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.service import DispatchService, ServiceConfig, serve_http
+    from repro.service import (
+        DispatchService,
+        ServiceConfig,
+        ServiceFailedError,
+        serve_http,
+    )
 
     try:
-        scenario = _service_scenario(args)
-        config = ServiceConfig(
-            scenario=scenario,
-            sparse=args.sparse,
-            max_batch=args.max_batch,
-            cadence_seconds=args.cadence,
-            ingest_log=args.ingest_log,
-        )
-        service = DispatchService(config).start()
+        if args.recover:
+            if args.ingest_log is None:
+                raise ValueError("--recover requires --ingest-log (the WAL to replay)")
+            service = DispatchService.recover(
+                args.ingest_log,
+                sparse=None if args.sparse == "auto" else args.sparse,
+                max_batch=args.max_batch,
+                cadence_seconds=args.cadence,
+                max_pending=args.max_pending,
+                fsync_ingest=args.fsync_ingest,
+            )
+            scenario = service.config.scenario
+        else:
+            scenario = _service_scenario(args)
+            config = ServiceConfig(
+                scenario=scenario,
+                sparse=args.sparse,
+                max_batch=args.max_batch,
+                cadence_seconds=args.cadence,
+                ingest_log=args.ingest_log,
+                max_pending=args.max_pending,
+                fsync_ingest=args.fsync_ingest,
+            )
+            service = DispatchService(config).start()
         server = serve_http(service, host=args.host, port=args.port)
     except (ValueError, OSError) as exc:
         # OSError covers an already-bound port (EADDRINUSE) and unwritable
@@ -1110,18 +1213,28 @@ def _command_serve(args: argparse.Namespace) -> int:
     print("routes: POST /orders /drain   GET /healthz /stats")
     if args.ingest_log is not None:
         print(f"ingest log: {args.ingest_log}")
+    if args.recover:
+        print(
+            f"recovered {service.recovered_orders} order(s) from the WAL"
+            + (" (truncated final record discarded)" if service.recovered_truncated else "")
+        )
     try:
-        # Run until a client drains us over HTTP, or --drain-after elapses.
-        if not service.drained.wait(timeout=args.drain_after):
+        # Run until a client drains us over HTTP, --drain-after elapses, or
+        # the match loop fails (terminal covers both drained and failed).
+        if not service.terminal.wait(timeout=args.drain_after):
             service.drain()
+        report = service.drain()
     except KeyboardInterrupt:
-        service.drain()
+        report = service.drain()
+    except ServiceFailedError as exc:
+        print(f"repro serve: SERVICE FAILED: {exc}", file=sys.stderr)
+        return 1
     finally:
         server.shutdown()
-    report = service.drain()
     print(
         f"drained: {report.orders_admitted} admitted, {report.assigned} assigned, "
-        f"{report.cancelled} cancelled, {report.unserved} unserved "
+        f"{report.cancelled} cancelled, {report.unserved} unserved, "
+        f"{report.orders_shed} shed "
         f"({report.orders_per_sec:.1f} orders/s sustained, "
         f"p50 {report.latency_p50_ms:.1f} ms, p99 {report.latency_p99_ms:.1f} ms)"
     )
@@ -1168,8 +1281,12 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             sparse=args.sparse,
             url=args.url,
             check_replay=not args.no_replay,
+            max_pending=args.max_pending,
+            retries=args.retries,
         )
     except (ValueError, OSError) as exc:
+        # OSError includes ServiceUnavailableError: a dead or unreachable
+        # --url endpoint is an environment problem, exit 2 with one line.
         print(f"repro loadgen: {exc}", file=sys.stderr)
         return 2
     service = report["service"]
@@ -1187,6 +1304,10 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         f"p99 {service['latency_p99_ms']:.1f} ms, "
         f"max pending {service['max_pending']}"
     )
+    shed = report["loadgen"].get("orders_shed", 0)
+    retries = report["loadgen"].get("retries", 0)
+    if shed or retries:
+        print(f"backpressure: {shed} shed, {retries} client retries")
     print(
         f"metrics: served={metrics['served_orders']} "
         f"cancelled={metrics['cancelled_orders']} "
@@ -1218,6 +1339,40 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.service.chaos import run_campaign as run_chaos_campaign
+
+    try:
+        report = run_chaos_campaign(
+            seed=args.seed,
+            samples=args.samples,
+            bug=args.inject_bug,
+            stream_orders=args.stream_orders,
+            max_batch=args.max_batch,
+            on_progress=lambda sample: print(
+                f"  sample {sample.index} [{sample.kind}]: {sample.verdict}"
+            ),
+        )
+    except (ValueError, OSError) as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"chaos campaign: seed={report.seed} samples={report.samples_run}"
+        + (f" bug={report.bug}" if report.bug else "")
+    )
+    print(f"{report.ok} ok, {len(report.failures)} divergent")
+    for sample in report.failures:
+        failed = ",".join(
+            name for name, passed in sample.checks.items() if not passed
+        )
+        print(f"  FAILURE: sample {sample.index} [{sample.kind}]: {failed}")
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(report.to_payload()))
+        print(f"report written: {args.report}")
+    return 1 if report.failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -1240,6 +1395,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "loadgen":
         return _command_loadgen(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -28,6 +28,7 @@ from repro.service.loadgen import (
     HttpClient,
     InProcessClient,
     LoadPhase,
+    RetryPolicy,
     order_payloads,
     run_loadgen,
 )
@@ -53,6 +54,9 @@ def run_service_load(
     sparse: str = "auto",
     url: Optional[str] = None,
     check_replay: bool = True,
+    max_pending: Optional[int] = None,
+    retries: int = 0,
+    retry_seed: Optional[int] = None,
     on_phase: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Drive one full load run and return the combined report payload.
@@ -63,6 +67,11 @@ def run_service_load(
     instance is driven over HTTP; the bundle is still built locally to
     synthesise the order stream, and the replay check runs whenever
     ``ingest_log`` names a locally readable file (the server's log path).
+
+    ``max_pending`` bounds the in-process service's pending pool (shed
+    counts land in both the ``loadgen`` and ``service`` sections of the
+    report); ``retries`` arms the HTTP client's seeded backoff (the jitter
+    seed defaults to the scenario seed so repeated runs pace identically).
     """
     bundle = build_scenario_bundle(scenario)
     payloads = order_payloads(bundle, repeat_days=repeat_days, max_orders=max_orders)
@@ -74,11 +83,18 @@ def run_service_load(
             max_batch=max_batch,
             cadence_seconds=cadence_seconds,
             ingest_log=ingest_log,
+            max_pending=max_pending,
         )
         service = DispatchService(config, bundle=bundle).start()
         client: Any = InProcessClient(service)
     else:
-        client = HttpClient(url)
+        retry = None
+        if retries > 0:
+            retry = RetryPolicy(
+                max_retries=retries,
+                seed=scenario.seed if retry_seed is None else retry_seed,
+            )
+        client = HttpClient(url, retry=retry)
     loadgen_result = run_loadgen(client, payloads, phases, on_phase=on_phase)
     service_report = client.drain()
     report: Dict[str, Any] = {

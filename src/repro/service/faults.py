@@ -1,0 +1,171 @@
+"""Deterministic fault injection for the dispatch service.
+
+A :class:`FaultPlan` is a frozen, canonical-JSON-serialisable description
+of *what* goes wrong during a service run; a :class:`FaultController` is
+the live object the service consults at its seam points:
+
+* ``wait_start`` — the match loop parks before its first ``take()`` until
+  :meth:`FaultController.release` (``hold_start``).  Chaos samples use the
+  gate to stage a whole order stream before any batch is processed, which
+  makes batch boundaries — and therefore crash points and shed counts —
+  deterministic instead of racing the submitting thread.
+* ``before_batch`` — raises :class:`InjectedCrash` when the match loop is
+  about to process batch ``crash_on_batch`` (the batch is *not* appended
+  to the WAL: a crash can never lose a logged order, only log an order the
+  dead session never saw — which recovery replays anyway).
+* ``after_batch`` — sleeps ``stall_ms`` after processing a batch
+  (``stall_on_batch`` restricts it to one batch; ``None`` stalls every
+  batch, the old ``REPRO_SERVICE_INJECT_SLEEP_MS`` behaviour).
+* ``on_append_line`` — sleeps ``slow_append_ms`` per WAL line, and when
+  ``crash_mid_append`` arms the crash batch it writes only the first half
+  of the record's bytes before raising — the truncated-final-line artifact
+  :func:`~repro.service.ingest.read_ingest_log` must tolerate.
+* ``on_http_request`` — tells the HTTP handler to close the first
+  ``drop_first_requests`` ``POST /orders`` connections without replying,
+  the client-retry exercise.
+
+``REPRO_SERVICE_INJECT_SLEEP_MS`` (the pre-existing CI hook) is kept as an
+environment shorthand for ``FaultPlan(stall_ms=...)`` via
+:func:`FaultPlan.from_env`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Environment variable read by the CI gate's negative test: injected
+#: per-batch sleep (milliseconds) in the match loop.
+INJECT_SLEEP_ENV = "REPRO_SERVICE_INJECT_SLEEP_MS"
+
+
+class InjectedCrash(RuntimeError):
+    """Deliberate failure raised at a fault seam (never caught as a bug)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Structured description of the faults injected into one service run.
+
+    All fields are plain values so a plan round-trips through canonical
+    JSON (chaos reports embed it).  The default plan injects nothing.
+    """
+
+    #: Sleep this many milliseconds after processing a batch.
+    stall_ms: float = 0.0
+    #: Restrict the stall to this batch index (``None`` = every batch).
+    stall_on_batch: Optional[int] = None
+    #: Raise :class:`InjectedCrash` when about to process this batch.
+    crash_on_batch: Optional[int] = None
+    #: With ``crash_on_batch``: crash midway through the WAL append of the
+    #: batch's first record instead (writes a truncated final line).
+    crash_mid_append: bool = False
+    #: Sleep this many milliseconds inside every WAL line append.
+    slow_append_ms: float = 0.0
+    #: HTTP: close this many leading ``POST /orders`` connections without
+    #: a response (clients see a dropped connection and must retry).
+    drop_first_requests: int = 0
+    #: Park the match loop before its first ``take()`` until released.
+    hold_start: bool = False
+
+    def __post_init__(self) -> None:
+        if self.stall_ms < 0 or self.slow_append_ms < 0:
+            raise ValueError("fault sleeps must be non-negative")
+        if self.crash_on_batch is not None and self.crash_on_batch < 0:
+            raise ValueError("crash_on_batch must be non-negative")
+        if self.drop_first_requests < 0:
+            raise ValueError("drop_first_requests must be non-negative")
+        if self.crash_mid_append and self.crash_on_batch is None:
+            raise ValueError("crash_mid_append requires crash_on_batch")
+
+    @property
+    def empty(self) -> bool:
+        return self == FaultPlan()
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "stall_ms": self.stall_ms,
+            "stall_on_batch": self.stall_on_batch,
+            "crash_on_batch": self.crash_on_batch,
+            "crash_mid_append": self.crash_mid_append,
+            "slow_append_ms": self.slow_append_ms,
+            "drop_first_requests": self.drop_first_requests,
+            "hold_start": self.hold_start,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        return cls(**payload)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        """The ``REPRO_SERVICE_INJECT_SLEEP_MS`` shorthand (0 = no faults)."""
+        stall = float(os.environ.get(INJECT_SLEEP_ENV, "0") or 0.0)
+        return cls(stall_ms=max(0.0, stall))
+
+
+class FaultController:
+    """Live counterpart of a :class:`FaultPlan`: the seams consult it.
+
+    Thread-safety: the match loop owns ``before_batch``/``after_batch`` and
+    the WAL seam; HTTP handler threads share ``on_http_request`` (its drop
+    counter is lock-protected).  ``release`` may be called from any thread.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self._released = threading.Event()
+        if not self.plan.hold_start:
+            self._released.set()
+        self._http_lock = threading.Lock()
+        self._dropped = 0
+
+    def release(self) -> None:
+        """Open the ``hold_start`` gate (idempotent)."""
+        self._released.set()
+
+    def wait_start(self, timeout: Optional[float] = 30.0) -> None:
+        """Block the match loop until released (bounded: a forgotten gate
+        must not hang a run forever)."""
+        self._released.wait(timeout)
+
+    def before_batch(self, index: int) -> None:
+        plan = self.plan
+        if (
+            plan.crash_on_batch is not None
+            and index == plan.crash_on_batch
+            and not plan.crash_mid_append
+        ):
+            raise InjectedCrash(f"injected crash before batch {index}")
+
+    def after_batch(self, index: int) -> None:
+        plan = self.plan
+        if plan.stall_ms > 0 and plan.stall_on_batch in (None, index):
+            time.sleep(plan.stall_ms / 1000.0)
+
+    def on_append_line(self, line: str, handle: Any, batch_index: int) -> bool:
+        """WAL seam: returns True when the controller wrote (part of) the
+        line itself and the writer must raise :class:`InjectedCrash`."""
+        plan = self.plan
+        if plan.slow_append_ms > 0:
+            time.sleep(plan.slow_append_ms / 1000.0)
+        if plan.crash_mid_append and batch_index == plan.crash_on_batch:
+            # Crash mid-append: half the record's bytes, no newline.  The
+            # flush models the page the OS got before the process died.
+            handle.write(line[: max(1, len(line) // 2)])
+            handle.flush()
+            return True
+        return False
+
+    def on_http_request(self, path: str) -> bool:
+        """Returns True when this request's connection must be dropped."""
+        if self.plan.drop_first_requests <= 0 or path != "/orders":
+            return False
+        with self._http_lock:
+            if self._dropped < self.plan.drop_first_requests:
+                self._dropped += 1
+                return True
+        return False

@@ -21,9 +21,10 @@ service benchmark, the soak workflow and ``tests/service`` all assert it.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.dispatch.scenarios import (
     build_scenario_bundle,
     scenario_from_payload,
 )
+from repro.service.faults import FaultController, InjectedCrash
 from repro.utils.cache import canonical_json
 from repro.utils.rng import default_rng, seed_for
 
@@ -84,20 +86,74 @@ class IngestLogWriter:
 
     The header is written on construction; :meth:`append` adds one line per
     order (private bookkeeping keys, prefixed ``_``, are stripped) and
-    flushes per batch so a crashed run keeps every admitted order.
+    flushes per batch so a crashed run keeps every admitted order.  With
+    ``fsync=True`` every batch is also synced to disk — durable against
+    host power loss at a per-batch syscall cost (a mere process crash loses
+    nothing either way, thanks to the per-batch flush).
+
+    :meth:`resume` reopens an existing log for appending — crash recovery's
+    path — first truncating a partial final line (crash mid-append) so the
+    file returns to a clean record boundary.
     """
 
-    def __init__(self, path: Union[str, Path], header: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header: Optional[Dict[str, Any]] = None,
+        fsync: bool = False,
+        fault_controller: Optional[FaultController] = None,
+        _append: bool = False,
+    ) -> None:
         self.path = Path(path)
-        self._handle = self.path.open("w", encoding="utf-8")
-        self._handle.write(canonical_json(header) + "\n")
-        self._handle.flush()
+        self.fsync = bool(fsync)
+        self._faults = fault_controller
+        if _append:
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            if header is None:
+                raise ValueError("a fresh ingest log requires a header")
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._handle.write(canonical_json(header) + "\n")
+            self._flush()
 
-    def append(self, orders: Sequence[Dict[str, Any]]) -> None:
+    @classmethod
+    def resume(
+        cls,
+        path: Union[str, Path],
+        complete_bytes: Optional[int] = None,
+        fsync: bool = False,
+        fault_controller: Optional[FaultController] = None,
+    ) -> "IngestLogWriter":
+        """Reopen an existing log for appending (no new header).
+
+        ``complete_bytes`` — from :class:`IngestLogContents` — truncates the
+        file back to its last complete record before appending resumes.
+        """
+        target = Path(path)
+        if complete_bytes is not None:
+            with target.open("r+b") as handle:
+                handle.truncate(int(complete_bytes))
+        return cls(target, fsync=fsync, fault_controller=fault_controller, _append=True)
+
+    def append(self, orders: Sequence[Dict[str, Any]], batch_index: int = 0) -> None:
         for order in orders:
-            line = {field: order[field] for field in ORDER_LOG_FIELDS}
-            self._handle.write(canonical_json(line) + "\n")
+            line = (
+                canonical_json({field: order[field] for field in ORDER_LOG_FIELDS})
+                + "\n"
+            )
+            if self._faults is not None and self._faults.on_append_line(
+                line, self._handle, batch_index
+            ):
+                raise InjectedCrash(
+                    f"injected crash mid-append on batch {batch_index}"
+                )
+            self._handle.write(line)
+        self._flush()
+
+    def _flush(self) -> None:
         self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -110,14 +166,40 @@ class IngestLogWriter:
         self.close()
 
 
-def read_ingest_log(
-    path: Union[str, Path]
-) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
-    """Parse a log into ``(header, order records)``; validates the schema."""
-    lines = Path(path).read_text(encoding="utf-8").splitlines()
-    if not lines:
+@dataclass(frozen=True)
+class IngestLogContents:
+    """A parsed ingest log, tolerant of a crash-truncated final line.
+
+    ``truncated`` flags a partial final record (the crash-mid-append
+    artifact); ``complete_bytes`` is the file offset just past the last
+    complete record — :meth:`IngestLogWriter.resume` truncates to it before
+    appending resumes, restoring a clean record boundary.
+    """
+
+    header: Dict[str, Any]
+    records: List[Dict[str, Any]]
+    truncated: bool
+    complete_bytes: int
+
+
+def read_ingest_log(path: Union[str, Path]) -> IngestLogContents:
+    """Parse a log, tolerating a truncated final line; validates the schema.
+
+    A record line that is unterminated, or terminated but unparseable *at
+    end of file*, is reported via ``truncated`` instead of raising — that
+    is exactly what a crash mid-append leaves behind.  Corruption anywhere
+    else in the file still raises ``ValueError`` loudly: it cannot be
+    produced by a crash of the append-only writer.
+    """
+    raw = Path(path).read_bytes()
+    if not raw:
         raise ValueError(f"ingest log {path} is empty")
-    header = json.loads(lines[0])
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise ValueError(
+            f"ingest log {path} is truncated before the header completed"
+        )
+    header = json.loads(raw[:newline].decode("utf-8"))
     if header.get("kind") != "repro-service-ingest":
         raise ValueError(f"{path} is not a service ingest log")
     if header.get("schema") != INGEST_SCHEMA:
@@ -125,8 +207,36 @@ def read_ingest_log(
             f"unsupported ingest schema {header.get('schema')!r} "
             f"(expected {INGEST_SCHEMA})"
         )
-    records = [json.loads(line) for line in lines[1:] if line]
-    return header, records
+    records: List[Dict[str, Any]] = []
+    truncated = False
+    offset = newline + 1
+    while offset < len(raw):
+        end = raw.find(b"\n", offset)
+        if end < 0:
+            # Unterminated final line: the crash landed mid-append.  Even
+            # if the fragment happens to parse, it may be an incomplete
+            # prefix (e.g. a cut-off number), so it is never trusted.
+            truncated = True
+            break
+        line = raw[offset:end].strip()
+        if line:
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if end + 1 >= len(raw):
+                    truncated = True
+                    break
+                raise ValueError(
+                    f"ingest log {path} has a corrupt record at byte "
+                    f"{offset}: {exc}"
+                ) from exc
+        offset = end + 1
+    return IngestLogContents(
+        header=header,
+        records=records,
+        truncated=truncated,
+        complete_bytes=offset,
+    )
 
 
 def orders_from_records(records: Sequence[Dict[str, Any]]) -> OrderArrays:
@@ -157,6 +267,9 @@ class ReplayResult:
     metrics: DispatchMetrics
     order_count: int
     header: Dict[str, Any]
+    #: The log ended in a partial record (crash mid-append); the replay
+    #: covers the complete records only.
+    truncated: bool = False
 
 
 def replay_ingest_log(
@@ -174,7 +287,8 @@ def replay_ingest_log(
     bit-for-bit; ``sparse`` optionally overrides the recorded matching
     pipeline (every mode produces identical metrics).
     """
-    header, records = read_ingest_log(path)
+    contents = read_ingest_log(path)
+    header, records = contents.header, contents.records
     scenario = scenario_from_payload(header["scenario"])
     if bundle is None:
         bundle = build_scenario_bundle(scenario)
@@ -197,4 +311,9 @@ def replay_ingest_log(
         )
     else:
         metrics = DispatchMetrics(0, 0, 0.0, 0.0, 0.0, 0)
-    return ReplayResult(metrics=metrics, order_count=len(records), header=header)
+    return ReplayResult(
+        metrics=metrics,
+        order_count=len(records),
+        header=header,
+        truncated=contents.truncated,
+    )

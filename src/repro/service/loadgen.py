@@ -24,15 +24,26 @@ single offline ``engine.run`` call.
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Protocol, Sequence
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.dispatch.scenarios import ScenarioBundle
-from repro.service.scheduler import ORDER_FIELDS, AdmissionError
+from repro.service.scheduler import ORDER_FIELDS, AdmissionError, BackpressureError
+
+
+class ServiceUnavailableError(ConnectionError):
+    """The service could not be reached (refused/timeout/dropped/5xx).
+
+    Subclasses :class:`ConnectionError` (hence ``OSError``) so CLI error
+    handling that maps environment failures to exit code 2 catches it
+    without special-casing.
+    """
 
 #: Slots per tiled day for the default 30-minute slot length.
 DAY_MINUTES = 1440.0
@@ -144,14 +155,84 @@ class InProcessClient:
         return self.service.drain().to_payload()
 
 
-class HttpClient:
-    """Drive a service over its HTTP API with stdlib ``urllib`` only."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter for :class:`HttpClient`.
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    Retryable failures are connection-level errors (refused, timeout,
+    dropped mid-request), 5xx responses and 429 backpressure.  The jitter
+    stream is seeded — pass the loadgen seed — so a retried run's request
+    schedule, and therefore its ingest log, stays byte-identical across
+    repeats.  Attempt ``k`` (0-based) sleeps::
+
+        min(max_delay, base_delay * 2**k) * (0.5 + 0.5 * jitter)
+
+    For a 429 the sleep is at least the server's ``Retry-After`` hint.
+    """
+
+    max_retries: int = 0
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        return min(self.max_delay, self.base_delay * (2.0 ** attempt)) * (
+            0.5 + 0.5 * rng.random()
+        )
+
+
+class HttpClient:
+    """Drive a service over its HTTP API with stdlib ``urllib`` only.
+
+    With a :class:`RetryPolicy`, transient failures — connection refused or
+    dropped, timeouts, 5xx, 429 backpressure — are retried with seeded
+    exponential backoff; ``retries`` counts every retry sleep taken.  The
+    submit path is at-least-once: a connection dropped *after* the service
+    staged the order would re-submit it, which the scheduler's monotone
+    contract and the offline replay both tolerate by construction.
+    Malformed-payload rejections (HTTP 400 → :class:`AdmissionError`) are
+    never retried.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self.retries = 0
+        self._sleep = sleep
+        self._jitter = random.Random(retry.seed if retry is not None else 0)
 
     def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except (BackpressureError, ServiceUnavailableError) as exc:
+                if self.retry is None or attempt >= self.retry.max_retries:
+                    raise
+                delay = self.retry.backoff(attempt, self._jitter)
+                if isinstance(exc, BackpressureError):
+                    delay = max(delay, exc.retry_after)
+                self.retries += 1
+                attempt += 1
+                if delay > 0:
+                    self._sleep(delay)
+
+    def _request_once(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
@@ -167,12 +248,35 @@ class HttpClient:
         except urllib.error.HTTPError as exc:
             detail = exc.read().decode("utf-8", errors="replace")
             try:
-                message = json.loads(detail).get("error", detail)
+                parsed: Dict[str, Any] = json.loads(detail)
+                message = parsed.get("error", detail)
             except json.JSONDecodeError:
+                parsed = {}
                 message = detail
             if exc.code == 400:
                 raise AdmissionError(message) from None
+            if exc.code == 429:
+                retry_after = float(
+                    parsed.get("retry_after", exc.headers.get("Retry-After", 0) or 0)
+                )
+                raise BackpressureError(message, retry_after=retry_after) from None
+            if exc.code >= 500:
+                raise ServiceUnavailableError(
+                    f"HTTP {exc.code} from {path}: {message}"
+                ) from None
             raise RuntimeError(f"HTTP {exc.code} from {path}: {message}") from None
+        except urllib.error.URLError as exc:
+            # Connection refused, DNS failure, socket timeout: the service
+            # is unreachable — a clean typed error, not a raw traceback.
+            raise ServiceUnavailableError(
+                f"cannot reach {self.base_url}{path}: {exc.reason}"
+            ) from None
+        except (ConnectionError, http.client.HTTPException) as exc:
+            # The server vanished mid-request (dropped connection).
+            raise ServiceUnavailableError(
+                f"connection to {self.base_url}{path} dropped: "
+                f"{type(exc).__name__}: {exc}"
+            ) from None
 
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         return self._request("POST", "/orders", payload)
@@ -189,17 +293,26 @@ class HttpClient:
 
 @dataclass(frozen=True)
 class LoadgenResult:
-    """Wall-clock outcome of one generator run (content lives in the service)."""
+    """Wall-clock outcome of one generator run (content lives in the service).
+
+    ``orders_sent + orders_rejected + orders_shed`` equals the number of
+    payloads offered: every order is admitted, rejected as malformed/late,
+    or shed by backpressure (after the client's retries, if any, ran out).
+    """
 
     orders_sent: int
     orders_rejected: int
     elapsed_seconds: float
     offered_rate: float
+    orders_shed: int = 0
+    retries: int = 0
 
     def to_payload(self) -> Dict[str, Any]:
         return {
             "orders_sent": self.orders_sent,
             "orders_rejected": self.orders_rejected,
+            "orders_shed": self.orders_shed,
+            "retries": self.retries,
             "elapsed_seconds": self.elapsed_seconds,
             "offered_rate": self.offered_rate,
         }
@@ -219,6 +332,7 @@ def run_loadgen(
     """
     sent = 0
     rejected = 0
+    shed = 0
     index = 0
     start = time.perf_counter()
     while index < len(payloads):
@@ -245,6 +359,12 @@ def run_loadgen(
                     sent += 1
                 except AdmissionError:
                     rejected += 1
+                except BackpressureError:
+                    # The client's retries (if configured) are already
+                    # exhausted: the order is shed, not re-queued — the
+                    # open-loop generator must not turn into a closed loop
+                    # under overload.
+                    shed += 1
                 index += 1
     elapsed = max(time.perf_counter() - start, 1e-9)
     return LoadgenResult(
@@ -252,4 +372,6 @@ def run_loadgen(
         orders_rejected=rejected,
         elapsed_seconds=elapsed,
         offered_rate=sent / elapsed,
+        orders_shed=shed,
+        retries=getattr(client, "retries", 0),
     )

@@ -1,0 +1,83 @@
+"""Crash recovery: rebuild a dispatch service bit-exactly from its WAL.
+
+The service appends every admitted batch to the ingest log *before* the
+batch reaches the session (WAL-first ordering, see
+:mod:`repro.service.server`), so after any crash the log is a complete
+prefix of the admitted stream — possibly plus one truncated final record
+if the crash landed mid-append, which
+:func:`~repro.service.ingest.read_ingest_log` detects and discards.
+
+:func:`recover_service` rebuilds the run from that prefix:
+
+1. parse the (possibly truncated) log — header plus complete records;
+2. reconstruct the scenario bundle, engine, fleet and simulation RNG from
+   the header, exactly as a fresh :meth:`DispatchService.start` would;
+3. replay every logged record through a fresh
+   :class:`~repro.dispatch.engine.DispatchSession` in one chunk.  The
+   session is chunk-invariant (``tests/service/test_session.py``), so the
+   rebuilt state — metrics accumulators, fleet position/availability
+   arrays, RNG stream position — is bit-identical to the crashed
+   process's state at its last completed batch;
+4. truncate the log back to its last complete record, reopen it in append
+   mode, seed the admission scheduler with the record count / last
+   arrival / last slot, and resume the match loop.
+
+**The bit-identity contract.**  A run that crashes after N batches,
+recovers, and then receives the rest of the stream finishes with
+``DispatchMetrics``, final fleet state and RNG position bit-identical to
+the same stream served without interruption — and the stitched WAL
+(prefix + post-recovery appends) replays offline to the same metrics.
+Orders that were *staged but not yet batched* at the crash are the one
+loss: they never reached the WAL, and at-least-once clients re-submit
+them (the seeded scheduler hands them the admission ids the uninterrupted
+run would have used).  ``tests/service/test_recovery.py`` kills services
+at every seam and asserts all three identities.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dispatch.scenarios import ScenarioBundle, scenario_from_payload
+from repro.service.faults import FaultPlan
+from repro.service.ingest import read_ingest_log
+from repro.service.server import DispatchService, ServiceConfig
+
+__all__ = ["recover_service"]
+
+
+def recover_service(
+    log_path: Union[str, Path],
+    bundle: Optional[ScenarioBundle] = None,
+    sparse: Optional[str] = None,
+    max_batch: int = 256,
+    cadence_seconds: float = 0.05,
+    max_pending: Optional[int] = None,
+    fsync_ingest: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+) -> DispatchService:
+    """Rebuild a crashed service from ``log_path`` and resume serving.
+
+    The scenario, engine parameters and simulation seed come from the log
+    header; runtime knobs (batching cadence, backpressure cap, durability,
+    fault plan) are the caller's, since they describe the *new* process.
+    ``sparse=None`` keeps the recorded matching pipeline.  Returns a
+    serving :class:`DispatchService` already appending to the same log.
+    """
+    contents = read_ingest_log(log_path)
+    header = contents.header
+    scenario = scenario_from_payload(header["scenario"])
+    config = ServiceConfig(
+        scenario=scenario,
+        sparse=str(header["sparse"]) if sparse is None else sparse,
+        max_batch=max_batch,
+        cadence_seconds=cadence_seconds,
+        ingest_log=str(log_path),
+        day=int(header.get("day", 0)),
+        max_pending=max_pending,
+        fsync_ingest=fsync_ingest,
+        fault_plan=fault_plan if fault_plan is not None else FaultPlan(),
+    )
+    service = DispatchService(config, bundle=bundle)
+    return service._start_recovered(contents)

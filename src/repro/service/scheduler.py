@@ -25,7 +25,7 @@ import math
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Mapping, Optional
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
 
 #: Fields every submitted order must carry (``order_id`` is assigned by the
 #: scheduler, not the client).
@@ -46,6 +46,20 @@ _COORDINATE_FIELDS = ("x", "y", "dropoff_x", "dropoff_y")
 
 class AdmissionError(ValueError):
     """A submitted order was rejected; the message is safe to show clients."""
+
+
+class BackpressureError(RuntimeError):
+    """The pending pool is full; retry after ``retry_after`` seconds.
+
+    Deliberately *not* an :class:`AdmissionError`: shedding is overload
+    protection on a well-formed order (HTTP 429 + ``Retry-After``), not a
+    client mistake (HTTP 400), and the counters are kept apart so the
+    accounting identity ``shed + admitted == offered`` stays checkable.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 def validate_order(
@@ -103,24 +117,58 @@ class AdmissionScheduler:
     deque.  The match loop calls :meth:`take`, which pops at most
     ``max_batch`` orders per tick — a burst larger than the cap is split
     across ticks without ever reordering admission order.
+
+    **Backpressure.**  With ``max_pending`` set, admission is bounded: a
+    well-formed order is *shed* (:class:`BackpressureError`, counted in
+    ``shed``) once the pending pool — orders admitted but not yet resolved,
+    ``resolved_fn`` supplying the resolved count — reaches the cap.  The
+    resolved count may be read without the service's state lock (a shed
+    decision tolerates a one-batch-stale value; the accounting identity
+    ``shed + admitted == offered`` holds exactly by construction because
+    both counters move under this scheduler's lock).
+
+    **Resume.**  Crash recovery re-creates the scheduler mid-stream:
+    ``start_id``/``start_watermark``/``start_slot`` seed the admission
+    counter and the monotone-arrival contract from the recovered WAL, so
+    re-submitted in-flight orders receive the same admission ids the
+    uninterrupted run would have assigned.
     """
 
-    def __init__(self, minutes_per_slot: float = 30.0, max_batch: int = 256) -> None:
+    def __init__(
+        self,
+        minutes_per_slot: float = 30.0,
+        max_batch: int = 256,
+        max_pending: Optional[int] = None,
+        resolved_fn: Optional[Callable[[], int]] = None,
+        retry_after: float = 0.1,
+        start_id: int = 0,
+        start_watermark: float = float("-inf"),
+        start_slot: Optional[int] = None,
+    ) -> None:
         if minutes_per_slot <= 0:
             raise ValueError("minutes_per_slot must be positive")
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if start_id < 0:
+            raise ValueError("start_id must be non-negative")
         self.minutes_per_slot = float(minutes_per_slot)
         self.max_batch = int(max_batch)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.retry_after = float(retry_after)
+        self._resolved_fn = resolved_fn
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._staged: Deque[Dict[str, float]] = deque()
-        self._watermark = float("-inf")
-        self._slot: Optional[int] = None
-        self._next_id = 0
+        self._watermark = float(start_watermark)
+        self._slot = None if start_slot is None else int(start_slot)
+        self._next_id = int(start_id)
         self._closed = False
+        self._close_reason = "service is draining; no new orders accepted"
         self.submitted = 0
         self.rejected = 0
+        self.shed = 0
         self.max_staged = 0
 
     # ------------------------------------------------------------------ #
@@ -128,6 +176,7 @@ class AdmissionScheduler:
     @property
     def closed(self) -> bool:
         return self._closed
+
 
     @property
     def staged_count(self) -> int:
@@ -144,7 +193,8 @@ class AdmissionScheduler:
 
         Raises :class:`AdmissionError` on malformed payloads, on arrivals
         behind the admitted watermark (the monotone contract), and once the
-        scheduler is closed for draining.
+        scheduler is closed for draining; raises :class:`BackpressureError`
+        (counted in ``shed``) when the bounded pending pool is full.
         """
         try:
             order = validate_order(payload, self.minutes_per_slot)
@@ -155,7 +205,21 @@ class AdmissionScheduler:
         with self._ready:
             if self._closed:
                 self.rejected += 1
-                raise AdmissionError("service is draining; no new orders accepted")
+                raise AdmissionError(self._close_reason)
+            if self.max_pending is not None:
+                resolved = self._resolved_fn() if self._resolved_fn else 0
+                # _next_id counts every order ever admitted to the stream
+                # (recovery seeds it with the WAL record count), so the
+                # difference is the full pending pool: staged + in-flight +
+                # session-unresolved.
+                pending = self._next_id - resolved
+                if pending >= self.max_pending:
+                    self.shed += 1
+                    raise BackpressureError(
+                        f"pending pool is full ({pending} of {self.max_pending} "
+                        f"orders in flight); retry after {self.retry_after:g} s",
+                        retry_after=self.retry_after,
+                    )
             if order["arrival_minute"] < self._watermark:
                 self.rejected += 1
                 raise AdmissionError(
@@ -199,8 +263,15 @@ class AdmissionScheduler:
             count = min(len(self._staged), self.max_batch)
             return [self._staged.popleft() for _ in range(count)]
 
-    def close(self) -> None:
-        """Stop accepting orders; staged orders remain takeable (drain)."""
+    def close(self, reason: Optional[str] = None) -> None:
+        """Stop accepting orders; staged orders remain takeable (drain).
+
+        ``reason`` customises the :class:`AdmissionError` message later
+        submitters see (the failed-service path names the failure instead
+        of claiming an orderly drain).
+        """
         with self._ready:
+            if reason is not None:
+                self._close_reason = reason
             self._closed = True
             self._ready.notify_all()

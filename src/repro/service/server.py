@@ -6,9 +6,10 @@
   or over HTTP (:func:`serve_http`, stdlib ``ThreadingHTTPServer`` — no
   extra dependencies);
 * the :class:`~repro.service.scheduler.AdmissionScheduler` validates and
-  stages them;
-* a single match-loop thread drains the stage in micro-batches (at most
-  ``max_batch`` per tick — batch when busy), feeds them to a
+  stages them, shedding (:class:`~repro.service.scheduler.BackpressureError`,
+  HTTP 429 + ``Retry-After``) once the bounded pending pool is full;
+* a single *supervised* match-loop thread drains the stage in micro-batches
+  (at most ``max_batch`` per tick — batch when busy), feeds them to a
   :class:`~repro.dispatch.engine.DispatchSession`, and fires every batch
   boundary the new watermark unlocked.  When idle the loop parks on the
   scheduler's condition variable with a ``cadence_seconds`` timeout, so the
@@ -18,27 +19,50 @@
   stage and the session, and builds the final :class:`ServiceReport` —
   exactly once.
 
+**Health states.**  The service walks an explicit state machine::
+
+    starting → serving ⇄ degraded → draining → stopped
+                  ↘ failed (terminal)
+
+``degraded`` means the service is up but actively shedding load
+(backpressure); it flips back to ``serving`` on the next successful
+admission.  ``failed`` is entered when the match loop dies: the exception
+and traceback are captured, admission is closed with the failure message,
+``/healthz`` turns 503, :meth:`submit` raises :class:`ServiceFailedError`,
+and :meth:`drain` raises the same error with the captured traceback instead
+of blocking forever on a dead loop.
+
+**Crash safety.**  Every batch is appended to the ingest WAL *before* it
+reaches the session, so the session's state is always a prefix-replay of
+the log: a crash can lose staged (not yet batched) orders — which
+at-least-once clients re-submit — but never an order the engine already
+saw.  :meth:`DispatchService.recover` rebuilds a crashed run bit-exactly
+from its log (see :mod:`repro.service.recovery`) and resumes serving while
+appending to the same log.
+
 Wall-clock measurements (admission→assignment latency, sustained
 orders/sec) live in this layer only; the simulation arithmetic runs inside
 the session, which is why the ingest log replays offline to bit-identical
 :class:`~repro.dispatch.entities.DispatchMetrics`.
 
-``REPRO_SERVICE_INJECT_SLEEP_MS`` is a harness self-test hook (the CI
-service gate's negative test, like ``repro fuzz --inject-bug``): the match
-loop sleeps that many milliseconds after every processed batch, which must
-blow the gate's latency ceilings.
+Fault injection is structured: a :class:`~repro.service.faults.FaultPlan`
+(stall, crash-on-batch-N, slow/truncated WAL append, dropped connections,
+start gate) is consulted at the seam points; the legacy
+``REPRO_SERVICE_INJECT_SLEEP_MS`` environment hook still maps to a
+stall-every-batch plan for the CI service gate's negative test.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import os
+import math
 import threading
 import time
-from dataclasses import dataclass, field
+import traceback
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,17 +73,53 @@ from repro.dispatch.scenarios import (
     ScenarioBundle,
     build_scenario_bundle,
 )
+from repro.service.faults import INJECT_SLEEP_ENV, FaultController, FaultPlan
 from repro.service.ingest import (
     IngestLogWriter,
     orders_from_records,
     service_header,
 )
-from repro.service.scheduler import AdmissionError, AdmissionScheduler
+from repro.service.scheduler import (
+    AdmissionError,
+    AdmissionScheduler,
+    BackpressureError,
+)
 from repro.utils.rng import default_rng, seed_for
 
-#: Environment variable read by the CI gate's negative test: injected
-#: per-batch sleep (milliseconds) in the match loop.
-INJECT_SLEEP_ENV = "REPRO_SERVICE_INJECT_SLEEP_MS"
+__all__ = [
+    "DispatchService",
+    "INJECT_SLEEP_ENV",
+    "STATES",
+    "ServiceConfig",
+    "ServiceFailedError",
+    "ServiceHTTPServer",
+    "ServiceReport",
+    "serve_http",
+]
+
+#: Health states, in lifecycle order.
+STATE_STARTING = "starting"
+STATE_SERVING = "serving"
+STATE_DEGRADED = "degraded"
+STATE_FAILED = "failed"
+STATE_DRAINING = "draining"
+STATE_STOPPED = "stopped"
+STATES = (
+    STATE_STARTING,
+    STATE_SERVING,
+    STATE_DEGRADED,
+    STATE_FAILED,
+    STATE_DRAINING,
+    STATE_STOPPED,
+)
+
+
+class ServiceFailedError(RuntimeError):
+    """The match loop died; ``failure`` carries the captured traceback."""
+
+    def __init__(self, message: str, failure: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.failure = dict(failure or {})
 
 
 @dataclass(frozen=True)
@@ -72,14 +132,24 @@ class ServiceConfig:
     cadence_seconds: float = 0.05
     ingest_log: Optional[str] = None
     day: int = 0
-    #: ``None`` reads :data:`INJECT_SLEEP_ENV` (the CI negative-test hook).
-    inject_sleep_ms: Optional[float] = None
+    #: Bounded admission: cap on the pending pool (staged + in-flight +
+    #: unresolved in the session).  ``None`` disables backpressure.
+    max_pending: Optional[int] = None
+    #: fsync the ingest WAL after every appended batch.  Durable against
+    #: host power loss, at a per-batch syscall cost; without it a crash of
+    #: the *process* still loses nothing (the writer flushes per batch).
+    fsync_ingest: bool = False
+    #: ``None`` reads the :data:`INJECT_SLEEP_ENV` shorthand (the CI
+    #: negative-test hook); pass ``FaultPlan()`` to inject nothing.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if self.cadence_seconds <= 0:
             raise ValueError("cadence_seconds must be positive")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -100,6 +170,13 @@ class ServiceReport:
     max_pending: int
     metrics: DispatchMetrics
     ingest_log: Optional[str] = None
+    #: Well-formed orders shed by backpressure (counted apart from
+    #: ``orders_rejected``, which is malformed/late submissions).
+    orders_shed: int = 0
+    #: Final health state (``stopped`` for a clean drain).
+    state: str = STATE_STOPPED
+    #: Orders rebuilt from the WAL by crash recovery (0 for a fresh run).
+    recovered_orders: int = 0
 
     def to_payload(self) -> Dict[str, Any]:
         payload = dataclasses.asdict(self)
@@ -114,7 +191,8 @@ class DispatchService:
     (or reuses a caller-provided one — the load generator shares its
     bundle), spawns the fleet, opens the ingest log and launches the match
     loop.  ``submit``/``stats`` are thread-safe; ``drain`` is idempotent
-    and returns the same :class:`ServiceReport` on every call.
+    and returns the same :class:`ServiceReport` on every call — unless the
+    loop failed, in which case it raises :class:`ServiceFailedError`.
     """
 
     def __init__(
@@ -122,26 +200,35 @@ class DispatchService:
     ) -> None:
         self.config = config
         self._bundle = bundle
-        inject = config.inject_sleep_ms
-        if inject is None:
-            inject = float(os.environ.get(INJECT_SLEEP_ENV, "0") or 0.0)
-        self._inject_sleep = max(0.0, inject) / 1000.0
+        plan = config.fault_plan
+        if plan is None:
+            plan = FaultPlan.from_env()
+        self._faults = FaultController(plan)
         self._scheduler: Optional[AdmissionScheduler] = None
         self._session: Optional[DispatchSession] = None
         self._log: Optional[IngestLogWriter] = None
         self._thread: Optional[threading.Thread] = None
         self._state_lock = threading.Lock()
         self._drain_lock = threading.Lock()
+        self._state = STATE_STARTING
+        self._failure: Optional[Dict[str, Any]] = None
         self._records: List[Dict[str, Any]] = []
         self._latencies: List[float] = []
         self._assigned = 0
         self._cancelled = 0
-        self._max_pending = 0
+        self._batches = 0
+        self._recovered_orders = 0
+        #: True when this process was rebuilt from a WAL whose final record
+        #: was crash-truncated (the partial record was discarded).
+        self.recovered_truncated = False
+        self._max_pending_seen = 0
         self._first_wall: Optional[float] = None
         self._end_wall: Optional[float] = None
         self._metrics: Optional[DispatchMetrics] = None
         self._report: Optional[ServiceReport] = None
         self.drained = threading.Event()
+        #: Set once the service reaches a terminal state: drained or failed.
+        self.terminal = threading.Event()
 
     # ------------------------------------------------------------------ #
 
@@ -156,24 +243,40 @@ class DispatchService:
         mps = self.bundle.minutes_per_slot
         return float(mps) if mps is not None else 30.0
 
+    @property
+    def state(self) -> str:
+        with self._state_lock:
+            return self._state
+
+    @property
+    def recovered_orders(self) -> int:
+        """Orders rebuilt from the WAL by crash recovery (0 for fresh runs)."""
+        return self._recovered_orders
+
+    @property
+    def failure(self) -> Optional[Dict[str, Any]]:
+        """Captured match-loop failure (``None`` while healthy)."""
+        with self._state_lock:
+            return None if self._failure is None else dict(self._failure)
+
+    @property
+    def faults(self) -> FaultController:
+        return self._faults
+
+    @property
+    def session(self) -> DispatchSession:
+        """The live session (recovery tests compare its fleet/RNG state)."""
+        if self._session is None:
+            raise RuntimeError("service not started")
+        return self._session
+
     def start(self) -> "DispatchService":
         """Materialise the scenario and launch the match loop."""
         if self._thread is not None:
             raise RuntimeError("service already started")
         scenario = self.config.scenario
-        if self._bundle is None:
-            self._bundle = build_scenario_bundle(scenario)
-        elif self._bundle.scenario.cache_payload() != scenario.cache_payload():
-            raise ValueError("bundle does not match the service scenario")
-        bundle = self._bundle
-        engine = VectorizedAssignmentEngine(
-            policy=scenario.make_policy(),
-            travel=bundle.travel,
-            demand=bundle.provider,
-            batch_minutes=scenario.batch_minutes,
-            sparse=self.config.sparse,
-            minutes_per_slot=bundle.minutes_per_slot,
-        )
+        bundle = self._materialise_bundle(scenario)
+        engine = self._build_engine(scenario, bundle)
         rng = default_rng(
             seed_for(
                 f"dispatch-scenario/{scenario.city}/{scenario.policy}/sim",
@@ -183,9 +286,7 @@ class DispatchService:
         self._session = DispatchSession(
             engine, bundle.spawn_fleet(), rng, day=self.config.day
         )
-        self._scheduler = AdmissionScheduler(
-            minutes_per_slot=self.minutes_per_slot, max_batch=self.config.max_batch
-        )
+        self._scheduler = self._build_scheduler()
         if self.config.ingest_log is not None:
             self._log = IngestLogWriter(
                 self.config.ingest_log,
@@ -197,18 +298,98 @@ class DispatchService:
                     sparse=self.config.sparse,
                     day=self.config.day,
                 ),
+                fsync=self.config.fsync_ingest,
+                fault_controller=self._faults,
             )
-        self._thread = threading.Thread(
-            target=self._loop, name="repro-service-match-loop", daemon=True
+        self._launch_loop()
+        return self
+
+    @classmethod
+    def recover(cls, log_path: Union[str, Any], **kwargs: Any) -> "DispatchService":
+        """Rebuild a crashed run from its ingest WAL and resume serving.
+
+        See :func:`repro.service.recovery.recover_service` for parameters
+        and the recovery-equals-uninterrupted-run bit-identity contract.
+        """
+        from repro.service.recovery import recover_service
+
+        return recover_service(log_path, **kwargs)
+
+    def _start_recovered(self, contents: Any) -> "DispatchService":
+        """Resume from parsed WAL contents (see :mod:`repro.service.recovery`).
+
+        Replays every logged record through a fresh session in one chunk —
+        the session is chunk-invariant, so the rebuilt state (metrics
+        accumulators, fleet arrays, RNG position) is bit-identical to the
+        crashed run's — then reopens the WAL in append mode (truncating a
+        partial final record) and resumes the match loop.  The scheduler is
+        seeded with the WAL record count and the last logged arrival so
+        re-submitted in-flight orders get the same admission ids the
+        uninterrupted run would have assigned.
+        """
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        scenario = self.config.scenario
+        bundle = self._materialise_bundle(scenario)
+        engine = self._build_engine(scenario, bundle)
+        header = contents.header
+        rng = default_rng(int(header["sim_seed"]))
+        self._session = DispatchSession(
+            engine, bundle.spawn_fleet(), rng, day=self.config.day
         )
-        self._thread.start()
+        records = contents.records
+        if records:
+            events = self._session.admit(orders_from_records(records))
+            events.extend(self._session.advance())
+            # Recovered orders carry no admission wall-clock stamp: their
+            # latency belongs to the crashed process, not this one.
+            self._records = [
+                {"status": "queued", "wall_admitted": None} for _ in records
+            ]
+            self._apply_events(events, time.perf_counter())
+            start_watermark = float(records[-1]["arrival_minute"])
+            start_slot: Optional[int] = int(records[-1]["slot"])
+        else:
+            start_watermark = float("-inf")
+            start_slot = None
+        self._recovered_orders = len(records)
+        self.recovered_truncated = bool(contents.truncated)
+        self._scheduler = self._build_scheduler(
+            start_id=len(records),
+            start_watermark=start_watermark,
+            start_slot=start_slot,
+        )
+        self._log = IngestLogWriter.resume(
+            self.config.ingest_log,
+            complete_bytes=contents.complete_bytes,
+            fsync=self.config.fsync_ingest,
+            fault_controller=self._faults,
+        )
+        self._launch_loop()
         return self
 
     def submit(self, payload: Any) -> Dict[str, int]:
-        """Admit one order; raises :class:`AdmissionError` on rejection."""
-        if self._scheduler is None:
+        """Admit one order; raises :class:`AdmissionError` on rejection,
+        :class:`BackpressureError` under overload and
+        :class:`ServiceFailedError` once the match loop has died."""
+        scheduler = self._scheduler
+        if scheduler is None:
             raise RuntimeError("service not started")
-        order_id = self._scheduler.submit(payload)
+        with self._state_lock:
+            if self._failure is not None:
+                raise ServiceFailedError(
+                    f"service failed: {self._failure['error']}", self._failure
+                )
+        try:
+            order_id = scheduler.submit(payload)
+        except BackpressureError:
+            with self._state_lock:
+                if self._state == STATE_SERVING:
+                    self._state = STATE_DEGRADED
+            raise
+        with self._state_lock:
+            if self._state == STATE_DEGRADED:
+                self._state = STATE_SERVING
         return {"order_id": order_id}
 
     def stats(self) -> Dict[str, Any]:
@@ -216,62 +397,178 @@ class DispatchService:
         scheduler = self._scheduler
         if scheduler is None:
             raise RuntimeError("service not started")
+        # Scheduler counters are read before taking the state lock: the
+        # submit path acquires scheduler-then-state, so nesting them the
+        # other way here would invert the lock order.
+        staged = scheduler.staged_count
+        submitted = scheduler.submitted
+        rejected = scheduler.rejected
+        shed = scheduler.shed
+        max_staged = scheduler.max_staged
+        closed = scheduler.closed
         with self._state_lock:
+            admitted = len(self._records)
             return {
-                "submitted": scheduler.submitted,
-                "rejected": scheduler.rejected,
-                "admitted": len(self._records),
+                "state": self._state,
+                "submitted": submitted,
+                "rejected": rejected,
+                "shed": shed,
+                "admitted": admitted,
                 "assigned": self._assigned,
                 "cancelled": self._cancelled,
-                "staged": scheduler.staged_count,
-                "max_pending": max(self._max_pending, scheduler.max_staged),
-                "draining": scheduler.closed,
+                "pending": admitted - self._assigned - self._cancelled + staged,
+                "staged": staged,
+                "batches": self._batches,
+                "recovered": self._recovered_orders,
+                "max_pending": max(self._max_pending_seen, max_staged),
+                "draining": closed,
                 "drained": self.drained.is_set(),
+                "failure": None
+                if self._failure is None
+                else self._failure["error"],
             }
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """``(http_status, payload)`` for ``/healthz``: 503 once failed."""
+        with self._state_lock:
+            state = self._state
+            failure = self._failure
+        if state == STATE_FAILED:
+            return 503, {"status": state, "error": failure["error"]}
+        return 200, {"status": state}
 
     def drain(self) -> ServiceReport:
         """Stop admission, drain staged orders and the session — exactly once.
 
         Subsequent calls return the same report object; in-flight orders are
-        matched (or expire) during the drain, never re-processed.
+        matched (or expire) during the drain, never re-processed.  If the
+        match loop has failed — before or during the drain — raises
+        :class:`ServiceFailedError` carrying the captured traceback instead
+        of blocking on a loop that will never finish.
         """
         with self._drain_lock:
             if self._report is None:
                 if self._scheduler is None or self._thread is None:
                     raise RuntimeError("service not started")
+                self._raise_if_failed()
+                with self._state_lock:
+                    if self._state in (STATE_SERVING, STATE_DEGRADED):
+                        self._state = STATE_DRAINING
                 self._scheduler.close()
                 self._thread.join()
+                self._raise_if_failed()
+                with self._state_lock:
+                    self._state = STATE_STOPPED
                 self._report = self._build_report()
                 if self._log is not None:
                     self._log.close()
                 self.drained.set()
+                self.terminal.set()
             return self._report
+
+    def _raise_if_failed(self) -> None:
+        with self._state_lock:
+            failure = self._failure
+        if failure is not None:
+            raise ServiceFailedError(
+                f"match loop failed on batch {failure['batch']}: "
+                f"{failure['error']}\n{failure['traceback']}",
+                failure,
+            )
 
     # ------------------------------------------------------------------ #
 
+    def _materialise_bundle(self, scenario: DispatchScenario) -> ScenarioBundle:
+        if self._bundle is None:
+            self._bundle = build_scenario_bundle(scenario)
+        elif self._bundle.scenario.cache_payload() != scenario.cache_payload():
+            raise ValueError("bundle does not match the service scenario")
+        return self._bundle
+
+    def _build_engine(
+        self, scenario: DispatchScenario, bundle: ScenarioBundle
+    ) -> VectorizedAssignmentEngine:
+        return VectorizedAssignmentEngine(
+            policy=scenario.make_policy(),
+            travel=bundle.travel,
+            demand=bundle.provider,
+            batch_minutes=scenario.batch_minutes,
+            sparse=self.config.sparse,
+            minutes_per_slot=bundle.minutes_per_slot,
+        )
+
+    def _build_scheduler(
+        self,
+        start_id: int = 0,
+        start_watermark: float = float("-inf"),
+        start_slot: Optional[int] = None,
+    ) -> AdmissionScheduler:
+        return AdmissionScheduler(
+            minutes_per_slot=self.minutes_per_slot,
+            max_batch=self.config.max_batch,
+            max_pending=self.config.max_pending,
+            resolved_fn=self._resolved_total,
+            retry_after=max(0.05, 2.0 * self.config.cadence_seconds),
+            start_id=start_id,
+            start_watermark=start_watermark,
+            start_slot=start_slot,
+        )
+
+    def _resolved_total(self) -> int:
+        # Plain int reads (no lock): the backpressure check tolerates a
+        # value one batch stale, and CPython makes the reads atomic.
+        return self._assigned + self._cancelled
+
+    def _launch_loop(self) -> None:
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-match-loop", daemon=True
+        )
+        with self._state_lock:
+            self._state = STATE_SERVING
+        self._thread.start()
+
     def _loop(self) -> None:
         scheduler = self._scheduler
-        while True:
-            batch = scheduler.take(timeout=self.config.cadence_seconds)
-            if batch is None:
-                break  # closed and fully drained
-            if not batch:
-                continue  # idle tick; the next arrival wakes us immediately
-            self._process(batch)
-            if self._inject_sleep:
-                time.sleep(self._inject_sleep)
-        # Graceful drain: fire the current slot's remaining boundaries so
-        # every in-flight order is matched or expires, then close the run.
-        events = self._session.advance(drain=True)
-        self._apply_events(events, time.perf_counter())
-        with self._state_lock:
-            self._metrics = self._session.finish()
-            self._end_wall = time.perf_counter()
+        try:
+            self._faults.wait_start()
+            while True:
+                batch = scheduler.take(timeout=self.config.cadence_seconds)
+                if batch is None:
+                    break  # closed and fully drained
+                if not batch:
+                    continue  # idle tick; the next arrival wakes us immediately
+                index = self._batches
+                self._process(batch, index)
+                self._faults.after_batch(index)
+            # Graceful drain: fire the current slot's remaining boundaries
+            # so every in-flight order is matched or expires, then close
+            # the run.
+            events = self._session.advance(drain=True)
+            self._apply_events(events, time.perf_counter())
+            with self._state_lock:
+                self._metrics = self._session.finish()
+                self._end_wall = time.perf_counter()
+        except BaseException as exc:  # noqa: BLE001 — supervision seam
+            failure = {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "batch": self._batches,
+            }
+            with self._state_lock:
+                self._failure = failure
+                self._state = STATE_FAILED
+            # Close admission with the failure as the rejection reason so
+            # racing submitters see what happened, then signal waiters.
+            scheduler.close(reason=f"service failed: {failure['error']}")
+            self.terminal.set()
 
-    def _process(self, batch: List[Dict[str, Any]]) -> None:
+    def _process(self, batch: List[Dict[str, Any]], index: int) -> None:
         session = self._session
+        self._faults.before_batch(index)
+        # WAL-first ordering: a batch reaches the log before the session,
+        # so recovery can always rebuild the session as a prefix replay.
         if self._log is not None:
-            self._log.append(batch)
+            self._log.append(batch, batch_index=index)
         chunk = orders_from_records(batch)
         events = session.admit(chunk)
         events.extend(session.advance())
@@ -283,11 +580,12 @@ class DispatchService:
                 self._records.append(
                     {"status": "queued", "wall_admitted": order["_wall"]}
                 )
+            self._batches = index + 1
         self._apply_events(events, now)
         pending = session.pending_orders + self._scheduler.staged_count
         with self._state_lock:
-            if pending > self._max_pending:
-                self._max_pending = pending
+            if pending > self._max_pending_seen:
+                self._max_pending_seen = pending
 
     def _apply_events(self, events: List[Any], now: float) -> None:
         if not events:
@@ -301,9 +599,12 @@ class DispatchService:
                 if event.kind == "assigned":
                     record["driver"] = event.driver
                     self._assigned += 1
-                    self._latencies.append(
-                        (now - record["wall_admitted"]) * 1000.0
-                    )
+                    # Recovered orders carry no admission stamp: their
+                    # latency belongs to the crashed run, not this one.
+                    if record["wall_admitted"] is not None:
+                        self._latencies.append(
+                            (now - record["wall_admitted"]) * 1000.0
+                        )
                 else:
                     self._cancelled += 1
 
@@ -320,6 +621,8 @@ class DispatchService:
             else:
                 duration = 0.0
             metrics = self._metrics
+            state = self._state
+            recovered = self._recovered_orders
         if latencies.size:
             p50 = float(np.percentile(latencies, 50))
             p99 = float(np.percentile(latencies, 99))
@@ -339,9 +642,12 @@ class DispatchService:
             latency_p99_ms=p99,
             latency_mean_ms=mean,
             latency_max_ms=peak,
-            max_pending=max(self._max_pending, scheduler.max_staged),
+            max_pending=max(self._max_pending_seen, scheduler.max_staged),
             metrics=metrics,
             ingest_log=self.config.ingest_log,
+            orders_shed=scheduler.shed,
+            state=state,
+            recovered_orders=recovered,
         )
 
 
@@ -367,18 +673,26 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # keep CI logs quiet; the CLI prints its own summary
 
-    def _reply(self, code: int, payload: Dict[str, Any]) -> None:
+    def _reply(
+        self,
+        code: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802
         service = self.server.service
         if self.path == "/healthz":
-            self._reply(200, {"status": "ok"})
+            code, payload = service.health()
+            self._reply(code, payload)
         elif self.path == "/stats":
             self._reply(200, service.stats())
         else:
@@ -387,6 +701,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         service = self.server.service
         if self.path == "/orders":
+            if service.faults.on_http_request(self.path):
+                # Injected connection drop: vanish without a response; the
+                # client sees a closed socket and must retry.
+                self.close_connection = True
+                return
             length = int(self.headers.get("Content-Length", 0))
             try:
                 payload = json.loads(self.rfile.read(length) or b"")
@@ -395,10 +714,21 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return
             try:
                 self._reply(200, service.submit(payload))
+            except BackpressureError as exc:
+                self._reply(
+                    429,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    headers={"Retry-After": str(math.ceil(exc.retry_after))},
+                )
+            except ServiceFailedError as exc:
+                self._reply(503, {"error": str(exc)})
             except AdmissionError as exc:
                 self._reply(400, {"error": str(exc)})
         elif self.path == "/drain":
-            self._reply(200, service.drain().to_payload())
+            try:
+                self._reply(200, service.drain().to_payload())
+            except ServiceFailedError as exc:
+                self._reply(503, {"error": str(exc)})
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
 

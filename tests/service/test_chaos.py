@@ -1,0 +1,57 @@
+"""Chaos campaign: seeded byte-identity, bug detection, argument checks."""
+
+import pytest
+
+from repro.service.chaos import BUGS, KINDS, run_campaign
+from repro.utils.cache import canonical_json
+
+
+class TestCampaignDeterminism:
+    def test_two_runs_with_the_same_seed_are_byte_identical(
+        self, scenario, bundle
+    ):
+        kwargs = dict(
+            seed=13,
+            samples=len(KINDS),
+            scenario=scenario,
+            bundle=bundle,
+            stream_orders=48,
+            max_batch=8,
+        )
+        first = run_campaign(**kwargs)
+        second = run_campaign(**kwargs)
+        assert not first.failed
+        assert {sample.kind for sample in first.records} == set(KINDS)
+        assert canonical_json(first.to_payload()) == canonical_json(
+            second.to_payload()
+        )
+
+    def test_injected_bug_is_caught(self, scenario, bundle):
+        report = run_campaign(
+            seed=13,
+            samples=1,  # sample 0 is the crash-recovery kind
+            bug="skip-resubmit",
+            scenario=scenario,
+            bundle=bundle,
+            stream_orders=48,
+            max_batch=8,
+        )
+        assert report.failed
+        (failure,) = report.failures
+        failed_checks = [
+            name for name, passed in failure.checks.items() if not passed
+        ]
+        assert "metrics_match_oracle" in failed_checks
+
+
+class TestCampaignValidation:
+    def test_unknown_bug_raises(self):
+        with pytest.raises(ValueError, match="unknown chaos bug"):
+            run_campaign(samples=1, bug="not-a-bug")
+
+    def test_samples_must_be_positive(self):
+        with pytest.raises(ValueError, match="samples"):
+            run_campaign(samples=0)
+
+    def test_bug_registry_is_nonempty(self):
+        assert "skip-resubmit" in BUGS

@@ -16,7 +16,7 @@ from repro.service.ingest import ORDER_LOG_FIELDS
 
 def run_service(scenario, bundle, log_path, count=60):
     config = ServiceConfig(
-        scenario=scenario, ingest_log=str(log_path), inject_sleep_ms=0.0
+        scenario=scenario, ingest_log=str(log_path)
     )
     service = DispatchService(config, bundle=bundle).start()
     for payload in order_payloads(bundle, max_orders=count):
@@ -52,7 +52,9 @@ class TestReplayBridge:
     def test_log_carries_no_wall_clock_keys(self, scenario, bundle, tmp_path):
         log = tmp_path / "ingest.jsonl"
         run_service(scenario, bundle, log, count=10)
-        header, records = read_ingest_log(log)
+        contents = read_ingest_log(log)
+        header, records = contents.header, contents.records
+        assert not contents.truncated
         assert header["kind"] == "repro-service-ingest"
         assert len(records) == 10
         for record in records:
@@ -76,7 +78,7 @@ class TestLogValidation:
     def test_unsupported_schema_rejected(self, scenario, bundle, tmp_path):
         log = tmp_path / "ingest.jsonl"
         run_service(scenario, bundle, log, count=5)
-        header, _ = read_ingest_log(log)
+        header = dict(read_ingest_log(log).header)
         header["schema"] = 99
         doctored = tmp_path / "doctored.jsonl"
         lines = log.read_text().splitlines()
@@ -104,7 +106,7 @@ class TestLogValidation:
         log = tmp_path / "ingest.jsonl"
         # A drained run that admitted nothing still writes the header.
         config = ServiceConfig(
-            scenario=scenario, ingest_log=str(log), inject_sleep_ms=0.0
+            scenario=scenario, ingest_log=str(log)
         )
         DispatchService(config, bundle=bundle).start().drain()
         result = replay_ingest_log(log, bundle=bundle)

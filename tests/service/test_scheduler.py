@@ -135,3 +135,100 @@ class TestAdmissionScheduler:
         thread.join(timeout=5.0)
         assert not thread.is_alive()
         assert result["batch"] is None
+
+
+class TestBackpressureAndResume:
+    def test_shed_once_pool_reaches_cap(self):
+        from repro.service.scheduler import BackpressureError
+
+        resolved = {"count": 0}
+        scheduler = AdmissionScheduler(
+            max_pending=2, resolved_fn=lambda: resolved["count"], retry_after=0.25
+        )
+        scheduler.submit(order_payload(arrival=480.0))
+        scheduler.submit(order_payload(arrival=481.0))
+        with pytest.raises(BackpressureError, match="pending pool is full") as info:
+            scheduler.submit(order_payload(arrival=482.0))
+        assert info.value.retry_after == 0.25
+        assert scheduler.shed == 1
+        # A resolution frees one slot and admission resumes.
+        resolved["count"] = 1
+        scheduler.submit(order_payload(arrival=482.0))
+        assert scheduler.submitted == 3
+
+    def test_shed_orders_are_not_counted_as_rejected(self):
+        from repro.service.scheduler import BackpressureError
+
+        scheduler = AdmissionScheduler(max_pending=1, resolved_fn=lambda: 0)
+        scheduler.submit(order_payload(arrival=480.0))
+        with pytest.raises(BackpressureError):
+            scheduler.submit(order_payload(arrival=481.0))
+        assert scheduler.rejected == 0
+        assert scheduler.shed == 1
+
+    def test_resume_seeds_ids_watermark_and_slot(self):
+        scheduler = AdmissionScheduler(
+            start_id=7, start_watermark=503.0, start_slot=16
+        )
+        with pytest.raises(AdmissionError, match="behind the admitted watermark"):
+            scheduler.submit(order_payload(arrival=490.0))
+        order_id = scheduler.submit(order_payload(arrival=503.0))
+        assert order_id == 7  # equal arrival is admissible; ids continue
+
+    def test_close_reason_customises_rejection_message(self):
+        scheduler = AdmissionScheduler()
+        scheduler.close(reason="service failed: boom")
+        with pytest.raises(AdmissionError, match="service failed: boom"):
+            scheduler.submit(order_payload())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionScheduler(max_pending=0)
+        with pytest.raises(ValueError, match="start_id"):
+            AdmissionScheduler(start_id=-1)
+
+
+class TestCloseSubmitRace:
+    def test_concurrent_submits_during_close_never_lose_or_deadlock(self):
+        # Satellite regression: a submit racing close() must either be
+        # admitted before the close or raise AdmissionError — every order
+        # is accounted for and nothing hangs.
+        for trial in range(20):
+            scheduler = AdmissionScheduler(max_batch=1024)
+            submitters = 8
+            barrier = threading.Barrier(submitters + 1)
+            outcomes = []
+            lock = threading.Lock()
+
+            def submit_one(index):
+                barrier.wait()
+                try:
+                    scheduler.submit(order_payload(arrival=480.0 + trial))
+                    with lock:
+                        outcomes.append("admitted")
+                except AdmissionError:
+                    with lock:
+                        outcomes.append("rejected")
+
+            threads = [
+                threading.Thread(target=submit_one, args=(i,))
+                for i in range(submitters)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            scheduler.close()
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "submit deadlocked against close"
+            assert len(outcomes) == submitters
+            admitted = outcomes.count("admitted")
+            assert admitted == scheduler.submitted
+            # Every admitted order is takeable exactly once after the close.
+            drained = 0
+            while True:
+                batch = scheduler.take(timeout=0.01)
+                if not batch:
+                    break
+                drained += len(batch)
+            assert drained == admitted

@@ -22,7 +22,7 @@ def payloads(bundle):
 
 
 def make_service(scenario, bundle, **overrides):
-    config = ServiceConfig(scenario=scenario, inject_sleep_ms=0.0, **overrides)
+    config = ServiceConfig(scenario=scenario, **overrides)
     return DispatchService(config, bundle=bundle)
 
 
@@ -107,7 +107,7 @@ class TestServiceLifecycle:
     def test_bundle_scenario_mismatch_rejected(self, scenario, bundle):
         other = dataclasses.replace(scenario, fleet_size=scenario.fleet_size + 1)
         service = DispatchService(
-            ServiceConfig(scenario=other, inject_sleep_ms=0.0), bundle=bundle
+            ServiceConfig(scenario=other), bundle=bundle
         )
         with pytest.raises(ValueError, match="does not match"):
             service.start()
@@ -132,7 +132,7 @@ class TestHttpApi:
         try:
             port = server.server_address[1]
             client = HttpClient(f"http://127.0.0.1:{port}")
-            assert client.healthz() == {"status": "ok"}
+            assert client.healthz() == {"status": "serving"}
             assert client.submit(payloads[0]) == {"order_id": 0}
             assert client.submit(payloads[1]) == {"order_id": 1}
             with pytest.raises(AdmissionError, match="must be a number"):

@@ -151,6 +151,29 @@ class TestServiceGate:
         problems = service_gate.check(current, service_baseline)
         assert any("offered orders were admitted" in p for p in problems)
 
+    def test_shed_orders_trip_the_ceiling(self, service_baseline):
+        # The benchmark runs unbounded: any backpressure shedding means the
+        # service (or the gate accounting) regressed.
+        current = copy.deepcopy(service_baseline)
+        current["service"]["orders_shed"] = 5
+        current["service"]["orders_admitted"] = current["orders_offered"] - 5
+        problems = service_gate.check(current, service_baseline)
+        assert any("orders shed by backpressure" in p for p in problems)
+
+    def test_client_retries_trip_the_ceiling(self, service_baseline):
+        current = copy.deepcopy(service_baseline)
+        current["service"]["client_retries"] = 2
+        problems = service_gate.check(current, service_baseline)
+        assert any("client retries" in p and "exceeds" in p for p in problems)
+
+    def test_broken_shed_accounting_fails(self, service_baseline):
+        # shed + admitted must equal offered exactly; a lost order is a bug
+        # even when every individual ceiling passes.
+        current = copy.deepcopy(service_baseline)
+        current["orders_offered"] += 1
+        problems = service_gate.check(current, service_baseline)
+        assert any("admission accounting broken" in p for p in problems)
+
     def test_baseline_carries_the_gate_knobs(self, service_baseline):
         gates = service_baseline["gates"]
         for knob in (
@@ -159,9 +182,13 @@ class TestServiceGate:
             "max_p50_ms",
             "max_p99_ms",
             "require_replay_equal",
+            "max_shed_orders",
+            "max_client_retries",
         ):
             assert knob in gates
         assert service_baseline["replay_equal"] is True
+        assert service_baseline["service"]["orders_shed"] == 0
+        assert service_baseline["service"]["client_retries"] == 0
 
 
 class TestGatelib:
