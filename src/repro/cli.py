@@ -644,6 +644,19 @@ def build_parser() -> argparse.ArgumentParser:
             "the campaign must fail)"
         ),
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help=(
+            "AST-based determinism & concurrency invariant checker "
+            "(DET/CONC/API rules; exits 1 on new findings)"
+        ),
+    )
+    # The lint package owns its argument surface so ``python -m repro.lint``
+    # and ``repro lint`` stay identical; import lazily like the service verbs.
+    from repro.lint.runner import build_arg_parser as _build_lint_arguments
+
+    _build_lint_arguments(lint)
     return parser
 
 
@@ -1373,6 +1386,12 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint.runner import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -1397,6 +1416,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_loadgen(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "lint":
+        return _command_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

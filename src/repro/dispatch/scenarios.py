@@ -31,7 +31,6 @@ Scenario families
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +49,7 @@ from repro.dispatch.travel import TravelModel
 from repro.prediction.oracle import PerfectPredictor
 from repro.prediction.registry import available_models, create_seeded_model
 from repro.utils.rng import default_rng, seed_for
+from repro.utils.timer import wall_clock
 from repro.utils.validation import ensure_perfect_square
 
 #: Bump when the scenario semantics or serialised payload change, so stale
@@ -582,13 +582,13 @@ def run_scenario(
 ) -> ScenarioResult:
     """Build the scenario's inputs and simulate it once."""
     bundle = build_scenario_bundle(scenario, dataset=dataset)
-    start = time.perf_counter()
+    start = wall_clock()
     metrics = bundle.run(engine=engine, sparse=sparse)
     return ScenarioResult(
         scenario=scenario,
         metrics=metrics,
         total_orders=bundle.total_order_count,
-        seconds=time.perf_counter() - start,
+        seconds=wall_clock() - start,
         engine=engine,
     )
 

@@ -243,7 +243,7 @@ class GridBucketIndex:
         candidates = self.candidates_in_box(x, y, radius_km)
         if candidates.size == 0:
             return candidates, np.empty(0, dtype=float)
-        candidates = np.sort(candidates)
+        candidates = np.sort(candidates, kind="stable")
         distance = self.travel.distance_km(
             x, y, self.x[candidates], self.y[candidates]
         )

@@ -13,7 +13,6 @@ scalar Algorithm-2 calls with a few vectorised passes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -25,6 +24,7 @@ from repro.core.expression import (
     expression_error_batch,
     expression_error_reference,
 )
+from repro.utils.timer import wall_clock
 
 
 @dataclass(frozen=True)
@@ -68,21 +68,21 @@ def algorithm_cost_sweep(
         raise ValueError("m must be at least 2 for a meaningful comparison")
     points = []
     for k in k_values:
-        start = time.perf_counter()
+        start = wall_clock()
         reference_value = expression_error_reference(alpha_ij, alpha_rest, m, k=k)
-        reference_seconds = time.perf_counter() - start
+        reference_seconds = wall_clock() - start
 
         if include_algorithm1:
-            start = time.perf_counter()
+            start = wall_clock()
             algorithm1_value = expression_error_algorithm1(alpha_ij, alpha_rest, m, k=k)
-            algorithm1_seconds = time.perf_counter() - start
+            algorithm1_seconds = wall_clock() - start
         else:
             algorithm1_value = reference_value
             algorithm1_seconds = 0.0
 
-        start = time.perf_counter()
+        start = wall_clock()
         algorithm2_value = expression_error_algorithm2(alpha_ij, alpha_rest, m, k=k)
-        algorithm2_seconds = time.perf_counter() - start
+        algorithm2_seconds = wall_clock() - start
 
         points.append(
             AlgorithmCostPoint(
@@ -141,20 +141,20 @@ def batch_cost_sweep(
         # one-off page-fault cost of first touching the pmf tables.
         expression_error_batch(alpha_ij, m, rest=alpha_rest, k=k, method="algorithm2")
 
-        start = time.perf_counter()
+        start = wall_clock()
         scalar_values = np.array(
             [
                 expression_error_algorithm2(float(a), float(r), m, k=k)
                 for a, r in zip(alpha_ij, alpha_rest)
             ]
         )
-        scalar_seconds = time.perf_counter() - start
+        scalar_seconds = wall_clock() - start
 
-        start = time.perf_counter()
+        start = wall_clock()
         batch_values = expression_error_batch(
             alpha_ij, m, rest=alpha_rest, k=k, method="algorithm2"
         )
-        batch_seconds = time.perf_counter() - start
+        batch_seconds = wall_clock() - start
 
         points.append(
             BatchCostPoint(

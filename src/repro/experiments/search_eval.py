@@ -12,7 +12,6 @@ the distribution of the optimal ``n`` across the time slots of a day.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
@@ -21,6 +20,7 @@ from repro.core.search import SearchResult, run_search
 from repro.core.upper_bound import UpperBoundEvaluator
 from repro.experiments.case_study import run_task_assignment
 from repro.experiments.context import ExperimentContext
+from repro.utils.timer import wall_clock
 
 
 def _slot_evaluator(
@@ -100,11 +100,11 @@ def evaluate_search_algorithms(
             kwargs = {}
             if algorithm == "iterative":
                 kwargs = {"initial_side": iterative_initial, "bound": iterative_bound}
-            start = time.perf_counter()
+            start = wall_clock()
             result = run_search(
                 algorithm, evaluator, config.hgrid_budget, min_side=2, **kwargs
             )
-            elapsed = time.perf_counter() - start
+            elapsed = wall_clock() - start
             per_slot_results[algorithm] = result
             per_slot_costs[algorithm] = elapsed
             costs[algorithm] += elapsed
@@ -209,7 +209,7 @@ def iterative_bound_sweep(
             evaluator = _slot_evaluator(context, city, model, slot, surrogate)
             brute = run_search("brute_force", evaluator, config.hgrid_budget, min_side=2)
             evaluator_iter = _slot_evaluator(context, city, model, slot, surrogate)
-            start = time.perf_counter()
+            start = wall_clock()
             result = run_search(
                 "iterative",
                 evaluator_iter,
@@ -218,7 +218,7 @@ def iterative_bound_sweep(
                 bound=bound,
                 initial_side=max(2, int(round(config.hgrid_budget**0.5)) // 2),
             )
-            cost += time.perf_counter() - start
+            cost += wall_clock() - start
             evaluations += result.evaluations
             if result.best_side == brute.best_side:
                 found += 1

@@ -268,10 +268,10 @@ class TieAuditPolicy:
                 return (0, 0.0)
             weight = revenue[rows] - cost * distance[rows, cols]
             # Sort before summing so permuted pair orders compare equal.
-            return (0, float(np.sort(weight).sum()))
+            return (0, float(np.sort(weight, kind="stable").sum()))
         if rows.size == 0:
             return (0, 0.0)
-        return (int(rows.size), float(np.sort(distance[rows, cols]).sum()))
+        return (int(rows.size), float(np.sort(distance[rows, cols], kind="stable").sum()))
 
     @staticmethod
     def _same_pairs(rows, cols, alt_rows, alt_cols) -> bool:

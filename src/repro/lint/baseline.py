@@ -1,0 +1,81 @@
+"""Committed baseline of grandfathered findings — the ratchet.
+
+The baseline file (``lint-baseline.json`` at the repo root) lists the
+fingerprints of findings that predate the gate, so ``repro lint`` starts
+green on day one and only *new* findings fail CI.  Shrinking the file is the
+only sanctioned direction: fixing a baselined finding and regenerating
+removes its entry, while a fresh violation — even in a heavily baselined
+file — is never masked, because fingerprints bind to the offending source
+line, not the file.
+
+The file itself obeys DET004: :func:`write_baseline` emits canonical JSON
+(sorted keys, fixed separators, one trailing newline), so regeneration from
+identical findings is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding
+from repro.utils.cache import canonical_json
+
+#: Schema version of the baseline payload.
+BASELINE_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used (corrupt, wrong schema)."""
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints grandfathered by ``path`` (empty when the file is absent).
+
+    A *missing* baseline is an empty ratchet — the normal state of a clean
+    repo.  A present-but-unreadable one raises :class:`BaselineError`:
+    silently treating a corrupt baseline as empty would flip the gate red on
+    every grandfathered finding, and treating it as all-green would mask new
+    ones.
+    """
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} has unsupported schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else payload!r}"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} findings must be a list")
+    fingerprints: Set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(f"baseline {path} contains a malformed entry: {entry!r}")
+        fingerprints.add(str(entry["fingerprint"]))
+    return fingerprints
+
+
+def baseline_payload(findings: Iterable[Finding]) -> dict:
+    """The canonical baseline payload for the given findings."""
+    entries: List[dict] = [
+        {
+            "fingerprint": finding.fingerprint,
+            "path": finding.path,
+            "rule": finding.rule,
+            "text": finding.text,
+        }
+        for finding in findings
+    ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+    return {"schema": BASELINE_SCHEMA, "tool": "repro-lint", "findings": entries}
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the baseline as byte-stable canonical JSON."""
+    path.write_text(canonical_json(baseline_payload(findings)) + "\n", encoding="utf-8")

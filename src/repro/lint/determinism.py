@@ -1,0 +1,325 @@
+"""Determinism rules: wall-clock, global RNG, unstable sorts, JSON, sets.
+
+These encode the invariants every equivalence/replay contract in this repo
+depends on — bit-identical engine runs, byte-stable canonical-JSON caches and
+WALs, RNG-stream-position equality — as static checks:
+
+========  ============================================================
+DET001    wall-clock reads outside the sanctioned measurement seams
+DET002    module-level (global-stream) RNG calls instead of a Generator
+DET003    unstable sorts in the dispatch/service/sweep/fuzz paths
+DET004    non-canonical ``json.dump(s)`` outside the canonical helpers
+DET005    iteration over ``set``-valued expressions in engine paths
+========  ============================================================
+
+Three of the rules are literal regression guards: DET003 is the PR 2
+``np.argsort`` tie-breaking bug class, DET002 the PR 4 global-stream RNG
+coupling class, DET004 the cache/WAL byte-stability contract PR 5 hardened.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.base import (
+    ImportMap,
+    InvariantRule,
+    ModuleContext,
+    is_constant,
+    is_set_expression,
+    keyword_arg,
+    resolve_call,
+)
+from repro.lint.findings import Finding
+
+#: Functions whose return value is the wall clock (reads, not sleeps).
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* global-stream draws.
+_NUMPY_RANDOM_SAFE = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Module-level functions of stdlib ``random`` that touch the global stream.
+_STDLIB_RANDOM_GLOBAL = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "getstate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+class WallClockRule(InvariantRule):
+    """DET001 — wall-clock reads in deterministic code.
+
+    The simulation, cache and WAL layers must be wall-clock-free so live
+    runs replay offline bit-identically.  Timing belongs to the sanctioned
+    seams only: :mod:`repro.utils.timer` (which exports
+    :func:`~repro.utils.timer.wall_clock`, the one blessed read used by
+    suite/latency measurements) and the service front end's metrics section
+    in ``service/server.py``.  Benchmarks, examples and tests are outside
+    the rule's scope — wall timing is their deliverable.
+    """
+
+    rule_id = "DET001"
+    title = "wall-clock read outside the sanctioned timing seams"
+    scope = ("src/repro/",)
+    exclude = ("src/repro/utils/timer.py", "src/repro/service/server.py")
+
+    def check(self, tree: ast.AST, context: ModuleContext) -> List[Finding]:
+        imports = ImportMap.from_tree(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(node.func, imports)
+            if resolved in WALL_CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"wall-clock read {resolved}() in deterministic code; "
+                        "route timing through repro.utils.timer.wall_clock() "
+                        "or suppress with a justification",
+                    )
+                )
+        return findings
+
+
+class GlobalRngRule(InvariantRule):
+    """DET002 — module-level RNG draws instead of a passed ``Generator``.
+
+    A ``np.random.<fn>()`` or ``random.<fn>()`` call mutates an ambient
+    global stream: any other consumer of that stream shifts position, which
+    is exactly the PR 4 coupling bug (a ``max_train_samples`` change moved
+    every downstream draw).  Seeded ``np.random.default_rng(...)`` /
+    ``random.Random(...)`` instances are the sanctioned alternative.
+    """
+
+    rule_id = "DET002"
+    title = "global-stream RNG call instead of a passed Generator"
+
+    def check(self, tree: ast.AST, context: ModuleContext) -> List[Finding]:
+        imports = ImportMap.from_tree(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(node.func, imports)
+            if resolved is None or "." not in resolved:
+                continue
+            head, _, fn = resolved.rpartition(".")
+            if head == "numpy.random" and fn not in _NUMPY_RANDOM_SAFE:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"global numpy RNG call {resolved}(); draw from a "
+                        "seeded np.random.default_rng(...) Generator instead",
+                    )
+                )
+            elif head == "random" and fn in _STDLIB_RANDOM_GLOBAL:
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"global stdlib RNG call {resolved}(); use a seeded "
+                        "random.Random(...) instance instead",
+                    )
+                )
+        return findings
+
+
+class UnstableSortRule(InvariantRule):
+    """DET003 — unstable sorts where tie order is load-bearing.
+
+    NumPy's default introsort leaves the relative order of equal keys
+    unspecified — the PR 2 greedy-matching bug: exact candidate-distance
+    ties *do* occur at fleet scale and silently broke engine equality and
+    cache byte-stability.  Every ``np.sort``/``np.argsort`` (and any
+    ``.argsort(...)`` method call) in the dispatch, service, sweep and fuzz
+    paths must pin ``kind="stable"``.
+
+    Python's builtin ``sorted`` is stable *by spec*, so it is flagged only
+    when its input is itself unordered — a ``set``-valued expression sorted
+    with a ``key=``, where equal keys keep the set's arbitrary order.
+    """
+
+    rule_id = "DET003"
+    title = "unstable sort in an order-sensitive path"
+    scope = (
+        "src/repro/dispatch/",
+        "src/repro/service/",
+        "src/repro/sweep/",
+        "src/repro/fuzz/",
+    )
+
+    def check(self, tree: ast.AST, context: ModuleContext) -> List[Finding]:
+        imports = ImportMap.from_tree(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(node.func, imports)
+            if resolved in ("numpy.sort", "numpy.argsort"):
+                if not is_constant(keyword_arg(node, "kind"), "stable"):
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            f"{resolved}() without kind=\"stable\"; introsort "
+                            "tie order is unspecified (the PR 2 bug class)",
+                        )
+                    )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "argsort":
+                # A method-call ``x.argsort(...)`` is ndarray-only (lists have
+                # no argsort), so the stable-kind requirement applies.
+                if not is_constant(keyword_arg(node, "kind"), "stable"):
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            '.argsort() without kind="stable"; introsort tie '
+                            "order is unspecified (the PR 2 bug class)",
+                        )
+                    )
+            elif resolved == "sorted" and node.args:
+                if keyword_arg(node, "key") is not None and is_set_expression(node.args[0]):
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            "sorted(<set>, key=...) keeps the set's arbitrary "
+                            "order on key ties; sort a deterministic sequence "
+                            "or drop the key",
+                        )
+                    )
+        return findings
+
+
+class CanonicalJsonRule(InvariantRule):
+    """DET004 — ``json.dump(s)`` that is not byte-stable.
+
+    Every JSON byte this repo persists or compares — cache entries, ingest
+    WALs, campaign reports, benchmark payloads — must be reproducible:
+    ``sort_keys=True`` plus an explicit layout (``separators=`` or
+    ``indent=``).  :func:`repro.utils.cache.canonical_json` is the blessed
+    compact encoder; ``utils/cache.py`` itself is the only file allowed to
+    spell the raw incantation.
+    """
+
+    rule_id = "DET004"
+    title = "non-canonical json.dump(s)"
+    exclude = ("src/repro/utils/cache.py",)
+
+    def check(self, tree: ast.AST, context: ModuleContext) -> List[Finding]:
+        imports = ImportMap.from_tree(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(node.func, imports)
+            if resolved not in ("json.dump", "json.dumps"):
+                continue
+            sorts = is_constant(keyword_arg(node, "sort_keys"), True)
+            layout = (
+                keyword_arg(node, "separators") is not None
+                or keyword_arg(node, "indent") is not None
+            )
+            if not (sorts and layout):
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"{resolved}() without sort_keys=True and an explicit "
+                        "layout; use repro.utils.cache.canonical_json() (or "
+                        "pass sort_keys=True plus separators=/indent=)",
+                    )
+                )
+        return findings
+
+
+class SetIterationRule(InvariantRule):
+    """DET005 — iterating a ``set`` where order reaches the results.
+
+    Set iteration order depends on insertion history and (for str keys) hash
+    randomisation; in the engine and metrics paths that order leaks straight
+    into matching, draws or serialised output.  ``sorted(<set>)`` (without a
+    key) is the sanctioned consumer — it imposes a total order — and
+    membership tests are untouched.
+    """
+
+    rule_id = "DET005"
+    title = "set-order iteration in an engine/metrics path"
+    scope = ("src/repro/dispatch/", "src/repro/service/")
+
+    _CONSUMERS = ("list", "tuple", "enumerate")
+
+    def check(self, tree: ast.AST, context: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        message = (
+            "iteration over a set is order-unstable; wrap it in sorted(...) "
+            "before it reaches engine state or output"
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and is_set_expression(node.iter):
+                findings.append(self.finding(context, node.iter, message))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+                for generator in node.generators:
+                    if is_set_expression(generator.iter):
+                        findings.append(self.finding(context, generator.iter, message))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._CONSUMERS
+                and node.args
+                and is_set_expression(node.args[0])
+            ):
+                findings.append(self.finding(context, node.args[0], message))
+        return findings

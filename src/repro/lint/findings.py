@@ -1,0 +1,79 @@
+"""Finding record and baseline fingerprints for the invariant linter.
+
+A :class:`Finding` is one rule violation at one source location, rendered as
+``path:line:col: RULE-ID message``.  Its :func:`fingerprint` deliberately
+ignores the line *number* — baselines must survive unrelated edits above a
+grandfathered finding — and instead hashes the repo-relative path, the rule
+id, the normalised source line text, and an occurrence index that
+disambiguates several identical lines in one file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Repo-relative posix path of the offending file."""
+    line: int
+    """1-based line number."""
+    col: int
+    """0-based column offset (``ast`` convention)."""
+    rule: str
+    """Rule identifier, e.g. ``DET001``."""
+    message: str
+    """Human-readable description of the violation."""
+    text: str = ""
+    """The stripped source line, used by the baseline fingerprint."""
+    fingerprint: str = field(default="", compare=False)
+    """Line-drift-stable identity; filled by :func:`assign_fingerprints`."""
+
+    def render(self) -> str:
+        """The canonical one-line text form of this finding."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable form (canonical key order is the encoder's job)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "text": self.text,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _digest(path: str, rule: str, text: str, occurrence: int) -> str:
+    raw = f"{path}::{rule}::{text}::{occurrence}".encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: Iterable[Finding]) -> List[Finding]:
+    """Return the findings with line-drift-stable fingerprints filled in.
+
+    Findings that share ``(path, rule, text)`` are numbered in source order,
+    so two identical violations on identical lines of the same file get
+    distinct fingerprints while staying independent of absolute line numbers.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    for finding in ordered:
+        key = (finding.path, finding.rule, finding.text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(
+            replace(
+                finding,
+                fingerprint=_digest(finding.path, finding.rule, finding.text, occurrence),
+            )
+        )
+    return out

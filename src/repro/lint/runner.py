@@ -1,0 +1,334 @@
+"""File discovery, rule execution, suppression/baseline plumbing and output.
+
+:func:`run_lint` is the programmatic entry point; :func:`main` the argv-level
+one backing both ``repro lint`` and ``python -m repro.lint``.  Exit codes
+follow the repo convention: ``0`` clean, ``1`` new findings, ``2`` usage or
+environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import BaselineError, load_baseline, write_baseline
+from repro.lint.concurrency import SwallowedExceptionRule, UnlockedSharedStateRule
+from repro.lint.determinism import (
+    CanonicalJsonRule,
+    GlobalRngRule,
+    SetIterationRule,
+    UnstableSortRule,
+    WallClockRule,
+)
+from repro.lint.base import InvariantRule, ModuleContext
+from repro.lint.findings import Finding, assign_fingerprints
+from repro.lint.suppressions import API_RULE_ID, apply_suppressions, parse_suppressions
+from repro.utils.cache import canonical_json
+
+#: Default repo-relative roots the linter scans.  Tests are deliberately out:
+#: they assert non-canonical behaviour (torn WALs, doctored JSON) on purpose.
+DEFAULT_ROOTS = ("src/repro", "benchmarks", "examples")
+
+#: Rule id attached to files that fail to parse.
+PARSE_RULE_ID = "PARSE001"
+
+
+class _SuppressionHygieneRule(InvariantRule):
+    """API001 — suppression hygiene (implemented in the runner's pipeline).
+
+    The class exists so the rule is listable/selectable like the visitors;
+    its findings are produced by :mod:`repro.lint.suppressions` during the
+    suppression pass, not by :meth:`check`.
+    """
+
+    rule_id = API_RULE_ID
+    title = "malformed, unknown, unjustified or unused repro-lint suppression"
+
+    def check(self, tree, context):  # pragma: no cover - pipeline-implemented
+        return []
+
+
+#: Registry of every rule, in documentation order.
+ALL_RULES: Tuple[InvariantRule, ...] = (
+    WallClockRule(),
+    GlobalRngRule(),
+    UnstableSortRule(),
+    CanonicalJsonRule(),
+    SetIterationRule(),
+    UnlockedSharedStateRule(),
+    SwallowedExceptionRule(),
+    _SuppressionHygieneRule(),
+)
+
+RULES_BY_ID: Dict[str, InvariantRule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+class LintUsageError(ValueError):
+    """Bad invocation (unknown rule, missing path, unusable baseline)."""
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    """New findings: unsuppressed and not in the baseline — these fail the gate."""
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.findings)
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": 1,
+            "tool": "repro-lint",
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules_run),
+            "new": [finding.to_payload() for finding in self.findings],
+            "baselined": [finding.to_payload() for finding in self.baselined],
+            "suppressed": [finding.to_payload() for finding in self.suppressed],
+            "counts": {
+                "new": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+
+def _discover_files(root: Path, paths: Optional[Sequence[str]]) -> List[Path]:
+    """Python files under the requested repo-relative paths, sorted."""
+    requested = list(paths) if paths else list(DEFAULT_ROOTS)
+    files: List[Path] = []
+    seen = set()
+    for entry in requested:
+        target = (root / entry).resolve()
+        if target.is_file():
+            candidates = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        elif paths:
+            raise LintUsageError(f"no such file or directory: {entry}")
+        else:
+            continue  # a default root may be absent in pruned checkouts
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts or candidate in seen:
+                continue
+            seen.add(candidate)
+            files.append(candidate)
+    return sorted(files)
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[InvariantRule]:
+    if not rule_ids:
+        return list(ALL_RULES)
+    selected: List[InvariantRule] = []
+    for raw in rule_ids:
+        for rule_id in raw.split(","):
+            rule_id = rule_id.strip().upper()
+            if not rule_id:
+                continue
+            if rule_id not in RULES_BY_ID:
+                raise LintUsageError(
+                    f"unknown rule {rule_id!r}; known: {', '.join(sorted(RULES_BY_ID))}"
+                )
+            if RULES_BY_ID[rule_id] not in selected:
+                selected.append(RULES_BY_ID[rule_id])
+    return selected
+
+
+def run_lint(
+    root: Path,
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline: str = "on",
+    baseline_file: Optional[Path] = None,
+) -> LintReport:
+    """Lint the repo rooted at ``root`` and return a :class:`LintReport`.
+
+    ``baseline`` is ``"on"`` (filter through the committed baseline),
+    ``"off"`` (report everything) or ``"regenerate"`` (rewrite the baseline
+    from the current findings, then report clean).
+    """
+    root = Path(root).resolve()
+    if baseline not in ("on", "off", "regenerate"):
+        raise LintUsageError(f"invalid baseline mode {baseline!r}")
+    active = _select_rules(rules)
+    default_baseline = root / "lint-baseline.json"
+    baseline_path = Path(baseline_file) if baseline_file is not None else default_baseline
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+
+    files = _discover_files(root, paths)
+    raw_findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    check_api = any(rule.rule_id == API_RULE_ID for rule in active)
+    for file_path in files:
+        relpath = file_path.relative_to(root).as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            raw_findings.append(
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_RULE_ID,
+                    message=f"file does not parse: {exc.msg}",
+                    text="",
+                )
+            )
+            continue
+        context = ModuleContext(path=relpath, source=source, lines=tuple(lines))
+        file_findings: List[Finding] = []
+        for rule in active:
+            if rule.rule_id == API_RULE_ID or not rule.applies_to(relpath):
+                continue
+            file_findings.extend(rule.check(tree, context))
+        directives, api_findings = parse_suppressions(relpath, source, lines, RULES_BY_ID)
+        kept, silenced, unused = apply_suppressions(file_findings, directives)
+        raw_findings.extend(kept)
+        suppressed.extend(silenced)
+        if check_api:
+            raw_findings.extend(api_findings)
+            raw_findings.extend(unused)
+
+    findings = assign_fingerprints(raw_findings)
+    suppressed = assign_fingerprints(suppressed)
+
+    if baseline == "regenerate":
+        write_baseline(baseline_path, findings)
+    if baseline == "off":
+        grandfathered: set = set()
+    else:
+        try:
+            grandfathered = load_baseline(baseline_path)
+        except BaselineError as exc:
+            raise LintUsageError(str(exc)) from exc
+    new = [f for f in findings if f.fingerprint not in grandfathered]
+    old = [f for f in findings if f.fingerprint in grandfathered]
+    return LintReport(
+        findings=new,
+        baselined=old,
+        suppressed=suppressed,
+        files_scanned=len(files),
+        rules_run=tuple(rule.rule_id for rule in active),
+    )
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable multi-line report (one ``path:line:col`` line each)."""
+    out: List[str] = [finding.render() for finding in report.findings]
+    summary = (
+        f"repro lint: {len(report.findings)} new finding(s), "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} suppressed "
+        f"across {report.files_scanned} file(s)"
+    )
+    out.append(summary)
+    return "\n".join(out)
+
+
+def list_rules() -> str:
+    """The rule table for ``--list-rules``."""
+    lines = []
+    for rule in ALL_RULES:
+        scope = ", ".join(rule.scope) if rule.scope else "all scanned files"
+        lines.append(f"{rule.rule_id}  {rule.title}  [{scope}]")
+    return "\n".join(lines)
+
+
+def build_arg_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    """Arguments of the ``lint`` verb (shared by the CLI and ``__main__``)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="AST-based determinism & concurrency invariant checker",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=(
+            "repo-relative files/directories to lint "
+            f"(default: {' '.join(DEFAULT_ROOTS)})"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE[,RULE]",
+        help="run only these rules (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is canonical and machine-readable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        choices=("on", "off", "regenerate"),
+        default="on",
+        help=(
+            "baseline handling: filter new findings through the committed "
+            "baseline (on, default), ignore it (off), or rewrite it from the "
+            "current findings (regenerate)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-file",
+        default=None,
+        metavar="FILE",
+        help="baseline path (default: <root>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="repository root the scopes and default paths resolve against",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.lint`` and the ``repro lint`` verb."""
+    args = build_arg_parser().parse_args(argv)
+    return run_from_args(args)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        report = run_lint(
+            root=Path(args.root),
+            paths=args.paths or None,
+            rules=args.rule,
+            baseline=args.baseline,
+            baseline_file=Path(args.baseline_file) if args.baseline_file else None,
+        )
+    except (LintUsageError, OSError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(canonical_json(report.to_payload()))
+    else:
+        print(render_text(report))
+    return 1 if report.failed else 0

@@ -35,6 +35,8 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.dispatch.scenarios import ScenarioBundle
 from repro.service.scheduler import ORDER_FIELDS, AdmissionError, BackpressureError
+from repro.utils.cache import canonical_json
+from repro.utils.timer import wall_clock
 
 
 class ServiceUnavailableError(ConnectionError):
@@ -235,7 +237,7 @@ class HttpClient:
     def _request_once(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
-        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        body = canonical_json(payload).encode("utf-8") if payload is not None else b""
         request = urllib.request.Request(
             self.base_url + path,
             data=body if method == "POST" else None,
@@ -334,12 +336,12 @@ def run_loadgen(
     rejected = 0
     shed = 0
     index = 0
-    start = time.perf_counter()
+    start = wall_clock()
     while index < len(payloads):
         for phase in phases:
             if index >= len(payloads):
                 break
-            phase_start = time.perf_counter()
+            phase_start = wall_clock()
             if on_phase is not None:
                 on_phase(phase, index)
             if phase.rate == 0:
@@ -351,7 +353,7 @@ def run_loadgen(
                 if index >= len(payloads):
                     break
                 target = phase_start + k * interval
-                delay = target - time.perf_counter()
+                delay = target - wall_clock()
                 if delay > 0:
                     time.sleep(delay)
                 try:
@@ -366,7 +368,7 @@ def run_loadgen(
                     # under overload.
                     shed += 1
                 index += 1
-    elapsed = max(time.perf_counter() - start, 1e-9)
+    elapsed = max(wall_clock() - start, 1e-9)
     return LoadgenResult(
         orders_sent=sent,
         orders_rejected=rejected,

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import math
 import threading
-import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
+
+from repro.utils.timer import wall_clock
 
 #: Fields every submitted order must carry (``order_id`` is assigned by the
 #: scheduler, not the client).
@@ -237,7 +238,7 @@ class AdmissionScheduler:
             order["order_id"] = order_id
             # Wall-clock admission stamp for the latency measurement; a
             # private key the ingest log and the engine never see.
-            order["_wall"] = time.perf_counter()
+            order["_wall"] = wall_clock()
             self._staged.append(order)
             self.submitted += 1
             self._watermark = order["arrival_minute"]

@@ -84,6 +84,7 @@ from repro.service.scheduler import (
     AdmissionScheduler,
     BackpressureError,
 )
+from repro.utils.cache import canonical_json
 from repro.utils.rng import default_rng, seed_for
 
 __all__ = [
@@ -343,6 +344,7 @@ class DispatchService:
             events.extend(self._session.advance())
             # Recovered orders carry no admission wall-clock stamp: their
             # latency belongs to the crashed process, not this one.
+            # repro-lint: disable=CONC001 -- recovery replay precedes _launch_loop(); no other thread observes the service yet
             self._records = [
                 {"status": "queued", "wall_admitted": None} for _ in records
             ]
@@ -679,7 +681,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = canonical_json(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

@@ -27,7 +27,6 @@ Example
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -41,6 +40,7 @@ from repro.dispatch.scenarios import (
     scenario_grid,
 )
 from repro.utils.cache import ResultCache
+from repro.utils.timer import wall_clock
 
 #: Bump when the serialised payload layout changes so stale entries miss.
 #: Schema 2: lifecycle metrics (``cancelled_orders``) joined the payload and
@@ -130,7 +130,7 @@ def _simulate_scenario_group(
     provider_cache: Dict[Tuple, Any] = {}
     outcomes: List[ScenarioOutcome] = []
     for scenario in scenarios:
-        scenario_start = time.perf_counter()
+        scenario_start = wall_clock()
         bundle = build_scenario_bundle(
             scenario, dataset=dataset, provider_cache=provider_cache
         )
@@ -140,7 +140,7 @@ def _simulate_scenario_group(
                 scenario=scenario,
                 metrics=metrics,
                 total_orders=bundle.total_order_count,
-                seconds=time.perf_counter() - scenario_start,
+                seconds=wall_clock() - scenario_start,
                 from_cache=False,
                 engine=engine,
             )
@@ -215,11 +215,11 @@ class DispatchSuiteRunner:
 
     def run(self) -> SuiteReport:
         """Simulate every scenario and return the collected report."""
-        start = time.perf_counter()
+        start = wall_clock()
         if self.executor == "process":
             outcomes = self._run_process_pool()
             return SuiteReport(
-                outcomes=tuple(outcomes), seconds=time.perf_counter() - start
+                outcomes=tuple(outcomes), seconds=wall_clock() - start
             )
         self._prepare_datasets()
         workers = self.max_workers or min(len(self.scenarios), os.cpu_count() or 1)
@@ -228,7 +228,7 @@ class DispatchSuiteRunner:
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(pool.map(self._run_scenario, self.scenarios))
-        return SuiteReport(outcomes=tuple(outcomes), seconds=time.perf_counter() - start)
+        return SuiteReport(outcomes=tuple(outcomes), seconds=wall_clock() - start)
 
     def _run_process_pool(self) -> List[ScenarioOutcome]:
         """Fan cache misses out to worker processes, grouped per dataset."""
@@ -299,14 +299,14 @@ class DispatchSuiteRunner:
         return self._datasets[signature]
 
     def _run_scenario(self, scenario: DispatchScenario) -> ScenarioOutcome:
-        scenario_start = time.perf_counter()
+        scenario_start = wall_clock()
         key = None
         if self.cache is not None:
             key = self.cache_key(scenario)
             payload = self.cache.get(key)
             if payload is not None:
                 return _deserialise(
-                    scenario, payload, seconds=time.perf_counter() - scenario_start
+                    scenario, payload, seconds=wall_clock() - scenario_start
                 )
         bundle = build_scenario_bundle(
             scenario,
@@ -318,7 +318,7 @@ class DispatchSuiteRunner:
             scenario=scenario,
             metrics=metrics,
             total_orders=bundle.total_order_count,
-            seconds=time.perf_counter() - scenario_start,
+            seconds=wall_clock() - scenario_start,
             from_cache=False,
             engine=self.engine,
         )

@@ -33,7 +33,6 @@ Example
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -50,6 +49,7 @@ from repro.prediction.registry import (
 )
 from repro.utils.cache import ResultCache
 from repro.utils.rng import seed_for
+from repro.utils.timer import wall_clock
 
 #: Bump when the serialised payload layout changes so stale entries miss.
 _CACHE_SCHEMA = 1
@@ -287,9 +287,9 @@ def _evaluate_scenario_task(
     process so cache writes stay single-writer and byte-identical to a
     thread-backend run.
     """
-    start = time.perf_counter()
+    start = wall_clock()
     payload = evaluate_predictor_scenario(scenario, _worker_dataset(scenario))
-    return payload, time.perf_counter() - start
+    return payload, wall_clock() - start
 
 
 class PredictionSuiteRunner:
@@ -334,7 +334,7 @@ class PredictionSuiteRunner:
 
     def run(self) -> PredictionSuiteReport:
         """Evaluate every scenario and return the collected report."""
-        start = time.perf_counter()
+        start = wall_clock()
         if self.executor == "process":
             outcomes = self._run_process_pool()
         else:
@@ -346,7 +346,7 @@ class PredictionSuiteRunner:
                 with ThreadPoolExecutor(max_workers=workers) as pool:
                     outcomes = list(pool.map(self._run_scenario, self.scenarios))
         return PredictionSuiteReport(
-            outcomes=tuple(outcomes), seconds=time.perf_counter() - start
+            outcomes=tuple(outcomes), seconds=wall_clock() - start
         )
 
     def _run_process_pool(self) -> List[PredictorOutcome]:
@@ -431,7 +431,7 @@ class PredictionSuiteRunner:
         return self._datasets[signature]
 
     def _run_scenario(self, scenario: PredictorScenario) -> PredictorOutcome:
-        scenario_start = time.perf_counter()
+        scenario_start = wall_clock()
         key = None
         if self.cache is not None:
             key = self.cache_key(scenario)
@@ -440,14 +440,14 @@ class PredictionSuiteRunner:
                 return _outcome_from_payload(
                     scenario,
                     payload,
-                    seconds=time.perf_counter() - scenario_start,
+                    seconds=wall_clock() - scenario_start,
                     from_cache=True,
                 )
         payload = evaluate_predictor_scenario(scenario, self._dataset_for(scenario))
         outcome = _outcome_from_payload(
             scenario,
             payload,
-            seconds=time.perf_counter() - scenario_start,
+            seconds=wall_clock() - scenario_start,
             from_cache=False,
         )
         if self.cache is not None and key is not None:

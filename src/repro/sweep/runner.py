@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -48,6 +47,7 @@ from repro.data.dataset import EventDataset
 from repro.data.presets import CITY_PRESETS, city_preset
 from repro.prediction.registry import available_models, model_factory
 from repro.utils.cache import ResultCache
+from repro.utils.timer import wall_clock
 from repro.utils.validation import ensure_perfect_square
 
 #: Bump when the serialised payload layout changes — or when result semantics
@@ -270,7 +270,7 @@ class SweepRunner:
 
     def run(self) -> SweepReport:
         """Execute every task and return the collected :class:`SweepReport`."""
-        start = time.perf_counter()
+        start = wall_clock()
         self._prepare_datasets()
         workers = self.max_workers or min(len(self.tasks), os.cpu_count() or 1)
         if workers <= 1:
@@ -279,7 +279,7 @@ class SweepRunner:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(pool.map(self._run_task, self.tasks))
         return SweepReport(
-            outcomes=tuple(outcomes), seconds=time.perf_counter() - start
+            outcomes=tuple(outcomes), seconds=wall_clock() - start
         )
 
     # ------------------------------------------------------------------ #
@@ -310,14 +310,14 @@ class SweepRunner:
         return self._datasets[signature]
 
     def _run_task(self, task: SweepTask) -> SweepOutcome:
-        task_start = time.perf_counter()
+        task_start = wall_clock()
         key = None
         if self.cache is not None:
             key = ResultCache.key_for(task.cache_payload())
             payload = self.cache.get(key)
             if payload is not None:
                 return _deserialise_outcome(
-                    task, payload, seconds=time.perf_counter() - task_start
+                    task, payload, seconds=wall_clock() - task_start
                 )
         evaluator = UpperBoundEvaluator(
             dataset=self._dataset_for(task),
@@ -343,7 +343,7 @@ class SweepRunner:
             model_error=best.model_error,
             expression_error=best.expression_error,
             mae=best.mae,
-            seconds=time.perf_counter() - task_start,
+            seconds=wall_clock() - task_start,
             from_cache=False,
         )
         if self.cache is not None and key is not None:

@@ -13,6 +13,18 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
 
+def wall_clock() -> float:
+    """The sanctioned wall-clock read (monotonic, fractional seconds).
+
+    Every latency/elapsed-time measurement outside this module must go
+    through this seam instead of calling ``time.*`` directly — the DET001
+    lint rule enforces it.  Funnelling the reads through one function keeps
+    the deterministic layers provably clock-free and gives replay/test
+    harnesses a single monkeypatch point.
+    """
+    return time.perf_counter()
+
+
 @dataclass
 class Timer:
     """Accumulating timer keyed by label.

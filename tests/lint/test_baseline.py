@@ -1,0 +1,115 @@
+"""Baseline workflow: grandfathering, the ratchet, and byte-stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import LintUsageError, run_lint
+
+ENGINE_PATH = "src/repro/dispatch/module_under_test.py"
+
+_ONE_VIOLATION = "import time\n\ndef run():\n    return time.time()\n"
+#: Same grandfathered line as ``_ONE_VIOLATION`` plus one fresh violation —
+#: the fingerprint binds to the line text, so the original entry must keep it.
+_TWO_VIOLATIONS = (
+    "import time\n\ndef run():\n"
+    "    b = time.perf_counter()\n"
+    "    return time.time()\n"
+)
+
+
+def _write(root, relpath, source):
+    target = root / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+
+
+def test_regenerate_then_rerun_is_green(tmp_path):
+    _write(tmp_path, ENGINE_PATH, _ONE_VIOLATION)
+    assert run_lint(tmp_path, baseline="off").failed
+    run_lint(tmp_path, baseline="regenerate")
+    report = run_lint(tmp_path, baseline="on")
+    assert not report.failed
+    assert len(report.baselined) == 1
+
+
+def test_new_finding_in_baselined_file_still_fails(tmp_path):
+    _write(tmp_path, ENGINE_PATH, _ONE_VIOLATION)
+    run_lint(tmp_path, baseline="regenerate")
+    # A fresh violation lands in the already-baselined file.
+    _write(tmp_path, ENGINE_PATH, _TWO_VIOLATIONS)
+    report = run_lint(tmp_path, baseline="on")
+    assert report.failed
+    assert len(report.findings) == 1
+    assert "perf_counter" in report.findings[0].message
+    assert len(report.baselined) == 1
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    _write(tmp_path, ENGINE_PATH, _ONE_VIOLATION)
+    run_lint(tmp_path, baseline="regenerate")
+    # Unrelated edits above the finding shift its line number.
+    _write(
+        tmp_path,
+        ENGINE_PATH,
+        "import time\n\nPADDING_A = 1\nPADDING_B = 2\n\n\ndef run():\n    return time.time()\n",
+    )
+    report = run_lint(tmp_path, baseline="on")
+    assert not report.failed
+    assert len(report.baselined) == 1
+
+
+def test_fixed_finding_ratchets_out_on_regenerate(tmp_path):
+    _write(tmp_path, ENGINE_PATH, _ONE_VIOLATION)
+    run_lint(tmp_path, baseline="regenerate")
+    _write(tmp_path, ENGINE_PATH, "def run():\n    return 0\n")
+    run_lint(tmp_path, baseline="regenerate")
+    payload = json.loads((tmp_path / "lint-baseline.json").read_text())
+    assert payload["findings"] == []
+
+
+def test_regenerate_is_byte_stable(tmp_path):
+    _write(tmp_path, ENGINE_PATH, _TWO_VIOLATIONS)
+    run_lint(tmp_path, baseline="regenerate")
+    first = (tmp_path / "lint-baseline.json").read_bytes()
+    run_lint(tmp_path, baseline="regenerate")
+    assert (tmp_path / "lint-baseline.json").read_bytes() == first
+    assert first.endswith(b"\n")
+
+
+def test_missing_baseline_is_an_empty_ratchet(tmp_path):
+    _write(tmp_path, ENGINE_PATH, "def run():\n    return 0\n")
+    report = run_lint(tmp_path, baseline="on")
+    assert not report.failed
+
+
+def test_corrupt_baseline_is_a_usage_error(tmp_path):
+    _write(tmp_path, ENGINE_PATH, "def run():\n    return 0\n")
+    (tmp_path / "lint-baseline.json").write_text("{not json", encoding="utf-8")
+    with pytest.raises(LintUsageError):
+        run_lint(tmp_path, baseline="on")
+
+
+def test_wrong_schema_is_a_usage_error(tmp_path):
+    _write(tmp_path, ENGINE_PATH, "def run():\n    return 0\n")
+    (tmp_path / "lint-baseline.json").write_text(
+        '{"schema": 99, "findings": []}', encoding="utf-8"
+    )
+    with pytest.raises(LintUsageError):
+        run_lint(tmp_path, baseline="on")
+
+
+def test_identical_lines_get_distinct_fingerprints(tmp_path):
+    source = (
+        "import time\n\ndef run():\n"
+        "    a = time.time()\n"
+        "    a = time.time()\n"
+        "    return a\n"
+    )
+    _write(tmp_path, ENGINE_PATH, source)
+    report = run_lint(tmp_path, baseline="off")
+    assert len(report.findings) == 2
+    prints = {f.fingerprint for f in report.findings}
+    assert len(prints) == 2

@@ -1,0 +1,82 @@
+"""The ``repro lint`` verb: exit codes, formats, and the repo-clean gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint import DEFAULT_ROOTS, RULES_BY_ID, run_lint
+
+ENGINE_PATH = "src/repro/dispatch/module_under_test.py"
+
+
+def _write(root, relpath, source):
+    target = Path(root) / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    _write(tmp_path, ENGINE_PATH, "def run():\n    return 0\n")
+    assert repro_main(["lint", "--root", str(tmp_path)]) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_location_lines(tmp_path, capsys):
+    _write(tmp_path, ENGINE_PATH, "import time\n\ndef run():\n    return time.time()\n")
+    assert repro_main(["lint", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{ENGINE_PATH}:4:11: DET001" in out
+
+
+def test_unknown_rule_exits_two(tmp_path, capsys):
+    _write(tmp_path, ENGINE_PATH, "def run():\n    return 0\n")
+    assert repro_main(["lint", "--root", str(tmp_path), "--rule", "NOPE"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert repro_main(["lint", "--root", str(tmp_path), "no/such/dir"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_json_format_is_canonical(tmp_path, capsys):
+    _write(tmp_path, ENGINE_PATH, "import time\n\ndef run():\n    return time.time()\n")
+    assert repro_main(["lint", "--root", str(tmp_path), "--format", "json"]) == 1
+    raw = capsys.readouterr().out
+    payload = json.loads(raw)
+    assert payload["counts"]["new"] == 1
+    assert payload["new"][0]["rule"] == "DET001"
+    # Canonical encoding: byte-stable re-serialisation.
+    assert raw.strip() == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def test_list_rules_covers_every_registered_rule(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES_BY_ID:
+        assert rule_id in out
+
+
+def test_injected_wall_clock_read_fails_a_repo_copy(tmp_path, repo_root):
+    """The CI negative test, in miniature: plant time.time() in the engine."""
+    engine = repo_root / "src" / "repro" / "dispatch" / "engine.py"
+    doctored = engine.read_text(encoding="utf-8") + "\nimport time\n_CANARY = time.time()\n"
+    _write(tmp_path, "src/repro/dispatch/engine.py", doctored)
+    assert repro_main(["lint", "--root", str(tmp_path)]) == 1
+
+
+def test_repo_is_lint_clean(repo_root):
+    """The merge gate itself: zero new findings against the committed baseline."""
+    report = run_lint(repo_root)
+    assert [f.render() for f in report.findings] == []
+    assert report.files_scanned > 100
+    assert set(report.rules_run) == set(RULES_BY_ID)
+    # Every in-tree suppression is live (API001 would flag stale ones).
+    assert all(f.rule != "API001" for f in report.findings)
+
+
+def test_default_roots_exist_in_repo(repo_root):
+    for root in DEFAULT_ROOTS:
+        assert (repo_root / root).is_dir()
