@@ -3,9 +3,14 @@
 Static enforcement of the contracts the test suite can only sample:
 bit-identical engine equivalence, byte-stable canonical-JSON caches and
 WALs, RNG-stream-position equality, and the service layer's lock and
-supervision discipline.  Eight plugin rules (stdlib ``ast`` only — no new
-dependencies) walk the source and emit ``path:line:col RULE-ID message``
-findings; a committed baseline lets the gate start green and ratchet.
+supervision discipline.  Thirteen plugin rules (stdlib ``ast`` only — no
+new dependencies) walk the source and emit ``path:line:col RULE-ID
+message`` findings; a committed baseline lets the gate start green and
+ratchet.
+
+Per-module rules see one parsed file; whole-program rules (marked *) run
+over the project call graph built by :mod:`repro.lint.callgraph` and can
+follow locks, blocking calls and RNG provenance across call edges.
 
 Rules
 -----
@@ -14,12 +19,18 @@ DET002   global-stream RNG calls instead of a passed Generator
 DET003   unstable sorts in order-sensitive paths (the PR 2 bug class)
 DET004   non-canonical ``json.dump(s)``
 DET005   set-order iteration in engine/metrics paths
+DET006 * mixed RNG stream provenance / OS-entropy generator roots
+DET007 * spawned child-stream order tied to dict/set iteration
 CONC001  unlocked writes to lock-guarded service state
 CONC002  bare/broad ``except`` without re-raise or supervisor capture
+CONC003 * lock-order inversion across reachable paths
+CONC004 * blocking call (wait/join/sleep/IO) while holding a lock
+CONC005 * lock-guarded attribute read without the lock
 API001   malformed / unknown / unjustified / unused suppressions
 
 Use ``repro lint`` or ``python -m repro.lint`` from the command line, or
-:func:`run_lint` programmatically.
+:func:`run_lint` programmatically.  ``repro lint --graph DOT|JSON`` dumps
+the call/lock graph the whole-program rules reason over.
 """
 
 from repro.lint.baseline import (
@@ -29,17 +40,27 @@ from repro.lint.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.lint.base import ImportMap, InvariantRule, ModuleContext
+from repro.lint.base import ImportMap, InvariantRule, ModuleContext, ProjectRule
+from repro.lint.callgraph import (
+    ModuleSummary,
+    ProjectIndex,
+    module_name_for,
+    summarize_module,
+)
 from repro.lint.findings import Finding, assign_fingerprints
 from repro.lint.runner import (
     ALL_RULES,
     DEFAULT_ROOTS,
+    PARSE_RULE_ID,
     RULES_BY_ID,
     LintReport,
     LintUsageError,
     build_arg_parser,
+    build_graph,
     list_rules,
     main,
+    render_github,
+    render_graph,
     render_text,
     run_from_args,
     run_lint,
@@ -63,18 +84,27 @@ __all__ = [
     "LintReport",
     "LintUsageError",
     "ModuleContext",
+    "ModuleSummary",
+    "PARSE_RULE_ID",
+    "ProjectIndex",
+    "ProjectRule",
     "RULES_BY_ID",
     "Suppression",
     "apply_suppressions",
     "assign_fingerprints",
     "baseline_payload",
     "build_arg_parser",
+    "build_graph",
     "list_rules",
     "load_baseline",
     "main",
+    "module_name_for",
     "parse_suppressions",
+    "render_github",
+    "render_graph",
     "render_text",
     "run_from_args",
     "run_lint",
+    "summarize_module",
     "write_baseline",
 ]

@@ -94,6 +94,31 @@ def resolve_call(func: ast.expr, imports: ImportMap) -> Optional[str]:
     return ".".join([imports.resolve(parts[0])] + parts[1:])
 
 
+#: Constructors whose result is treated as a lock for ``with self._x:``.
+#: Shared by the per-module CONC001 rule and the whole-program lock analysis.
+LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+
+def is_lock_factory(resolved: Optional[str]) -> bool:
+    """True when a resolved call path constructs a threading lock/condition.
+
+    Both the fully-qualified spelling (``threading.Condition``) and a
+    from-imported bare one (``Condition`` → ``threading.Condition``) count.
+    """
+    if resolved is None:
+        return False
+    tail = resolved.rpartition(".")[2]
+    return resolved in LOCK_FACTORIES or f"threading.{tail}" in LOCK_FACTORIES
+
+
 def is_set_expression(node: ast.expr) -> bool:
     """True for expressions that are unambiguously ``set``-valued."""
     if isinstance(node, (ast.Set, ast.SetComp)):
@@ -159,6 +184,46 @@ class InvariantRule:
             rule=self.rule_id,
             message=message,
             text=context.line_text(lineno),
+        )
+
+
+class ProjectRule(InvariantRule):
+    """Base class for whole-program rules (CONC003–005, DET006–007).
+
+    A project rule sees the entire scanned tree at once — the
+    :class:`~repro.lint.callgraph.ProjectIndex` built from every module's
+    summary — instead of one parsed file, so it can reason across call
+    edges: lock sets propagated through the call graph, RNG provenance
+    through helper returns, reads and writes split across threads.
+
+    ``scope``/``exclude`` still apply, but to the *findings*: the index is
+    always built from every scanned file (cross-module propagation must see
+    everything), and a rule's findings are dropped when their anchor file
+    falls outside its scope.
+    """
+
+    def check(self, tree: ast.AST, context: ModuleContext) -> List[Finding]:
+        return []  # project rules run in the project phase only
+
+    def check_project(self, index) -> List[Finding]:
+        """Return this rule's findings for the whole program.
+
+        ``index`` is a :class:`repro.lint.callgraph.ProjectIndex` (typed
+        loosely here to keep :mod:`base` import-cycle-free).
+        """
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        text: str = "",
+    ) -> Finding:
+        """Build a finding anchored at a summary-recorded location."""
+        return Finding(
+            path=path, line=line, col=col, rule=self.rule_id, message=message, text=text
         )
 
 

@@ -1,0 +1,1073 @@
+"""Whole-program module/call graph for the interprocedural lint rules.
+
+The per-module rules (DET001–005, CONC001–002) see one parsed file at a
+time; the bugs the sharded-matching and compiled-kernel refactors will
+actually introduce are *cross-module* — a lock taken in
+``AdmissionScheduler`` while a ``DispatchService`` lock is held in the
+opposite order on another path, or a seeded ``Generator`` forking into an
+unseeded stream three calls away.  This module builds the shared
+infrastructure those analyses run on:
+
+* :func:`summarize_module` compresses one parsed file into a fully
+  *picklable* :class:`ModuleSummary` — per-function call sites with the
+  lock set held at each site, lock acquisitions, potentially-blocking
+  operations, ``self._*`` attribute reads/writes with their lock context,
+  and RNG provenance events.  Because summaries carry no AST nodes they
+  cross process boundaries, which is what lets ``repro lint --jobs N``
+  build them in worker processes and still run the whole-program phase in
+  the parent.
+* :class:`ProjectIndex` stitches the summaries into a call graph:
+  functions by qualified name, classes with their lock attributes /
+  attribute types / properties, and :meth:`ProjectIndex.resolve` mapping a
+  call site to project-function candidates.  ``to_payload``/``to_dot``
+  back ``repro lint --graph JSON|DOT``.
+
+Resolution is deliberately *unsound* in documented ways (see
+``docs/architecture.md`` §12): no dynamic dispatch (a call through a
+callable attribute like ``self._resolved_fn()`` resolves to nothing), no
+``getattr``, no inheritance walking, and nested ``def``/``lambda`` bodies
+are skipped.  The rules built on top are therefore "may" analyses over the
+resolvable part of the program — every edge they do see is real.
+
+Lock identity: tokens are ``<module>.<Class>._attr`` with condition
+aliasing applied — ``self._ready = threading.Condition(self._lock)`` makes
+``_ready`` and ``_lock`` the *same* token, because waiting on the
+condition and holding the lock contend on one underlying primitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.base import ImportMap, ModuleContext, is_lock_factory, resolve_call
+
+__all__ = [
+    "AttrAccess",
+    "BlockingOp",
+    "CallSite",
+    "ClassSummary",
+    "FunctionSummary",
+    "LockAcquire",
+    "ModuleSummary",
+    "ProjectIndex",
+    "RngEvent",
+    "module_name_for",
+    "summarize_module",
+]
+
+#: Resolved call paths that block the calling thread (beyond lock waits,
+#: which the lock-order analysis owns).
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "open",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+#: Method names that block regardless of the (unresolvable) receiver type:
+#: ``Condition/Event.wait``, ``Thread.join``, server/socket accept loops.
+BLOCKING_METHODS = frozenset(
+    {"wait", "join", "serve_forever", "getresponse", "accept", "recv"}
+)
+
+#: Generator factories: the numpy entry point and the repo's seed-or-
+#: generator wrapper (which passes an existing Generator through).
+GENERATOR_FACTORIES = frozenset(
+    {"numpy.random.default_rng", "repro.utils.rng.default_rng"}
+)
+
+#: Zero-argument constructions that seed from OS entropy — a
+#: nondeterministic stream root, flagged unconditionally by DET006.
+ENTROPY_SEEDED_ZERO_ARG = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+    }
+)
+
+#: Helper(s) that spawn child generators from a parent.
+SPAWN_HELPERS = frozenset({"repro.utils.rng.spawn_rng"})
+
+#: In-place container mutators (kept in sync with the CONC001 set): a
+#: ``self._q.append(...)`` receiver is a *write* access, not a read.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Typing wrappers ignored when mining attribute types from annotations.
+_TYPING_WRAPPERS = frozenset(
+    {"Optional", "Union", "List", "Dict", "Tuple", "Set", "Sequence", "Any", "None"}
+)
+
+
+# --------------------------------------------------------------------- #
+# Picklable summary records
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolvable call (or property read) with its lock context."""
+
+    target: str
+    """Resolved spelling: ``self.method``, ``<dotted.Class>.method`` or a
+    dotted function path.  Unresolvable receivers are never recorded."""
+    line: int
+    col: int
+    held: Tuple[str, ...]
+    """Lock tokens held at the site (within this function only)."""
+    text: str
+    kind: str = "call"
+    """``call`` for real calls, ``property`` for attribute reads that may
+    invoke a property on a known class."""
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """One ``with self._lock:`` entry."""
+
+    token: str
+    line: int
+    col: int
+    held: Tuple[str, ...]
+    """Tokens already held when this one is acquired."""
+    text: str
+
+
+@dataclass(frozen=True)
+class BlockingOp:
+    """One potentially-blocking operation and the locks held around it."""
+
+    op: str
+    """Canonical label: a dotted path (``time.sleep``) or ``.method``."""
+    line: int
+    col: int
+    held: Tuple[str, ...]
+    releases: str = ""
+    """Lock token a ``Condition.wait`` releases while parked (``""`` n/a)."""
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self._attr`` read or write with its lock context."""
+
+    attr: str
+    kind: str
+    """``read`` or ``write`` (mutator receivers and del targets are writes)."""
+    line: int
+    col: int
+    locked: bool
+    text: str
+
+
+@dataclass(frozen=True)
+class RngEvent:
+    """One RNG provenance event inside a function body."""
+
+    kind: str
+    """``create-unseeded`` | ``create-fresh`` | ``draw`` | ``spawn`` |
+    ``spawn-unordered`` (a spawn/draw whose order follows dict/set
+    iteration)."""
+    root: str
+    """Provenance root descriptor: ``param:<name>``, ``fresh:<line>``,
+    ``fresh:unseeded``, ``spawn:<parent-root>``, ``ret:<callee>``."""
+    line: int
+    col: int
+    text: str
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the project rules need to know about one function."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    class_name: str
+    """Empty string for module-level functions."""
+    line: int
+    calls: Tuple[CallSite, ...] = ()
+    acquires: Tuple[LockAcquire, ...] = ()
+    blocking: Tuple[BlockingOp, ...] = ()
+    attr_accesses: Tuple[AttrAccess, ...] = ()
+    rng_events: Tuple[RngEvent, ...] = ()
+    rng_params: Tuple[str, ...] = ()
+    """Parameters that receive a ``numpy.random.Generator``."""
+    rng_return: str = ""
+    """Root descriptor of a returned generator (``""`` when none)."""
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Per-class facts: lock attributes, attribute types, properties."""
+
+    name: str
+    dotted: str
+    """Fully qualified: ``<module>.<name>``."""
+    module: str
+    path: str
+    line: int
+    lock_attrs: Tuple[str, ...] = ()
+    """Canonical lock attribute names (aliases resolved away)."""
+    lock_aliases: Tuple[Tuple[str, str], ...] = ()
+    """``(alias, canonical)`` pairs, e.g. ``("_ready", "_lock")``."""
+    attr_types: Tuple[Tuple[str, str], ...] = ()
+    """``(attr, dotted_class)`` from constructor calls and annotations."""
+    properties: Tuple[str, ...] = ()
+    methods: Tuple[str, ...] = ()
+
+    def lock_token(self, attr: str) -> Optional[str]:
+        """Global token for ``self.<attr>`` when it is a lock, else None."""
+        aliases = dict(self.lock_aliases)
+        canonical = aliases.get(attr, attr)
+        if canonical in self.lock_attrs:
+            return f"{self.dotted}.{canonical}"
+        return None
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """One file's contribution to the project index."""
+
+    module: str
+    path: str
+    classes: Tuple[ClassSummary, ...] = ()
+    functions: Tuple[FunctionSummary, ...] = ()
+
+
+# --------------------------------------------------------------------- #
+# Module summarisation
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/service/server.py`` → ``repro.service.server``;
+    ``benchmarks/gatelib.py`` → ``benchmarks.gatelib``; a package
+    ``__init__.py`` maps to the package itself.
+    """
+    parts = list(PurePosixPath(relpath).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _self_attr(node: ast.expr) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _annotation_mentions_generator(ann: Optional[ast.expr], imports: ImportMap) -> bool:
+    """True when an annotation names ``numpy.random.Generator``.
+
+    ``RandomState`` (the repo's seed-or-generator union) is deliberately
+    *not* a generator annotation: functions taking it are the sanctioned
+    conversion boundary, not generator consumers.
+    """
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return "Generator" in ann.value and "RandomState" not in ann.value
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Name) and imports.resolve(node.id).endswith(
+            "RandomState"
+        ):
+            return False
+    for node in ast.walk(ann):
+        if isinstance(node, (ast.Attribute, ast.Name)):
+            resolved = _dotted_of(node, imports)
+            if resolved is not None and resolved.endswith("Generator"):
+                return True
+    return False
+
+
+def _dotted_of(node: ast.expr, imports: ImportMap) -> Optional[str]:
+    """Dotted path of a Name/Attribute chain rooted in a plain name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return ".".join([imports.resolve(parts[0])] + parts[1:])
+
+
+def _class_dotted(resolved: str, module: str, local_classes: Set[str]) -> str:
+    """Qualify a resolved class spelling against the defining module."""
+    if resolved in local_classes:
+        return f"{module}.{resolved}"
+    return resolved
+
+
+@dataclass
+class _ClassInfo:
+    """Mutable pre-pass record used while summarising one class."""
+
+    name: str
+    dotted: str
+    lock_aliases: Dict[str, str] = field(default_factory=dict)
+    lock_attrs: Set[str] = field(default_factory=set)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    properties: Set[str] = field(default_factory=set)
+    methods: Set[str] = field(default_factory=set)
+
+    def lock_token(self, attr: str) -> Optional[str]:
+        canonical = self.lock_aliases.get(attr, attr)
+        if canonical in self.lock_attrs:
+            return f"{self.dotted}.{canonical}"
+        return None
+
+
+def _collect_class_info(
+    cls: ast.ClassDef, imports: ImportMap, module: str, local_classes: Set[str]
+) -> _ClassInfo:
+    info = _ClassInfo(name=cls.name, dotted=f"{module}.{cls.name}")
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods.add(stmt.name)
+            for deco in stmt.decorator_list:
+                if isinstance(deco, ast.Name) and deco.id == "property":
+                    info.properties.add(stmt.name)
+                if (
+                    isinstance(deco, ast.Attribute)
+                    and deco.attr in ("setter", "deleter")
+                ):
+                    info.properties.add(stmt.name)
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            resolved = resolve_call(node.value.func, imports)
+            for target in node.targets:
+                attr = _self_attr(target)
+                if not attr:
+                    continue
+                if is_lock_factory(resolved):
+                    tail = (resolved or "").rpartition(".")[2]
+                    aliased = ""
+                    if tail == "Condition" and node.value.args:
+                        aliased = _self_attr(node.value.args[0])
+                    if aliased:
+                        info.lock_aliases[attr] = aliased
+                        info.lock_attrs.add(aliased)
+                    else:
+                        info.lock_attrs.add(attr)
+                elif resolved is not None:
+                    tail = resolved.rpartition(".")[2]
+                    if tail[:1].isupper():
+                        info.attr_types[attr] = _class_dotted(
+                            resolved, module, local_classes
+                        )
+        elif isinstance(node, ast.AnnAssign):
+            attr = _self_attr(node.target)
+            if not attr or node.annotation is None:
+                continue
+            for name in ast.walk(node.annotation):
+                if isinstance(name, ast.Name) and name.id not in _TYPING_WRAPPERS:
+                    resolved = imports.resolve(name.id)
+                    tail = resolved.rpartition(".")[2]
+                    if tail[:1].isupper() and tail != "RandomState":
+                        info.attr_types.setdefault(
+                            attr, _class_dotted(resolved, module, local_classes)
+                        )
+                        break
+    # Resolve alias chains (Condition(Condition-wrapped lock) is absurd but
+    # cheap to normalise) and drop aliases of non-lock attrs.
+    for alias, target in list(info.lock_aliases.items()):
+        seen = {alias}
+        while target in info.lock_aliases and target not in seen:
+            seen.add(target)
+            target = info.lock_aliases[target]
+        info.lock_aliases[alias] = target
+    return info
+
+
+class _FunctionScanner:
+    """One pass over a function body collecting every summary event."""
+
+    def __init__(
+        self,
+        module: str,
+        context: ModuleContext,
+        imports: ImportMap,
+        cls: Optional[_ClassInfo],
+        local_classes: Set[str],
+    ) -> None:
+        self.module = module
+        self.context = context
+        self.imports = imports
+        self.cls = cls
+        self.local_classes = local_classes
+        self.calls: List[CallSite] = []
+        self.acquires: List[LockAcquire] = []
+        self.blocking: List[BlockingOp] = []
+        self.attrs: List[AttrAccess] = []
+        self.rng: List[RngEvent] = []
+        self.rng_env: Dict[str, str] = {}
+        self.type_env: Dict[str, str] = {}
+        self.rng_return = ""
+        self._write_receivers: Set[int] = set()
+
+    # -- helpers ------------------------------------------------------- #
+
+    def _text(self, node: ast.AST) -> str:
+        return self.context.line_text(getattr(node, "lineno", 1))
+
+    def _lock_token(self, expr: ast.expr) -> Optional[str]:
+        attr = _self_attr(expr)
+        if attr and self.cls is not None:
+            return self.cls.lock_token(attr)
+        return None
+
+    def _record_attr(self, node: ast.Attribute, kind: str, held: Tuple[str, ...]) -> None:
+        attr = _self_attr(node)
+        if not attr.startswith("_"):
+            return
+        self.attrs.append(
+            AttrAccess(
+                attr=attr,
+                kind=kind,
+                line=node.lineno,
+                col=node.col_offset,
+                locked=bool(held),
+                text=self._text(node),
+            )
+        )
+
+    def _receiver_type(self, expr: ast.expr) -> Optional[str]:
+        """Dotted class of a receiver expression, when inferrable."""
+        if isinstance(expr, ast.Name):
+            return self.type_env.get(expr.id)
+        attr = _self_attr(expr)
+        if attr and self.cls is not None:
+            return self.cls.attr_types.get(attr)
+        return None
+
+    # -- statement walk ------------------------------------------------ #
+
+    def scan(self, fn: ast.FunctionDef) -> None:
+        args = fn.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        self.rng_params = tuple(
+            p.arg
+            for p in params
+            if p.arg != "self"
+            and (
+                _annotation_mentions_generator(p.annotation, self.imports)
+                or (p.annotation is None and p.arg == "rng")
+            )
+        )
+        for name in self.rng_params:
+            self.rng_env[name] = f"param:{name}"
+        self._stmts(fn.body, held=(), unordered=0)
+
+    def _stmts(
+        self, body: Sequence[ast.stmt], held: Tuple[str, ...], unordered: int
+    ) -> None:
+        for stmt in body:
+            self._stmt(stmt, held, unordered)
+
+    def _stmt(self, stmt: ast.stmt, held: Tuple[str, ...], unordered: int) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested callables are a documented soundness limit
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_held = held
+            for item in stmt.items:
+                token = self._lock_token(item.context_expr)
+                if token is not None:
+                    self.acquires.append(
+                        LockAcquire(
+                            token=token,
+                            line=item.context_expr.lineno,
+                            col=item.context_expr.col_offset,
+                            held=new_held,
+                            text=self._text(item.context_expr),
+                        )
+                    )
+                    if token not in new_held:
+                        new_held = new_held + (token,)
+                else:
+                    self._expr(item.context_expr, held, unordered)
+                if item.optional_vars is not None:
+                    self._expr(item.optional_vars, held, unordered)
+            self._stmts(stmt.body, new_held, unordered)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held, unordered)
+            inner = unordered + 1 if _is_unordered_iterable(stmt.iter) else unordered
+            self._expr(stmt.target, held, unordered)
+            self._stmts(stmt.body, held, inner)
+            self._stmts(stmt.orelse, held, unordered)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._mark_write_targets(stmt.targets)
+            self._expr(stmt.value, held, unordered)
+            for target in stmt.targets:
+                self._write_target(target, held)
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                name = stmt.targets[0].id
+                root = self._root_of(stmt.value)
+                if root is not None:
+                    self.rng_env[name] = root
+                else:
+                    self.rng_env.pop(name, None)
+                inferred = self._type_of(stmt.value)
+                if inferred is not None:
+                    self.type_env[name] = inferred
+                else:
+                    self.type_env.pop(name, None)
+            return
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            self._mark_write_targets([stmt.target])
+            if stmt.value is not None:
+                self._expr(stmt.value, held, unordered)
+            self._write_target(stmt.target, held)
+            return
+        if isinstance(stmt, ast.Delete):
+            self._mark_write_targets(stmt.targets)
+            for target in stmt.targets:
+                self._write_target(target, held)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, held, unordered)
+                root = self._root_of(stmt.value)
+                if root is not None:
+                    self.rng_return = root
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, held, unordered)
+            return
+        # Generic statements: recurse expressions and nested bodies with
+        # the current context.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._stmt(child, held, unordered)
+            elif isinstance(child, ast.expr):
+                self._expr(child, held, unordered)
+            elif isinstance(child, (ast.ExceptHandler,)):
+                self._stmts(child.body, held, unordered)
+            elif isinstance(child, (ast.withitem, ast.comprehension)):
+                pass  # handled by their owning statements
+
+    def _mark_write_targets(self, targets: Sequence[ast.expr]) -> None:
+        """Flag attribute nodes inside store/del targets as writes."""
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Attribute) and _self_attr(node):
+                    self._write_receivers.add(id(node))
+
+    def _write_target(self, target: ast.expr, held: Tuple[str, ...]) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Attribute) and _self_attr(node):
+                self._record_attr(node, "write", held)
+
+    # -- expression walk ----------------------------------------------- #
+
+    def _expr(self, node: ast.expr, held: Tuple[str, ...], unordered: int) -> None:
+        if isinstance(node, (ast.Lambda,)):
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            inner = unordered
+            for gen in node.generators:
+                self._expr(gen.iter, held, unordered)
+                if _is_unordered_iterable(gen.iter):
+                    inner += 1
+                for cond in gen.ifs:
+                    self._expr(cond, held, inner)
+            if isinstance(node, ast.DictComp):
+                self._expr(node.key, held, inner)
+                self._expr(node.value, held, inner)
+            else:
+                self._expr(node.elt, held, inner)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, held, unordered)
+            self._expr(node.func, held, unordered)
+            for arg in node.args:
+                self._expr(arg, held, unordered)
+            for kw in node.keywords:
+                self._expr(kw.value, held, unordered)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr and isinstance(node.ctx, ast.Load):
+                if id(node) in self._write_receivers:
+                    pass  # already recorded as a write target
+                else:
+                    self._record_attr(node, "read", held)
+                if self.cls is not None and self.cls.lock_token(attr) is None:
+                    # A ``self.X`` load may invoke a property of this class.
+                    self.calls.append(
+                        CallSite(
+                            target=f"self.{attr}",
+                            line=node.lineno,
+                            col=node.col_offset,
+                            held=held,
+                            text=self._text(node),
+                            kind="property",
+                        )
+                    )
+            else:
+                recv_type = self._receiver_type(node.value)
+                if recv_type is not None and isinstance(node.ctx, ast.Load):
+                    self.calls.append(
+                        CallSite(
+                            target=f"{recv_type}.{node.attr}",
+                            line=node.lineno,
+                            col=node.col_offset,
+                            held=held,
+                            text=self._text(node),
+                            kind="property",
+                        )
+                    )
+            self._expr(node.value, held, unordered)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, held, unordered)
+
+    # -- call classification ------------------------------------------- #
+
+    def _call(self, call: ast.Call, held: Tuple[str, ...], unordered: int) -> None:
+        func = call.func
+        resolved = resolve_call(func, self.imports)
+        target: Optional[str] = None
+        recv: Optional[ast.expr] = None
+        if isinstance(func, ast.Attribute):
+            recv = func.value
+            if isinstance(recv, ast.Name) and recv.id == "self":
+                target = f"self.{func.attr}"
+            else:
+                recv_type = self._receiver_type(recv)
+                if recv_type is not None:
+                    target = f"{recv_type}.{func.attr}"
+        if target is None and resolved is not None:
+            target = resolved
+        if target is not None:
+            # Mutator receivers are writes, not reads — reclassify the
+            # receiver attribute access the expression walk will record.
+            self.calls.append(
+                CallSite(
+                    target=target,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    held=held,
+                    text=self._text(call),
+                )
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and recv is not None
+        ):
+            attr = _self_attr(recv)
+            if attr:
+                self._write_receivers.add(id(recv))
+                self._record_attr(recv, "write", held)  # type: ignore[arg-type]
+
+        self._classify_blocking(call, func, resolved, held)
+        self._classify_rng(call, func, resolved, held, unordered)
+
+    def _classify_blocking(
+        self,
+        call: ast.Call,
+        func: ast.expr,
+        resolved: Optional[str],
+        held: Tuple[str, ...],
+    ) -> None:
+        op: Optional[str] = None
+        releases = ""
+        if resolved in BLOCKING_CALLS:
+            op = resolved
+        elif isinstance(func, ast.Attribute) and func.attr in BLOCKING_METHODS:
+            op = f".{func.attr}"
+            if func.attr == "wait":
+                token = self._lock_token(func.value)
+                if token is not None:
+                    releases = token
+        if op is not None:
+            self.blocking.append(
+                BlockingOp(
+                    op=op,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    held=held,
+                    releases=releases,
+                    text=self._text(call),
+                )
+            )
+
+    def _classify_rng(
+        self,
+        call: ast.Call,
+        func: ast.expr,
+        resolved: Optional[str],
+        held: Tuple[str, ...],
+        unordered: int,
+    ) -> None:
+        if resolved in ENTROPY_SEEDED_ZERO_ARG and not call.args and not call.keywords:
+            self.rng.append(
+                RngEvent(
+                    kind="create-unseeded",
+                    root="fresh:unseeded",
+                    line=call.lineno,
+                    col=call.col_offset,
+                    text=self._text(call),
+                )
+            )
+            return
+        if resolved in GENERATOR_FACTORIES and call.args:
+            root = self._root_of(call)
+            if root is not None and root.startswith("fresh:"):
+                self.rng.append(
+                    RngEvent(
+                        kind="create-fresh",
+                        root=root,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        text=self._text(call),
+                    )
+                )
+            return
+        if resolved in SPAWN_HELPERS and call.args:
+            parent = self._root_of(call.args[0]) or "opaque"
+            kind = "spawn-unordered" if unordered > 0 else "spawn"
+            self.rng.append(
+                RngEvent(
+                    kind=kind,
+                    root=f"spawn:{parent}",
+                    line=call.lineno,
+                    col=call.col_offset,
+                    text=self._text(call),
+                )
+            )
+            return
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            root = self.rng_env.get(func.value.id)
+            if root is None:
+                return
+            if func.attr == "spawn":
+                kind = "spawn-unordered" if unordered > 0 else "spawn"
+                self.rng.append(
+                    RngEvent(
+                        kind=kind,
+                        root=f"spawn:{root}",
+                        line=call.lineno,
+                        col=call.col_offset,
+                        text=self._text(call),
+                    )
+                )
+            else:
+                kind = (
+                    "spawn-unordered"
+                    if unordered > 0 and root.startswith("spawn:")
+                    else "draw"
+                )
+                self.rng.append(
+                    RngEvent(
+                        kind=kind,
+                        root=root,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        text=self._text(call),
+                    )
+                )
+
+    # -- value classification ------------------------------------------ #
+
+    def _root_of(self, value: ast.expr) -> Optional[str]:
+        """RNG provenance root of an expression, or None."""
+        if isinstance(value, ast.Name):
+            return self.rng_env.get(value.id)
+        if isinstance(value, (ast.Subscript, ast.Starred)):
+            return self._root_of(value.value)
+        if not isinstance(value, ast.Call):
+            return None
+        resolved = resolve_call(value.func, self.imports)
+        if resolved in ENTROPY_SEEDED_ZERO_ARG and not value.args and not value.keywords:
+            return "fresh:unseeded"
+        if resolved in GENERATOR_FACTORIES:
+            if value.args:
+                arg = value.args[0]
+                if isinstance(arg, ast.Name):
+                    inner = self.rng_env.get(arg.id)
+                    if inner is not None:
+                        return inner
+                    if arg.id in getattr(self, "rng_params", ()):
+                        return f"param:{arg.id}"
+                    # A seed-ish parameter or local: fresh, deterministically
+                    # seeded by the caller's value.
+                    return f"fresh:{value.lineno}"
+                return f"fresh:{value.lineno}"
+            return "fresh:unseeded"
+        if resolved in SPAWN_HELPERS and value.args:
+            parent = self._root_of(value.args[0]) or "opaque"
+            return f"spawn:{parent}"
+        if isinstance(value.func, ast.Attribute):
+            if value.func.attr == "spawn":
+                parent = self._root_of(value.func.value)
+                if parent is not None:
+                    return f"spawn:{parent}"
+        if resolved is not None:
+            # A project helper may return a generator; record symbolically
+            # and let the project pass resolve it (unresolvable callees —
+            # builtins, third-party — collapse to an opaque root there).
+            dotted = resolved if "." in resolved else f"{self.module}.{resolved}"
+            return f"ret:{dotted}"
+        return None
+
+    def _type_of(self, value: ast.expr) -> Optional[str]:
+        """Dotted class of an assigned value, when inferrable."""
+        attr = _self_attr(value)
+        if attr and self.cls is not None:
+            return self.cls.attr_types.get(attr)
+        if isinstance(value, ast.Call):
+            resolved = resolve_call(value.func, self.imports)
+            if resolved is not None:
+                tail = resolved.rpartition(".")[2]
+                if tail[:1].isupper():
+                    return _class_dotted(resolved, self.module, self.local_classes)
+        return None
+
+
+def summarize_module(tree: ast.AST, context: ModuleContext) -> ModuleSummary:
+    """Compress one parsed module into its picklable summary."""
+    imports = ImportMap.from_tree(tree)
+    module = module_name_for(context.path)
+    local_classes = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+    }
+    classes: List[ClassSummary] = []
+    functions: List[FunctionSummary] = []
+
+    def scan_function(
+        fn: ast.FunctionDef, cls: Optional[_ClassInfo], qualname: str
+    ) -> None:
+        scanner = _FunctionScanner(module, context, imports, cls, local_classes)
+        scanner.scan(fn)
+        functions.append(
+            FunctionSummary(
+                qualname=qualname,
+                module=module,
+                path=context.path,
+                name=fn.name,
+                class_name=cls.name if cls is not None else "",
+                line=fn.lineno,
+                calls=tuple(scanner.calls),
+                acquires=tuple(scanner.acquires),
+                blocking=tuple(scanner.blocking),
+                attr_accesses=tuple(scanner.attrs),
+                rng_events=tuple(scanner.rng),
+                rng_params=scanner.rng_params,
+                rng_return=scanner.rng_return,
+            )
+        )
+
+    assert isinstance(tree, ast.Module)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            info = _collect_class_info(node, imports, module, local_classes)
+            classes.append(
+                ClassSummary(
+                    name=info.name,
+                    dotted=info.dotted,
+                    module=module,
+                    path=context.path,
+                    line=node.lineno,
+                    lock_attrs=tuple(sorted(info.lock_attrs)),
+                    lock_aliases=tuple(sorted(info.lock_aliases.items())),
+                    attr_types=tuple(sorted(info.attr_types.items())),
+                    properties=tuple(sorted(info.properties)),
+                    methods=tuple(sorted(info.methods)),
+                )
+            )
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan_function(stmt, info, f"{info.dotted}.{stmt.name}")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(node, None, f"{module}.{node.name}")
+    return ModuleSummary(
+        module=module,
+        path=context.path,
+        classes=tuple(classes),
+        functions=tuple(functions),
+    )
+
+
+def _is_unordered_iterable(node: ast.expr) -> bool:
+    """True for expressions whose iteration order is hash/insertion-driven.
+
+    ``set``-valued expressions are genuinely unordered; ``dict`` views
+    (``.keys()/.values()/.items()``, dict literals/``dict()``) iterate in
+    insertion order, which itself routinely derives from unordered sources —
+    DET007 treats both as unordered, with suppression as the escape hatch.
+    """
+    from repro.lint.base import is_set_expression
+
+    if is_set_expression(node):
+        return True
+    if isinstance(node, ast.Dict):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "dict":
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Project index
+
+
+class ProjectIndex:
+    """All module summaries stitched into a resolvable call graph."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.modules: Tuple[ModuleSummary, ...] = tuple(
+            sorted(summaries, key=lambda s: s.path)
+        )
+        self.functions: Dict[str, FunctionSummary] = {}
+        self.classes: Dict[str, ClassSummary] = {}
+        for summary in self.modules:
+            for cls in summary.classes:
+                self.classes[cls.dotted] = cls
+            for fn in summary.functions:
+                self.functions[fn.qualname] = fn
+
+    # -- call resolution ----------------------------------------------- #
+
+    def resolve(self, caller: FunctionSummary, site: CallSite) -> List[str]:
+        """Project-function qualnames a call site may reach (often 0 or 1)."""
+        target = site.target
+        if target.startswith("self."):
+            if not caller.class_name:
+                return []
+            dotted = f"{caller.module}.{caller.class_name}.{target[5:]}"
+            method = target[5:]
+            cls = self.classes.get(f"{caller.module}.{caller.class_name}")
+            if dotted in self.functions:
+                if site.kind == "property":
+                    if cls is not None and method in cls.properties:
+                        return [dotted]
+                    return []
+                return [dotted]
+            return []
+        if "." not in target:
+            # Bare local name: a same-module function or class.
+            target = f"{caller.module}.{target}"
+        if target in self.functions:
+            fn = self.functions[target]
+            if site.kind == "property":
+                cls = self.classes.get(f"{fn.module}.{fn.class_name}")
+                if cls is None or fn.name not in cls.properties:
+                    return []
+            return [target]
+        if site.kind == "property":
+            return []
+        if target in self.classes:
+            init = f"{target}.__init__"
+            return [init] if init in self.functions else []
+        return []
+
+    def callees(self, fn: FunctionSummary) -> List[Tuple[CallSite, str]]:
+        """Deduplicated ``(site, target_qualname)`` pairs for one function."""
+        out: List[Tuple[CallSite, str]] = []
+        seen: Set[Tuple[int, int, str]] = set()
+        for site in fn.calls:
+            for target in self.resolve(fn, site):
+                key = (site.line, site.col, target)
+                if key not in seen:
+                    seen.add(key)
+                    out.append((site, target))
+        return out
+
+    # -- graph dumps ---------------------------------------------------- #
+
+    def call_edges(self) -> List[Tuple[str, str, int]]:
+        """Sorted ``(caller, callee, line)`` over the whole project."""
+        edges: Set[Tuple[str, str, int]] = set()
+        for fn in self.functions.values():
+            for site, target in self.callees(fn):
+                edges.add((fn.qualname, target, site.line))
+        return sorted(edges)
+
+    def to_payload(self, lock_edges: Sequence[Tuple[str, str, str, int]] = ()) -> dict:
+        """Canonical-JSON-able dump of the call and lock graphs."""
+        return {
+            "schema": 1,
+            "tool": "repro-lint-graph",
+            "modules": [s.module for s in self.modules],
+            "functions": sorted(self.functions),
+            "calls": [
+                {"caller": a, "callee": b, "line": line}
+                for a, b, line in self.call_edges()
+            ],
+            "locks": {
+                "tokens": sorted(
+                    {
+                        f"{cls.dotted}.{attr}"
+                        for cls in self.classes.values()
+                        for attr in cls.lock_attrs
+                    }
+                ),
+                "edges": [
+                    {"first": a, "then": b, "path": path, "line": line}
+                    for a, b, path, line in sorted(lock_edges)
+                ],
+            },
+        }
+
+    def to_dot(self, lock_edges: Sequence[Tuple[str, str, str, int]] = ()) -> str:
+        """GraphViz rendering of the call graph plus lock-order edges."""
+        lines = ["digraph repro_lint {", "  rankdir=LR;"]
+        for qualname in sorted(self.functions):
+            lines.append(f'  "{qualname}";')
+        for a, b, _line in self.call_edges():
+            lines.append(f'  "{a}" -> "{b}";')
+        for a, b, _path, _line in sorted(set(lock_edges)):
+            lines.append(f'  "{a}" -> "{b}" [color=red, label="lock-order"];')
+        lines.append("}")
+        return "\n".join(lines) + "\n"

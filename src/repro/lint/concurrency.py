@@ -20,19 +20,14 @@ from __future__ import annotations
 import ast
 from typing import Dict, List, Set, Tuple
 
-from repro.lint.base import ImportMap, InvariantRule, ModuleContext, resolve_call
-from repro.lint.findings import Finding
-
-#: Constructors whose result is treated as a lock for ``with self._x:``.
-_LOCK_FACTORIES = frozenset(
-    {
-        "threading.Lock",
-        "threading.RLock",
-        "threading.Condition",
-        "threading.Semaphore",
-        "threading.BoundedSemaphore",
-    }
+from repro.lint.base import (
+    ImportMap,
+    InvariantRule,
+    ModuleContext,
+    is_lock_factory,
+    resolve_call,
 )
+from repro.lint.findings import Finding
 
 #: Exception types considered "broad" for CONC002.
 _BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
@@ -75,13 +70,17 @@ def _self_attr(node: ast.expr) -> str:
 def _assigned_self_attrs(stmt: ast.stmt) -> List[Tuple[str, ast.AST]]:
     """``(attr, anchor)`` for every ``self._*`` mutated by one statement.
 
-    Covers rebinds (``self._x = ...``), augmented assignment and subscript
-    stores (``self._x[i] = ...`` mutates the shared object just the same).
+    Covers rebinds (``self._x = ...``), augmented assignment, subscript
+    stores (``self._x[i] = ...`` mutates the shared object just the same)
+    and deletions — both ``del self._x`` and ``del self._x[i]`` remove
+    shared state exactly like an assignment writes it.
     """
     if isinstance(stmt, ast.Assign):
         targets = stmt.targets
     elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
         targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = stmt.targets
     else:
         return []
     out: List[Tuple[str, ast.AST]] = []
@@ -178,12 +177,9 @@ class UnlockedSharedStateRule(InvariantRule):
             if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
                 continue
             resolved = resolve_call(stmt.value.func, imports)
-            if resolved is None:
-                continue
             # Both ``threading.Condition(...)`` and a from-imported bare
             # ``Condition(...)`` count as lock constructors.
-            tail = resolved.rpartition(".")[2]
-            if resolved in _LOCK_FACTORIES or f"threading.{tail}" in _LOCK_FACTORIES:
+            if is_lock_factory(resolved):
                 for target in stmt.targets:
                     attr = _self_attr(target)
                     if attr:

@@ -1,0 +1,103 @@
+"""Thread-escape analysis: unlocked *reads* of lock-guarded state.
+
+========  ============================================================
+CONC005   lock-guarded attribute read without the lock outside __init__
+========  ============================================================
+
+CONC001 polices the write side: within an audited class, any ``self._*``
+attribute ever assigned under ``with self.<lock>:`` must always be
+written under it.  But the race the service actually exhibited was on the
+*read* side — the match-loop thread publishes counters under the state
+lock while the HTTP handler (``stats()``/``_build_report()``) reads them
+bare, observing torn multi-field snapshots.  CONC005 generalises the same
+self-calibrating discipline to loads: in any class that owns a lock, an
+attribute written under that lock (outside ``__init__``) is *guarded*,
+and every lockless read of it from a non-``__init__`` method is a
+finding.
+
+Mechanics: the guarded set and the read sites both come straight from the
+per-function summaries (:class:`~repro.lint.callgraph.AttrAccess` records
+carry the ``locked`` flag), so the pass is a pure join over the project
+index — no second AST walk.  Lock attributes themselves and condition
+aliases are exempt (reading ``self._lock`` to pass it around is not a
+data race), as are reads in ``__init__`` (construction happens-before
+every other thread).  Deliberate lock-free fast paths stay possible via
+``# repro-lint: disable=CONC005 -- <why the race is benign>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.base import ProjectRule
+from repro.lint.callgraph import ClassSummary, ProjectIndex
+from repro.lint.findings import Finding
+
+__all__ = ["ThreadEscapeRule"]
+
+
+class ThreadEscapeRule(ProjectRule):
+    """CONC005 — unlocked read of a lock-guarded attribute."""
+
+    rule_id = "CONC005"
+    title = "lock-guarded self._attr read without the lock"
+    scope = ("src/repro/service/", "src/repro/sweep/", "src/repro/fuzz/")
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for dotted in sorted(index.classes):
+            cls = index.classes[dotted]
+            if not cls.lock_attrs or not self.applies_to(cls.path):
+                continue
+            guarded = self._guarded_attrs(index, cls)
+            if not guarded:
+                continue
+            seen: Set[Tuple[int, str]] = set()
+            methods = [
+                fn
+                for fn in index.functions.values()
+                if fn.module == cls.module and fn.class_name == cls.name
+            ]
+            for fn in sorted(methods, key=lambda f: f.line):
+                if fn.name == "__init__":
+                    continue
+                for access in fn.attr_accesses:
+                    if (
+                        access.kind != "read"
+                        or access.locked
+                        or access.attr not in guarded
+                    ):
+                        continue
+                    key = (access.line, access.attr)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(
+                        self.project_finding(
+                            cls.path,
+                            access.line,
+                            access.col,
+                            f"{cls.name}.{access.attr} is written under a lock "
+                            "by another thread but read here without it; the "
+                            "read can observe a torn/stale snapshot — take the "
+                            "lock or suppress with a justification",
+                            text=access.text,
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _guarded_attrs(index: ProjectIndex, cls: ClassSummary) -> Set[str]:
+        """Attributes written while locked in any non-``__init__`` method."""
+        exempt = set(cls.lock_attrs) | {alias for alias, _ in cls.lock_aliases}
+        guarded: Set[str] = set()
+        for fn in index.functions.values():
+            if fn.module != cls.module or fn.class_name != cls.name:
+                continue
+            if fn.name == "__init__":
+                continue
+            for access in fn.attr_accesses:
+                if access.kind == "write" and access.locked:
+                    if access.attr not in exempt:
+                        guarded.add(access.attr)
+        return guarded

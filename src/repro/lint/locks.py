@@ -1,0 +1,229 @@
+"""Whole-program lock analyses: order inversions and blocking under locks.
+
+========  ============================================================
+CONC003   two locks acquired in both orders on reachable paths
+CONC004   potentially-blocking call while holding (another) lock
+========  ============================================================
+
+Both rules run on the :class:`~repro.lint.callgraph.ProjectIndex` built
+from every scanned file.  The core is a *may-acquire* fixpoint: for each
+function, the set of lock tokens any reachable path through it may take —
+its direct ``with self._lock:`` entries plus everything its resolvable
+callees may acquire.  Lock-order edges then fall out of two site kinds:
+
+* a direct acquire with locks already held: ``held × {token}``;
+* a call with locks held: ``held × may_acquire(callee)`` — the caller's
+  locks are ordered before anything the callee might take.
+
+An inversion is a token pair ordered both ways.  One finding is emitted
+per inverted pair (at the lexically-first witness of each direction) so a
+single bad path does not bury the report.
+
+CONC004 flags blocking operations (``Condition.wait``, ``Thread.join``,
+``time.sleep``, ``os.fsync``, ``open``/HTTP/socket I/O, subprocesses)
+executed while a lock is held.  ``Condition.wait`` releases *its own*
+lock while parked, so waiting with only that lock held is the sanctioned
+pattern; waiting (or joining, or fsyncing) with a *second* lock held
+stalls every thread contending on it.  Blocking-ness propagates over the
+call graph, so ``self._flush()`` → ``os.fsync`` under a lock is caught at
+the lock-holding call site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.base import ProjectRule
+from repro.lint.callgraph import ProjectIndex
+from repro.lint.findings import Finding
+
+__all__ = ["BlockingUnderLockRule", "LockOrderRule", "lock_order_edges", "may_acquire"]
+
+
+def may_acquire(index: ProjectIndex) -> Dict[str, Set[str]]:
+    """Per-function may-acquire lock sets, propagated to a fixpoint."""
+    may: Dict[str, Set[str]] = {
+        qualname: {acq.token for acq in fn.acquires}
+        for qualname, fn in index.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fn in index.functions.items():
+            current = may[qualname]
+            before = len(current)
+            for _site, target in index.callees(fn):
+                current |= may.get(target, set())
+            if len(current) != before:
+                changed = True
+    return may
+
+
+def lock_order_edges(
+    index: ProjectIndex, may: Dict[str, Set[str]]
+) -> List[Tuple[str, str, str, int, int, str]]:
+    """All observed ``(first, then, path, line, col, text)`` orderings."""
+    edges: List[Tuple[str, str, str, int, int, str]] = []
+    for fn in index.functions.values():
+        for acq in fn.acquires:
+            for held in acq.held:
+                if held != acq.token:
+                    edges.append(
+                        (held, acq.token, fn.path, acq.line, acq.col, acq.text)
+                    )
+        for site, target in index.callees(fn):
+            if not site.held:
+                continue
+            for token in may.get(target, ()):
+                for held in site.held:
+                    if held != token:
+                        edges.append(
+                            (held, token, fn.path, site.line, site.col, site.text)
+                        )
+    return edges
+
+
+def _short(token: str) -> str:
+    """``repro.service.server.DispatchService._state_lock`` →
+    ``DispatchService._state_lock`` for readable messages."""
+    parts = token.rsplit(".", 2)
+    return ".".join(parts[-2:]) if len(parts) >= 2 else token
+
+
+class LockOrderRule(ProjectRule):
+    """CONC003 — lock-order inversion across reachable paths."""
+
+    rule_id = "CONC003"
+    title = "two locks acquired in opposite orders on reachable paths"
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        may = may_acquire(index)
+        edges = lock_order_edges(index, may)
+        ordered: Dict[Tuple[str, str], Tuple[str, int, int, str]] = {}
+        for first, then, path, line, col, text in sorted(
+            edges, key=lambda e: (e[2], e[3], e[4], e[0], e[1])
+        ):
+            ordered.setdefault((first, then), (path, line, col, text))
+        findings: List[Finding] = []
+        for (first, then), witness in sorted(ordered.items()):
+            if (then, first) not in ordered:
+                continue
+            other = ordered[(then, first)]
+            path, line, col, text = witness
+            findings.append(
+                self.project_finding(
+                    path,
+                    line,
+                    col,
+                    f"lock-order inversion: {_short(first)} is held while "
+                    f"{_short(then)} is acquired here, but the opposite order "
+                    f"occurs at {other[0]}:{other[1]}; pick one global order "
+                    "or drop a lock before crossing",
+                    text=text,
+                )
+            )
+        return findings
+
+    def graph_edges(self, index: ProjectIndex) -> List[Tuple[str, str, str, int]]:
+        """Lock-order edges for ``--graph`` dumps."""
+        may = may_acquire(index)
+        return [
+            (first, then, path, line)
+            for first, then, path, line, _col, _text in lock_order_edges(index, may)
+        ]
+
+
+class BlockingUnderLockRule(ProjectRule):
+    """CONC004 — blocking call while holding a lock."""
+
+    rule_id = "CONC004"
+    title = "blocking call (wait/join/sleep/IO) while holding a lock"
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, int, int]] = set()
+
+        # Direct blocking ops with locks held (minus a wait's own lock).
+        for fn in index.functions.values():
+            for op in fn.blocking:
+                effective = tuple(t for t in op.held if t != op.releases)
+                if not effective:
+                    continue
+                key = (fn.path, op.line, op.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                held = ", ".join(_short(t) for t in effective)
+                label = op.op if not op.op.startswith(".") else f"*{op.op}"
+                extra = (
+                    " (Condition.wait releases only its own lock; the second "
+                    "lock stays held while parked)"
+                    if op.releases
+                    else ""
+                )
+                findings.append(
+                    self.project_finding(
+                        fn.path,
+                        op.line,
+                        op.col,
+                        f"blocking call {label} while holding {held}{extra}; "
+                        "move the blocking work outside the lock or suppress "
+                        "with a justification",
+                        text=op.text,
+                    )
+                )
+
+        # Transitive: a call made under a lock reaching a blocking op.
+        blocks = self._may_block(index)
+        for fn in index.functions.values():
+            for site, target in index.callees(fn):
+                if not site.held:
+                    continue
+                op_label = blocks.get(target)
+                if op_label is None:
+                    continue
+                key = (fn.path, site.line, site.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                held = ", ".join(_short(t) for t in site.held)
+                findings.append(
+                    self.project_finding(
+                        fn.path,
+                        site.line,
+                        site.col,
+                        f"call reaches blocking operation {op_label} (via "
+                        f"{target}) while holding {held}; move it outside the "
+                        "lock or suppress with a justification",
+                        text=site.text,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _may_block(index: ProjectIndex) -> Dict[str, str]:
+        """Function → label of a blocking op it may reach (fixpoint).
+
+        ``Condition.wait`` is excluded from propagation: whether its lock
+        discipline is sound depends on the *call site's* held set, which a
+        summary label cannot carry; direct sites already cover it.
+        """
+        blocks: Dict[str, str] = {}
+        for qualname, fn in index.functions.items():
+            for op in fn.blocking:
+                if op.releases:
+                    continue
+                blocks.setdefault(qualname, op.op)
+        changed = True
+        while changed:
+            changed = False
+            for qualname, fn in index.functions.items():
+                if qualname in blocks:
+                    continue
+                for _site, target in index.callees(fn):
+                    label = blocks.get(target)
+                    if label is not None:
+                        blocks[qualname] = label
+                        changed = True
+                        break
+        return blocks

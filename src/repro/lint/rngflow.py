@@ -1,0 +1,206 @@
+"""RNG provenance dataflow: stream-mixing and spawn-order rules.
+
+========  ============================================================
+DET006    a Generator-receiving function touches a differently-rooted
+          stream (or anything constructs an OS-entropy-seeded one)
+========  ============================================================
+DET007    a spawned child stream's consumption order depends on
+          dict/set iteration
+========  ============================================================
+
+The per-module summaries record RNG *events* with provenance roots —
+``param:<name>`` for generators handed in by the caller, ``fresh:<line>``
+for streams seeded locally, ``fresh:unseeded`` for OS-entropy roots,
+``spawn:<parent>`` for child streams, and ``ret:<callee>`` for values
+returned by project helpers.  This module resolves the symbolic
+``ret:``-roots over the call graph (a helper returning its parameter's
+spawn collapses to ``spawn``; one minting a fresh stream collapses to
+``fresh``) and then applies two policies:
+
+* **DET006** — the reproduction contract threads *one* seeded root
+  through every consumer (``repro.utils.rng.default_rng`` +
+  ``spawn_rng``).  A function that *receives* a Generator and also
+  creates-and-draws-from its own fresh root has two incompatible stream
+  families in one scope; its output depends on which family each draw
+  lands in.  Zero-argument ``numpy.random.default_rng()`` (and raw
+  bit-generator constructions) are flagged unconditionally — an
+  OS-entropy root is unreproducible wherever it appears.
+* **DET007** — ``spawn`` order is the child stream's identity: spawning
+  (or drawing from a spawn-rooted stream) inside iteration over a set,
+  dict view, or dict literal assigns children in hash/insertion order,
+  so two runs disagree about which child fed which consumer.
+
+Soundness limits (shared with the call graph): attribute-held generators
+(``self._rng``) are trusted — their provenance is an object-construction
+property the intra-function environment cannot see — and dynamic
+dispatch/getattr edges do not exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.base import ProjectRule
+from repro.lint.callgraph import ProjectIndex
+from repro.lint.findings import Finding
+
+__all__ = ["RngProvenanceRule", "SpawnOrderRule", "resolve_return_kinds"]
+
+
+def _kind_of(root: str) -> str:
+    """Collapse a provenance root to its family kind."""
+    base = root
+    while base.startswith("spawn:"):
+        base = base[len("spawn:") :]
+    if base.startswith("param:"):
+        return "param"
+    if base == "fresh:unseeded":
+        return "unseeded"
+    if base.startswith("fresh:"):
+        return "fresh"
+    if base.startswith("ret:"):
+        return "ret"
+    return "opaque"
+
+
+def resolve_return_kinds(index: ProjectIndex) -> Dict[str, str]:
+    """Function → family kind of its returned generator, via fixpoint.
+
+    Helpers that pass a parameter (or its spawn) back return ``param``;
+    ones minting a stream return ``fresh``/``unseeded``.  Unresolvable
+    returns are ``opaque`` and never produce findings.
+    """
+    kinds: Dict[str, str] = {}
+    for qualname, fn in index.functions.items():
+        if fn.rng_return:
+            kinds[qualname] = _kind_of(fn.rng_return)
+    changed = True
+    while changed:
+        changed = False
+        for qualname, kind in list(kinds.items()):
+            if kind != "ret":
+                continue
+            fn = index.functions[qualname]
+            target = fn.rng_return
+            while target.startswith("spawn:"):
+                target = target[len("spawn:") :]
+            callee = target[len("ret:") :]
+            resolved = kinds.get(callee, "opaque") if callee in index.functions else "opaque"
+            if resolved not in ("ret", kind):
+                kinds[qualname] = resolved
+                changed = True
+    return {q: ("opaque" if k == "ret" else k) for q, k in kinds.items()}
+
+
+def _resolve_root_kind(root: str, kinds: Dict[str, str], index: ProjectIndex) -> str:
+    """Family kind of an event root, resolving ``ret:`` through helpers."""
+    base = root
+    while base.startswith("spawn:"):
+        base = base[len("spawn:") :]
+    if base.startswith("ret:"):
+        callee = base[len("ret:") :]
+        if callee in index.functions:
+            return kinds.get(callee, "opaque")
+        return "opaque"
+    return _kind_of(root)
+
+
+class RngProvenanceRule(ProjectRule):
+    """DET006 — mixed stream provenance / OS-entropy generator roots."""
+
+    rule_id = "DET006"
+    title = "Generator-receiving function touches a differently-rooted stream"
+    scope = ("src/repro/",)
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        kinds = resolve_return_kinds(index)
+        findings: List[Finding] = []
+        for fn in sorted(index.functions.values(), key=lambda f: (f.path, f.line)):
+            if not self.applies_to(fn.path):
+                continue
+            seen: Set[Tuple[int, int]] = set()
+            for event in fn.rng_events:
+                if event.kind != "create-unseeded":
+                    continue
+                key = (event.line, event.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    self.project_finding(
+                        fn.path,
+                        event.line,
+                        event.col,
+                        "OS-entropy-seeded generator: a zero-argument "
+                        "default_rng()/bit-generator root is unreproducible; "
+                        "derive the stream from the run seed "
+                        "(repro.utils.rng.default_rng / spawn_rng)",
+                        text=event.text,
+                    )
+                )
+            if not fn.rng_params:
+                continue
+            # The function was handed a caller-rooted stream; any fresh
+            # family it *also* touches is a second, unrelated stream.
+            mixed_seen: Set[Tuple[int, str]] = set()
+            for event in fn.rng_events:
+                if event.kind not in ("create-fresh", "draw"):
+                    continue
+                kind = _resolve_root_kind(event.root, kinds, index)
+                if kind not in ("fresh", "unseeded"):
+                    continue
+                if event.kind == "draw" and kind == "unseeded":
+                    # The creation site already carries the finding.
+                    continue
+                key = (event.line, event.root)
+                if key in mixed_seen:
+                    continue
+                mixed_seen.add(key)
+                findings.append(
+                    self.project_finding(
+                        fn.path,
+                        event.line,
+                        event.col,
+                        f"mixed stream provenance: {fn.name}() receives a "
+                        f"Generator ({', '.join(fn.rng_params)}) but also "
+                        "roots a separate stream here; spawn from the "
+                        "incoming generator instead (spawn_rng)",
+                        text=event.text,
+                    )
+                )
+        return findings
+
+
+class SpawnOrderRule(ProjectRule):
+    """DET007 — spawn order tied to dict/set iteration."""
+
+    rule_id = "DET007"
+    title = "spawned child stream order depends on dict/set iteration"
+    scope = ("src/repro/",)
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in sorted(index.functions.values(), key=lambda f: (f.path, f.line)):
+            if not self.applies_to(fn.path):
+                continue
+            seen: Set[Tuple[int, int]] = set()
+            for event in fn.rng_events:
+                if event.kind != "spawn-unordered":
+                    continue
+                key = (event.line, event.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    self.project_finding(
+                        fn.path,
+                        event.line,
+                        event.col,
+                        "child-stream order follows dict/set iteration: which "
+                        "spawned generator feeds which consumer varies across "
+                        "runs; iterate a sorted/explicitly-ordered sequence "
+                        "when spawning or drawing from spawned streams",
+                        text=event.text,
+                    )
+                )
+        return findings

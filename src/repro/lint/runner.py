@@ -4,18 +4,34 @@
 one backing both ``repro lint`` and ``python -m repro.lint``.  Exit codes
 follow the repo convention: ``0`` clean, ``1`` new findings, ``2`` usage or
 environment errors.
+
+The run is two-phase.  Phase one scans files independently — parse, run the
+per-module rules, extract suppression directives, and (when any whole-program
+rule is active) build the file's picklable
+:class:`~repro.lint.callgraph.ModuleSummary`.  Because a file scan shares no
+state with any other, ``--jobs N`` fans phase one across a process pool;
+results are merged back in input order, so the report is byte-identical to a
+serial run.  Phase two runs in the parent: the summaries become a
+:class:`~repro.lint.callgraph.ProjectIndex`, the :class:`ProjectRule`\\ s
+(CONC003–005, DET006–007) run over it, and suppressions apply to the combined
+module+project findings so ``# repro-lint: disable=CONC003`` works exactly
+like it does for the per-module rules.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import multiprocessing
+import os
 import sys
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lint.baseline import BaselineError, load_baseline, write_baseline
+from repro.lint.callgraph import ModuleSummary, ProjectIndex, summarize_module
 from repro.lint.concurrency import SwallowedExceptionRule, UnlockedSharedStateRule
 from repro.lint.determinism import (
     CanonicalJsonRule,
@@ -24,9 +40,17 @@ from repro.lint.determinism import (
     UnstableSortRule,
     WallClockRule,
 )
-from repro.lint.base import InvariantRule, ModuleContext
+from repro.lint.base import InvariantRule, ModuleContext, ProjectRule
+from repro.lint.escape import ThreadEscapeRule
 from repro.lint.findings import Finding, assign_fingerprints
-from repro.lint.suppressions import API_RULE_ID, apply_suppressions, parse_suppressions
+from repro.lint.locks import BlockingUnderLockRule, LockOrderRule
+from repro.lint.rngflow import RngProvenanceRule, SpawnOrderRule
+from repro.lint.suppressions import (
+    API_RULE_ID,
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
 from repro.utils.cache import canonical_json
 
 #: Default repo-relative roots the linter scans.  Tests are deliberately out:
@@ -59,8 +83,13 @@ ALL_RULES: Tuple[InvariantRule, ...] = (
     UnstableSortRule(),
     CanonicalJsonRule(),
     SetIterationRule(),
+    RngProvenanceRule(),
+    SpawnOrderRule(),
     UnlockedSharedStateRule(),
     SwallowedExceptionRule(),
+    LockOrderRule(),
+    BlockingUnderLockRule(),
+    ThreadEscapeRule(),
     _SuppressionHygieneRule(),
 )
 
@@ -104,7 +133,11 @@ class LintReport:
 
 
 def _discover_files(root: Path, paths: Optional[Sequence[str]]) -> List[Path]:
-    """Python files under the requested repo-relative paths, sorted."""
+    """Python files under the requested repo-relative paths, sorted.
+
+    Deduplication is by *resolved* path, so a symlink next to its target (or
+    a path requested twice through different spellings) is scanned once.
+    """
     requested = list(paths) if paths else list(DEFAULT_ROOTS)
     files: List[Path] = []
     seen = set()
@@ -119,9 +152,12 @@ def _discover_files(root: Path, paths: Optional[Sequence[str]]) -> List[Path]:
         else:
             continue  # a default root may be absent in pruned checkouts
         for candidate in candidates:
-            if "__pycache__" in candidate.parts or candidate in seen:
+            if "__pycache__" in candidate.parts:
                 continue
-            seen.add(candidate)
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
             files.append(candidate)
     return sorted(files)
 
@@ -144,18 +180,111 @@ def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[InvariantRule]:
     return selected
 
 
+@dataclass
+class _FileScan:
+    """Phase-one result for one file — everything is picklable."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    """Per-module rule findings (pre-suppression); PARSE001 on syntax error."""
+    api_findings: List[Finding] = field(default_factory=list)
+    """Malformed/unknown/unjustified directives (never suppressible)."""
+    directives: List[Suppression] = field(default_factory=list)
+    summary: Optional[ModuleSummary] = None
+
+
+def _scan_file(
+    root_str: str,
+    relpath: str,
+    module_rule_ids: Tuple[str, ...],
+    need_summary: bool,
+) -> _FileScan:
+    """Phase one for one file.  Top-level so process pools can pickle it."""
+    file_path = Path(root_str) / relpath
+    source = file_path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        return _FileScan(
+            path=relpath,
+            findings=[
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_RULE_ID,
+                    message=f"file does not parse: {exc.msg}",
+                    text="",
+                )
+            ],
+        )
+    context = ModuleContext(path=relpath, source=source, lines=tuple(lines))
+    findings: List[Finding] = []
+    for rule_id in module_rule_ids:
+        rule = RULES_BY_ID[rule_id]
+        if rule.applies_to(relpath):
+            findings.extend(rule.check(tree, context))
+    directives, api_findings = parse_suppressions(relpath, source, lines, RULES_BY_ID)
+    summary = summarize_module(tree, context) if need_summary else None
+    return _FileScan(
+        path=relpath,
+        findings=findings,
+        api_findings=api_findings,
+        directives=directives,
+        summary=summary,
+    )
+
+
+def _run_scans(
+    root: Path,
+    files: Sequence[Path],
+    module_rule_ids: Tuple[str, ...],
+    need_summary: bool,
+    jobs: int,
+) -> List[_FileScan]:
+    """Phase one over every file, serial or pooled, in input order."""
+    relpaths = [file_path.relative_to(root).as_posix() for file_path in files]
+    jobs = max(1, min(jobs, len(relpaths) or 1))
+    if jobs == 1:
+        return [
+            _scan_file(str(root), relpath, module_rule_ids, need_summary)
+            for relpath in relpaths
+        ]
+    try:
+        context = multiprocessing.get_context("fork")
+        executor = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    except ValueError:
+        # No fork on this platform; threads still overlap the file I/O and
+        # keep the merge order identical.
+        executor = ThreadPoolExecutor(max_workers=jobs)
+    with executor:
+        return list(
+            executor.map(
+                _scan_file,
+                [str(root)] * len(relpaths),
+                relpaths,
+                [module_rule_ids] * len(relpaths),
+                [need_summary] * len(relpaths),
+            )
+        )
+
+
 def run_lint(
     root: Path,
     paths: Optional[Sequence[str]] = None,
     rules: Optional[Sequence[str]] = None,
     baseline: str = "on",
     baseline_file: Optional[Path] = None,
+    jobs: int = 1,
 ) -> LintReport:
     """Lint the repo rooted at ``root`` and return a :class:`LintReport`.
 
     ``baseline`` is ``"on"`` (filter through the committed baseline),
     ``"off"`` (report everything) or ``"regenerate"`` (rewrite the baseline
-    from the current findings, then report clean).
+    from the current findings, then report clean).  ``jobs`` fans the
+    per-file phase across processes; the report is byte-identical for any
+    value.
     """
     root = Path(root).resolve()
     if baseline not in ("on", "off", "regenerate"):
@@ -167,43 +296,43 @@ def run_lint(
         baseline_path = root / baseline_path
 
     files = _discover_files(root, paths)
-    raw_findings: List[Finding] = []
-    suppressed: List[Finding] = []
     check_api = any(rule.rule_id == API_RULE_ID for rule in active)
-    for file_path in files:
-        relpath = file_path.relative_to(root).as_posix()
-        source = file_path.read_text(encoding="utf-8")
-        lines = source.splitlines()
-        try:
-            tree = ast.parse(source, filename=str(file_path))
-        except SyntaxError as exc:
-            raw_findings.append(
-                Finding(
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule=PARSE_RULE_ID,
-                    message=f"file does not parse: {exc.msg}",
-                    text="",
-                )
+    module_rule_ids = tuple(
+        rule.rule_id
+        for rule in active
+        if not isinstance(rule, ProjectRule) and rule.rule_id != API_RULE_ID
+    )
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
+
+    scans = _run_scans(root, files, module_rule_ids, bool(project_rules), jobs)
+
+    rule_findings: List[Finding] = []
+    api_parse_findings: List[Finding] = []
+    directives: List[Suppression] = []
+    summaries: List[ModuleSummary] = []
+    for scan in scans:
+        rule_findings.extend(scan.findings)
+        api_parse_findings.extend(scan.api_findings)
+        directives.extend(scan.directives)
+        if scan.summary is not None:
+            summaries.append(scan.summary)
+
+    if project_rules:
+        index = ProjectIndex(summaries)
+        for rule in project_rules:
+            rule_findings.extend(
+                finding
+                for finding in rule.check_project(index)
+                if rule.applies_to(finding.path)
             )
-            continue
-        context = ModuleContext(path=relpath, source=source, lines=tuple(lines))
-        file_findings: List[Finding] = []
-        for rule in active:
-            if rule.rule_id == API_RULE_ID or not rule.applies_to(relpath):
-                continue
-            file_findings.extend(rule.check(tree, context))
-        directives, api_findings = parse_suppressions(relpath, source, lines, RULES_BY_ID)
-        kept, silenced, unused = apply_suppressions(file_findings, directives)
-        raw_findings.extend(kept)
-        suppressed.extend(silenced)
-        if check_api:
-            raw_findings.extend(api_findings)
-            raw_findings.extend(unused)
+
+    kept, silenced, unused = apply_suppressions(rule_findings, directives)
+    raw_findings = kept
+    if check_api:
+        raw_findings = raw_findings + api_parse_findings + unused
 
     findings = assign_fingerprints(raw_findings)
-    suppressed = assign_fingerprints(suppressed)
+    suppressed = assign_fingerprints(silenced)
 
     if baseline == "regenerate":
         write_baseline(baseline_path, findings)
@@ -225,6 +354,26 @@ def run_lint(
     )
 
 
+def build_graph(
+    root: Path, paths: Optional[Sequence[str]] = None, jobs: int = 1
+) -> Tuple[ProjectIndex, List[Tuple[str, str, str, int]]]:
+    """The project index plus lock-order edges for ``--graph`` dumps."""
+    root = Path(root).resolve()
+    files = _discover_files(root, paths)
+    scans = _run_scans(root, files, (), True, jobs)
+    index = ProjectIndex([scan.summary for scan in scans if scan.summary is not None])
+    edges = LockOrderRule().graph_edges(index)
+    return index, edges
+
+
+def render_graph(root: Path, paths: Optional[Sequence[str]], fmt: str, jobs: int = 1) -> str:
+    """Render the call/lock graph as canonical JSON or GraphViz DOT."""
+    index, edges = build_graph(root, paths, jobs)
+    if fmt == "json":
+        return canonical_json(index.to_payload(edges))
+    return index.to_dot(edges)
+
+
 def render_text(report: LintReport) -> str:
     """Human-readable multi-line report (one ``path:line:col`` line each)."""
     out: List[str] = [finding.render() for finding in report.findings]
@@ -234,6 +383,34 @@ def render_text(report: LintReport) -> str:
         f"across {report.files_scanned} file(s)"
     )
     out.append(summary)
+    return "\n".join(out)
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``) per finding.
+
+    Columns are 1-based in the annotation syntax (``ast`` columns are
+    0-based); newlines/percents in messages use the `%0A`/`%25` escapes the
+    runner expects.
+    """
+
+    def escape(value: str) -> str:
+        return (
+            value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+
+    out: List[str] = []
+    for finding in report.findings:
+        out.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::"
+            f"{escape(finding.message)}"
+        )
+    out.append(
+        f"repro lint: {len(report.findings)} new finding(s), "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} suppressed "
+        f"across {report.files_scanned} file(s)"
+    )
     return "\n".join(out)
 
 
@@ -271,9 +448,30 @@ def build_arg_parser(parser: Optional[argparse.ArgumentParser] = None) -> argpar
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (json is canonical and machine-readable)",
+        help=(
+            "output format: human text, canonical machine-readable json, or "
+            "github workflow annotations"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "scan files with N worker processes (default: os.cpu_count(); "
+            "the report is byte-identical for any value)"
+        ),
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        type=str.lower,
+        default=None,
+        metavar="{DOT,JSON}",
+        help="dump the call/lock graph instead of linting, then exit 0",
     )
     parser.add_argument(
         "--baseline",
@@ -316,6 +514,14 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(list_rules())
         return 0
+    jobs = args.jobs if args.jobs and args.jobs > 0 else (os.cpu_count() or 1)
+    if getattr(args, "graph", None):
+        try:
+            print(render_graph(Path(args.root), args.paths or None, args.graph, jobs))
+        except (LintUsageError, OSError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        return 0
     try:
         report = run_lint(
             root=Path(args.root),
@@ -323,12 +529,15 @@ def run_from_args(args: argparse.Namespace) -> int:
             rules=args.rule,
             baseline=args.baseline,
             baseline_file=Path(args.baseline_file) if args.baseline_file else None,
+            jobs=jobs,
         )
     except (LintUsageError, OSError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(canonical_json(report.to_payload()))
+    elif args.format == "github":
+        print(render_github(report))
     else:
         print(render_text(report))
     return 1 if report.failed else 0

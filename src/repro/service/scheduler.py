@@ -176,7 +176,8 @@ class AdmissionScheduler:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
 
     @property

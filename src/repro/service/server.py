@@ -457,6 +457,7 @@ class DispatchService:
                     if self._state in (STATE_SERVING, STATE_DEGRADED):
                         self._state = STATE_DRAINING
                 self._scheduler.close()
+                # repro-lint: disable=CONC004 -- the match loop never takes _drain_lock, so joining it here cannot deadlock; the lock only serialises concurrent drain() callers
                 self._thread.join()
                 self._raise_if_failed()
                 with self._state_lock:
@@ -519,6 +520,7 @@ class DispatchService:
     def _resolved_total(self) -> int:
         # Plain int reads (no lock): the backpressure check tolerates a
         # value one batch stale, and CPython makes the reads atomic.
+        # repro-lint: disable=CONC005 -- deliberate lock-free fast path; called under the scheduler lock on every submit, so taking _state_lock here would also create a scheduler→state ordering hazard
         return self._assigned + self._cancelled
 
     def _launch_loop(self) -> None:
@@ -539,7 +541,8 @@ class DispatchService:
                     break  # closed and fully drained
                 if not batch:
                     continue  # idle tick; the next arrival wakes us immediately
-                index = self._batches
+                with self._state_lock:
+                    index = self._batches
                 self._process(batch, index)
                 self._faults.after_batch(index)
             # Graceful drain: fire the current slot's remaining boundaries
@@ -551,12 +554,12 @@ class DispatchService:
                 self._metrics = self._session.finish()
                 self._end_wall = time.perf_counter()
         except BaseException as exc:  # noqa: BLE001 — supervision seam
-            failure = {
-                "error": f"{type(exc).__name__}: {exc}",
-                "traceback": traceback.format_exc(),
-                "batch": self._batches,
-            }
             with self._state_lock:
+                failure = {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                    "batch": self._batches,
+                }
                 self._failure = failure
                 self._state = STATE_FAILED
             # Close admission with the failure as the rejection reason so
@@ -625,6 +628,9 @@ class DispatchService:
             metrics = self._metrics
             state = self._state
             recovered = self._recovered_orders
+            assigned = self._assigned
+            cancelled = self._cancelled
+            max_pending_seen = self._max_pending_seen
         if latencies.size:
             p50 = float(np.percentile(latencies, 50))
             p99 = float(np.percentile(latencies, 99))
@@ -635,8 +641,8 @@ class DispatchService:
         return ServiceReport(
             orders_admitted=admitted,
             orders_rejected=scheduler.rejected,
-            assigned=self._assigned,
-            cancelled=self._cancelled,
+            assigned=assigned,
+            cancelled=cancelled,
             unserved=unserved,
             duration_seconds=duration,
             orders_per_sec=admitted / duration if duration > 0 else 0.0,
@@ -644,7 +650,7 @@ class DispatchService:
             latency_p99_ms=p99,
             latency_mean_ms=mean,
             latency_max_ms=peak,
-            max_pending=max(self._max_pending_seen, scheduler.max_staged),
+            max_pending=max(max_pending_seen, scheduler.max_staged),
             metrics=metrics,
             ingest_log=self.config.ingest_log,
             orders_shed=scheduler.shed,

@@ -45,6 +45,7 @@ def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    # repro-lint: disable=DET006 -- this IS the spawn primitive: the child seeds are drawn from the parent stream, so the fresh generators are parent-derived, not a second root
     return [np.random.default_rng(int(s)) for s in seeds]
 
 

@@ -1,0 +1,159 @@
+"""The project call graph: naming, resolution, summaries and graph dumps."""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+from repro.lint import ModuleContext, ProjectIndex, module_name_for, summarize_module
+from repro.utils.cache import canonical_json
+
+
+def _summary(path, source):
+    source = dedent(source)
+    tree = ast.parse(source)
+    context = ModuleContext(
+        path=path, source=source, lines=tuple(source.splitlines())
+    )
+    return summarize_module(tree, context)
+
+
+def test_module_name_for_strips_src_and_init():
+    assert module_name_for("src/repro/service/server.py") == "repro.service.server"
+    assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+    assert module_name_for("benchmarks/bench_clock.py") == "benchmarks.bench_clock"
+
+
+def test_cross_module_calls_resolve_through_from_imports():
+    alpha = _summary(
+        "src/repro/alpha.py",
+        """
+        def helper(x):
+            return x + 1
+        """,
+    )
+    beta = _summary(
+        "src/repro/beta.py",
+        """
+        from repro.alpha import helper
+
+
+        def run():
+            return helper(2)
+        """,
+    )
+    index = ProjectIndex([alpha, beta])
+    assert ("repro.beta.run", "repro.alpha.helper", 6) in index.call_edges()
+
+
+def test_method_calls_resolve_through_attribute_types():
+    source = _summary(
+        "src/repro/combo.py",
+        """
+        class Store:
+            def put(self, item):
+                return item
+
+
+        class Worker:
+            def __init__(self):
+                self._store = Store()
+
+            def push(self, item):
+                return self._store.put(item)
+        """,
+    )
+    index = ProjectIndex([source])
+    edges = {(a, b) for a, b, _ in index.call_edges()}
+    assert ("repro.combo.Worker.push", "repro.combo.Store.put") in edges
+    # Constructing Store resolves to its __init__ only when one exists.
+    assert not any(b == "repro.combo.Store.__init__" for _, b in edges)
+
+
+def test_self_property_reads_resolve_to_property_methods_only():
+    source = _summary(
+        "src/repro/props.py",
+        """
+        class Box:
+            def __init__(self):
+                self._n = 0
+
+            @property
+            def size(self):
+                return self._n
+
+            def plain(self):
+                return 1
+
+            def use(self):
+                return self.size
+        """,
+    )
+    index = ProjectIndex([source])
+    edges = {(a, b) for a, b, _ in index.call_edges()}
+    assert ("repro.props.Box.use", "repro.props.Box.size") in edges
+    # A bare ``self.plain`` load (no call) must not create an edge — only
+    # declared properties may execute on attribute access.
+    assert ("repro.props.Box.use", "repro.props.Box.plain") not in edges
+
+
+def test_condition_alias_collapses_to_the_wrapped_lock():
+    source = _summary(
+        "src/repro/service/sched.py",
+        """
+        import threading
+
+
+        class Scheduler:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+        """,
+    )
+    cls = source.classes[0]
+    assert cls.lock_attrs == ("_lock",)
+    assert dict(cls.lock_aliases) == {"_ready": "_lock"}
+    assert cls.lock_token("_ready") == "repro.service.sched.Scheduler._lock"
+    assert cls.lock_token("_lock") == "repro.service.sched.Scheduler._lock"
+
+
+def test_graph_payload_is_deterministic_and_canonical():
+    def build():
+        alpha = _summary("src/repro/alpha.py", "def helper(x):\n    return x\n")
+        beta = _summary(
+            "src/repro/beta.py",
+            """
+            from repro.alpha import helper
+
+
+            def run():
+                return helper(2)
+            """,
+        )
+        # Insertion order must not matter.
+        return ProjectIndex([beta, alpha])
+
+    first = canonical_json(build().to_payload())
+    second = canonical_json(build().to_payload())
+    assert first == second
+    assert '"tool":"repro-lint-graph"' in first
+
+
+def test_dot_dump_renders_nodes_and_edges():
+    alpha = _summary("src/repro/alpha.py", "def helper(x):\n    return x\n")
+    beta = _summary(
+        "src/repro/beta.py",
+        """
+        from repro.alpha import helper
+
+
+        def run():
+            return helper(2)
+        """,
+    )
+    dot = ProjectIndex([alpha, beta]).to_dot(
+        [("tok.a", "tok.b", "src/repro/beta.py", 5)]
+    )
+    assert dot.startswith("digraph repro_lint {")
+    assert '"repro.beta.run" -> "repro.alpha.helper";' in dot
+    assert '"tok.a" -> "tok.b" [color=red, label="lock-order"];' in dot

@@ -1,0 +1,611 @@
+"""Positive and negative fixtures for the whole-program rules.
+
+CONC003 (lock-order inversion), CONC004 (blocking under a lock), CONC005
+(unlocked read of guarded state), DET006 (mixed RNG provenance) and DET007
+(spawn order tied to dict/set iteration) all run over the project call
+graph, so the fixtures here exercise cross-method and cross-class
+propagation, not just single-function syntax.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+SERVICE_PATH = "src/repro/service/module_under_test.py"
+ENGINE_PATH = "src/repro/dispatch/module_under_test.py"
+
+
+def rules_fired(report):
+    return sorted({finding.rule for finding in report.findings})
+
+
+# --------------------------------------------------------------------- #
+# CONC003 — lock-order inversion
+# --------------------------------------------------------------------- #
+
+
+def test_conc003_flags_intra_class_inversion(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Service:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def forward(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def backward(self):
+                        with self._b:
+                            with self._a:
+                                pass
+                """
+            )
+        },
+        rules=["CONC003"],
+    )
+    # One finding per direction, each pointing at the other witness.
+    assert len(report.findings) == 2
+    assert rules_fired(report) == ["CONC003"]
+    assert all("lock-order inversion" in f.message for f in report.findings)
+
+
+def test_conc003_follows_call_edges_within_a_class(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Service:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def _inner(self):
+                        with self._b:
+                            pass
+
+                    def outer(self):
+                        with self._a:
+                            self._inner()
+
+                    def reversed_path(self):
+                        with self._b:
+                            with self._a:
+                                pass
+                """
+            )
+        },
+        rules=["CONC003"],
+    )
+    assert len(report.findings) == 2
+    assert rules_fired(report) == ["CONC003"]
+
+
+def test_conc003_flags_cross_class_inversion_via_attr_types(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Worker:
+                    def __init__(self, store):
+                        self._wlock = threading.Lock()
+                        self._store: Store = store
+
+                    def flush(self):
+                        with self._wlock:
+                            self._store.put()
+
+                    def poke(self):
+                        with self._wlock:
+                            pass
+
+
+                class Store:
+                    def __init__(self, worker):
+                        self._slock = threading.Lock()
+                        self._worker: Worker = worker
+
+                    def put(self):
+                        with self._slock:
+                            pass
+
+                    def rebalance(self):
+                        with self._slock:
+                            self._worker.poke()
+                """
+            )
+        },
+        rules=["CONC003"],
+    )
+    assert len(report.findings) == 2
+    assert rules_fired(report) == ["CONC003"]
+    assert any("Worker._wlock" in f.message for f in report.findings)
+    assert any("Store._slock" in f.message for f in report.findings)
+
+
+def test_conc003_quiet_when_order_is_consistent(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Service:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def one(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def two(self):
+                        with self._a:
+                            with self._b:
+                                pass
+                """
+            )
+        },
+        rules=["CONC003"],
+    )
+    assert report.findings == []
+
+
+def test_conc003_condition_alias_is_not_a_second_lock(lint_tree):
+    # _ready wraps _lock: waiting on one while "holding" the other is the
+    # same primitive, not an ordering between two locks.
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._ready = threading.Condition(self._lock)
+
+                    def take(self):
+                        with self._lock:
+                            with self._ready:
+                                pass
+
+                    def put(self):
+                        with self._ready:
+                            with self._lock:
+                                pass
+                """
+            )
+        },
+        rules=["CONC003"],
+    )
+    assert report.findings == []
+
+
+# --------------------------------------------------------------------- #
+# CONC004 — blocking call under a lock
+# --------------------------------------------------------------------- #
+
+
+def test_conc004_flags_sleep_and_join_under_lock(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+                import time
+
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._thread = threading.Thread(target=print)
+
+                    def nap(self):
+                        with self._lock:
+                            time.sleep(0.5)
+
+                    def stop(self):
+                        with self._lock:
+                            self._thread.join()
+                """
+            )
+        },
+        rules=["CONC004"],
+    )
+    assert len(report.findings) == 2
+    assert rules_fired(report) == ["CONC004"]
+
+
+def test_conc004_flags_wait_with_second_lock_held(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._ready = threading.Condition(self._lock)
+                        self._other = threading.Lock()
+
+                    def take(self):
+                        with self._other:
+                            with self._ready:
+                                self._ready.wait()
+                """
+            )
+        },
+        rules=["CONC004"],
+    )
+    assert len(report.findings) == 1
+    assert "releases only its own lock" in report.findings[0].message
+
+
+def test_conc004_allows_wait_holding_only_its_own_lock(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._ready = threading.Condition(self._lock)
+
+                    def take(self):
+                        with self._ready:
+                            self._ready.wait()
+                """
+            )
+        },
+        rules=["CONC004"],
+    )
+    assert report.findings == []
+
+
+def test_conc004_propagates_blocking_through_call_edges(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import os
+                import threading
+
+
+                class Writer:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._fd = 3
+
+                    def _flush(self):
+                        os.fsync(self._fd)
+
+                    def append(self, record):
+                        with self._lock:
+                            self._flush()
+                """
+            )
+        },
+        rules=["CONC004"],
+    )
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert "os.fsync" in finding.message
+    assert "_flush" in finding.message
+
+
+def test_conc004_quiet_for_blocking_calls_outside_locks(lint_tree):
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+                import time
+
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def nap(self):
+                        time.sleep(0.5)
+                        with self._lock:
+                            pass
+                """
+            )
+        },
+        rules=["CONC004"],
+    )
+    assert report.findings == []
+
+
+# --------------------------------------------------------------------- #
+# CONC005 — unlocked read of lock-guarded state
+# --------------------------------------------------------------------- #
+
+_ESCAPE_TEMPLATE = """
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def snapshot(self):
+{snapshot_body}
+"""
+
+
+def test_conc005_flags_unlocked_read_of_guarded_attr(lint_tree):
+    source = _ESCAPE_TEMPLATE.format(snapshot_body="        return self._count\n")
+    report = lint_tree({SERVICE_PATH: source}, rules=["CONC005"])
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.rule == "CONC005"
+    assert "_count" in finding.message
+
+
+def test_conc005_allows_reads_under_the_lock_and_in_init(lint_tree):
+    source = _ESCAPE_TEMPLATE.format(
+        snapshot_body="        with self._lock:\n            return self._count\n"
+    )
+    report = lint_tree({SERVICE_PATH: source}, rules=["CONC005"])
+    assert report.findings == []
+
+
+def test_conc005_ignores_attrs_never_written_under_a_lock(lint_tree):
+    # _label is only ever written in __init__ / unlocked paths — it is not
+    # part of the lock-guarded state, so bare reads of it are fine.
+    report = lint_tree(
+        {
+            SERVICE_PATH: dedent(
+                """
+                import threading
+
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._label = "svc"
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def name(self):
+                        return self._label
+                """
+            )
+        },
+        rules=["CONC005"],
+    )
+    assert report.findings == []
+
+
+def test_conc005_scope_excludes_non_service_code(lint_tree):
+    source = _ESCAPE_TEMPLATE.format(snapshot_body="        return self._count\n")
+    report = lint_tree({ENGINE_PATH: source}, rules=["CONC005"])
+    assert report.findings == []
+
+
+# --------------------------------------------------------------------- #
+# DET006 — RNG provenance
+# --------------------------------------------------------------------- #
+
+
+def test_det006_flags_zero_arg_default_rng(lint_tree):
+    report = lint_tree(
+        {
+            ENGINE_PATH: dedent(
+                """
+                import numpy as np
+
+
+                def sample():
+                    rng = np.random.default_rng()
+                    return rng.normal()
+                """
+            )
+        },
+        rules=["DET006"],
+    )
+    assert len(report.findings) == 1
+    assert "OS-entropy" in report.findings[0].message
+
+
+def test_det006_flags_generator_param_mixed_with_fresh_stream(lint_tree):
+    report = lint_tree(
+        {
+            ENGINE_PATH: dedent(
+                """
+                import numpy as np
+
+
+                def perturb(rng, scale):
+                    extra = np.random.default_rng(123)
+                    return rng.normal() * scale + extra.normal()
+                """
+            )
+        },
+        rules=["DET006"],
+    )
+    assert rules_fired(report) == ["DET006"]
+    assert any("mixed stream provenance" in f.message for f in report.findings)
+
+
+def test_det006_allows_spawned_children_and_seeded_roots(lint_tree):
+    report = lint_tree(
+        {
+            ENGINE_PATH: dedent(
+                """
+                import numpy as np
+
+                from repro.utils.rng import default_rng, spawn_rng
+
+
+                def fan_out(rng, count):
+                    children = spawn_rng(rng, count)
+                    return [child.normal() for child in children]
+
+
+                def build(seed):
+                    rng = default_rng(seed)
+                    return rng.normal()
+                """
+            )
+        },
+        rules=["DET006"],
+    )
+    assert report.findings == []
+
+
+def test_det006_resolves_fresh_roots_through_helper_returns(lint_tree):
+    report = lint_tree(
+        {
+            ENGINE_PATH: dedent(
+                """
+                import numpy as np
+
+
+                def _mint():
+                    return np.random.default_rng(7)
+
+
+                def blend(rng):
+                    extra = _mint()
+                    return rng.normal() + extra.normal()
+                """
+            )
+        },
+        rules=["DET006"],
+    )
+    assert rules_fired(report) == ["DET006"]
+    assert any("mixed stream provenance" in f.message for f in report.findings)
+
+
+# --------------------------------------------------------------------- #
+# DET007 — spawn order vs dict/set iteration
+# --------------------------------------------------------------------- #
+
+
+def test_det007_flags_spawning_inside_set_iteration(lint_tree):
+    report = lint_tree(
+        {
+            ENGINE_PATH: dedent(
+                """
+                from repro.utils.rng import spawn_rng
+
+
+                def assign(rng, regions):
+                    streams = {}
+                    for region in set(regions):
+                        streams[region] = spawn_rng(rng, 1)
+                    return streams
+                """
+            )
+        },
+        rules=["DET007"],
+    )
+    assert len(report.findings) == 1
+    assert "dict/set iteration" in report.findings[0].message
+
+
+def test_det007_flags_drawing_from_spawned_stream_in_dict_iteration(lint_tree):
+    report = lint_tree(
+        {
+            ENGINE_PATH: dedent(
+                """
+                from repro.utils.rng import spawn_rng
+
+
+                def jitter(rng, offsets):
+                    child = spawn_rng(rng, 1)[0]
+                    out = {}
+                    for name in offsets.keys():
+                        out[name] = child.normal()
+                    return out
+                """
+            )
+        },
+        rules=["DET007"],
+    )
+    assert len(report.findings) == 1
+
+
+def test_det007_quiet_for_ordered_iteration(lint_tree):
+    report = lint_tree(
+        {
+            ENGINE_PATH: dedent(
+                """
+                from repro.utils.rng import spawn_rng
+
+
+                def assign(rng, regions):
+                    streams = {}
+                    for region in sorted(set(regions)):
+                        streams[region] = spawn_rng(rng, 1)
+                    return streams
+                """
+            )
+        },
+        rules=["DET007"],
+    )
+    assert report.findings == []
+
+
+# --------------------------------------------------------------------- #
+# Plumbing shared with the per-module rules
+# --------------------------------------------------------------------- #
+
+
+def test_project_findings_are_suppressible(lint_tree):
+    source = _ESCAPE_TEMPLATE.format(
+        snapshot_body=(
+            "        # repro-lint: disable=CONC005 -- monotonic counter; a stale read is acceptable here\n"
+            "        return self._count\n"
+        )
+    )
+    report = lint_tree({SERVICE_PATH: source}, rules=["CONC005"])
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule == "CONC005"
+
+
+def test_unused_suppression_of_project_rule_is_flagged(lint_tree):
+    source = _ESCAPE_TEMPLATE.format(
+        snapshot_body=(
+            "        # repro-lint: disable=CONC005 -- stale justification\n"
+            "        with self._lock:\n"
+            "            return self._count\n"
+        )
+    )
+    report = lint_tree({SERVICE_PATH: source}, rules=["CONC005", "API001"])
+    assert rules_fired(report) == ["API001"]
+    assert "unused suppression" in report.findings[0].message

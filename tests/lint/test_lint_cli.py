@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
+
+import pytest
 
 from repro.cli import main as repro_main
 from repro.lint import DEFAULT_ROOTS, RULES_BY_ID, run_lint
@@ -80,3 +83,125 @@ def test_repo_is_lint_clean(repo_root):
 def test_default_roots_exist_in_repo(repo_root):
     for root in DEFAULT_ROOTS:
         assert (repo_root / root).is_dir()
+
+
+# --------------------------------------------------------------------- #
+# PARSE001 and discovery edges
+# --------------------------------------------------------------------- #
+
+
+def test_unparseable_file_in_nested_package_exits_one(tmp_path, capsys):
+    _write(tmp_path, "src/repro/pkg/__init__.py", "")
+    _write(tmp_path, "src/repro/pkg/inner/__init__.py", "")
+    _write(tmp_path, "src/repro/pkg/inner/broken.py", "def f(:\n    pass\n")
+    assert repro_main(["lint", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "src/repro/pkg/inner/broken.py" in out
+    assert "PARSE001" in out
+    assert "does not parse" in out
+
+
+def test_empty_file_is_scanned_and_clean(tmp_path, capsys):
+    _write(tmp_path, "src/repro/empty.py", "")
+    assert repro_main(["lint", "--root", str(tmp_path)]) == 0
+    assert "across 1 file(s)" in capsys.readouterr().out
+
+
+def test_single_file_path_argument(tmp_path, capsys):
+    _write(tmp_path, ENGINE_PATH, "import time\n\ndef run():\n    return time.time()\n")
+    _write(tmp_path, "src/repro/other.py", "import time\n_T = time.time()\n")
+    assert repro_main(["lint", "--root", str(tmp_path), ENGINE_PATH]) == 1
+    out = capsys.readouterr().out
+    # Only the requested file was scanned.
+    assert "across 1 file(s)" in out
+    assert "other.py" not in out
+
+
+def test_symlinked_file_is_scanned_once(tmp_path, capsys):
+    _write(tmp_path, ENGINE_PATH, "import time\n\ndef run():\n    return time.time()\n")
+    link = tmp_path / "src/repro/dispatch/alias.py"
+    try:
+        link.symlink_to(tmp_path / ENGINE_PATH)
+    except OSError:  # pragma: no cover - platform without symlinks
+        pytest.skip("symlinks unavailable")
+    assert repro_main(["lint", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    # The resolved-path dedupe keeps one of the two spellings, so the
+    # violation is reported exactly once.
+    assert out.count("DET001") == 1
+    assert "across 1 file(s)" in out
+
+
+# --------------------------------------------------------------------- #
+# --jobs, --format github, --graph
+# --------------------------------------------------------------------- #
+
+
+def _tree_with_findings(tmp_path):
+    _write(tmp_path, ENGINE_PATH, "import time\n\ndef run():\n    return time.time()\n")
+    _write(
+        tmp_path,
+        "src/repro/service/svc.py",
+        (
+            "import threading\n\n\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0\n\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 1\n\n"
+            "    def snapshot(self):\n"
+            "        return self._count\n"
+        ),
+    )
+    _write(tmp_path, "src/repro/clean.py", "def ok():\n    return 1\n")
+
+
+def test_jobs_report_is_byte_identical_to_serial(tmp_path, capsys):
+    _tree_with_findings(tmp_path)
+    assert repro_main(["lint", "--root", str(tmp_path), "--format", "json", "--jobs", "1"]) == 1
+    serial = capsys.readouterr().out
+    assert repro_main(["lint", "--root", str(tmp_path), "--format", "json", "--jobs", "4"]) == 1
+    pooled = capsys.readouterr().out
+    assert serial == pooled
+    assert json.loads(serial)["counts"]["new"] >= 2
+
+
+def test_jobs_defaults_to_cpu_count_and_rejects_nothing(tmp_path, capsys):
+    _tree_with_findings(tmp_path)
+    # No --jobs: the CLI uses os.cpu_count(); report matches --jobs 1.
+    assert repro_main(["lint", "--root", str(tmp_path), "--format", "json"]) == 1
+    default_run = capsys.readouterr().out
+    assert repro_main(["lint", "--root", str(tmp_path), "--format", "json", "--jobs", "1"]) == 1
+    assert default_run == capsys.readouterr().out
+    assert (os.cpu_count() or 1) >= 1
+
+
+def test_github_format_emits_workflow_annotations(tmp_path, capsys):
+    _tree_with_findings(tmp_path)
+    assert repro_main(["lint", "--root", str(tmp_path), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert f"::error file={ENGINE_PATH},line=4,col=12,title=DET001::" in out
+    assert "::error file=src/repro/service/svc.py" in out
+    assert "new finding(s)" in out.splitlines()[-1]
+
+
+def test_graph_json_dump_exits_zero_and_is_canonical(tmp_path, capsys):
+    _tree_with_findings(tmp_path)
+    assert repro_main(["lint", "--root", str(tmp_path), "--graph", "json"]) == 0
+    raw = capsys.readouterr().out
+    payload = json.loads(raw)
+    assert payload["tool"] == "repro-lint-graph"
+    assert "repro.service.svc.Service.bump" in payload["functions"]
+    assert (
+        "repro.service.svc.Service._lock" in payload["locks"]["tokens"]
+    )
+    assert raw.strip() == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def test_graph_dot_dump_exits_zero(tmp_path, capsys):
+    _tree_with_findings(tmp_path)
+    assert repro_main(["lint", "--root", str(tmp_path), "--graph", "dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph repro_lint {")

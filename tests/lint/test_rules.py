@@ -334,6 +334,30 @@ def test_conc001_flags_subscript_mutation_outside_lock(lint_tree):
     assert "_orders" in report.findings[0].message
 
 
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        "        del self._orders[0]\n",
+        "        del self._count\n",
+        "        self._orders[0] += 1\n",
+        "        self._orders[0][1] = None\n",
+    ],
+)
+def test_conc001_flags_deletion_and_nested_subscript_stores(lint_tree, mutation):
+    source = _SCHEDULER_TEMPLATE.format(reset_body=mutation)
+    report = lint_tree({"src/repro/service/sched.py": source}, rules=["CONC001"])
+    assert len(report.findings) == 1
+    assert report.findings[0].rule == "CONC001"
+
+
+def test_conc001_allows_deletion_under_the_lock(lint_tree):
+    source = _SCHEDULER_TEMPLATE.format(
+        reset_body="        with self._lock:\n            del self._orders[0]\n"
+    )
+    report = lint_tree({"src/repro/service/sched.py": source}, rules=["CONC001"])
+    assert report.findings == []
+
+
 # --------------------------------------------------------------------- #
 # CONC002 — swallowed exceptions
 # --------------------------------------------------------------------- #
